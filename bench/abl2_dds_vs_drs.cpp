@@ -1,0 +1,97 @@
+// Ablation A2 — distinct sampling (DDS) vs frequency-weighted random
+// sampling (DRS), the Chapter 1 contrast.
+//
+// Workload: d distinct elements, each appearing ~ r times (uniform
+// draws, n = d*r). Two views:
+//   * total messages — DDS converges once the distinct universe is
+//     exhausted; DRS keeps paying ~ s ln(n) because every occurrence
+//     draws a fresh tag;
+//   * steady-state messages (second half of the stream, where almost no
+//     new distinct elements appear) — DDS goes silent, DRS does not.
+// DDS runs with duplicate suppression so its silence is exact
+// (see infinite_site.h).
+#include "bench_common.h"
+
+namespace {
+
+struct PhaseCounts {
+  std::uint64_t total = 0;
+  std::uint64_t second_half = 0;
+};
+
+template <typename System>
+PhaseCounts run_phases(System& system, dds::stream::ElementStream& input,
+                       std::uint32_t k, std::uint64_t seed) {
+  using namespace dds;
+  const std::uint64_t n = input.length();
+  stream::RandomPartitioner source(input, k, seed);
+  std::uint64_t at_half = 0;
+  system.runner().set_observer(
+      std::max<std::uint64_t>(1, n / 2),
+      [&](const sim::Progress& p) {
+        if (!p.final_snapshot && p.elements_processed <= n / 2 + 1) {
+          at_half = system.bus().counters().total;
+        }
+      });
+  system.run(source);
+  PhaseCounts out;
+  out.total = system.bus().counters().total;
+  out.second_half = out.total - at_half;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sites", "number of sites k", "10");
+  cli.flag("sample-size", "sample size s", "10");
+  cli.flag("distinct", "number of distinct elements d", "20000");
+  cli.flag("repeat-factors", "comma-separated duplicate densities r",
+           "1,4,16,64,256");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto k = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const auto d = cli.get_uint("distinct");
+  const auto factors = cli.get_uint_list("repeat-factors");
+  bench::banner("Ablation A2: DDS vs DRS message cost vs duplicate density",
+                args);
+
+  util::Table table({"repeat factor r", "DDS total", "DRS total",
+                     "DDS 2nd-half", "DRS 2nd-half"});
+  for (std::size_t pi = 0; pi < factors.size(); ++pi) {
+    const std::uint64_t r = factors[pi];
+    util::RunningStat dds_total, drs_total, dds_late, drs_late;
+    for (std::uint64_t run = 0; run < args.runs; ++run) {
+      const auto seed = bench::run_seed(args, pi, run);
+      core::SystemConfig config{k, s, args.hash_kind, seed};
+      {
+        core::InfiniteSystem dds(config, /*eager_threshold=*/false,
+                                 /*suppress_duplicates=*/true);
+        stream::UniformStream input(d * r, d, seed + 1);
+        const auto counts = run_phases(dds, input, k, seed + 2);
+        dds_total.add(static_cast<double>(counts.total));
+        dds_late.add(static_cast<double>(counts.second_half));
+      }
+      {
+        baseline::DrsSystem drs(config);
+        stream::UniformStream input(d * r, d, seed + 1);
+        const auto counts = run_phases(drs, input, k, seed + 2);
+        drs_total.add(static_cast<double>(counts.total));
+        drs_late.add(static_cast<double>(counts.second_half));
+      }
+    }
+    table.add_row({util::fmt(r), util::fmt(dds_total.mean(), 6),
+                   util::fmt(drs_total.mean(), 6),
+                   util::fmt(dds_late.mean(), 6),
+                   util::fmt(drs_late.mean(), 6)});
+  }
+  bench::emit(table,
+              "A2: DDS vs DRS, k=" + std::to_string(k) + ", s=" +
+                  std::to_string(s) + ", d=" + std::to_string(d),
+              "abl2_dds_vs_drs.csv", args);
+  return 0;
+}

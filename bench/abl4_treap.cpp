@@ -1,0 +1,65 @@
+// Ablation A4 (google-benchmark) — treap-backed dominance set vs the
+// naive O(n^2) reference, across workload sizes. Justifies the paper's
+// choice of a treap (Seidel-Aragon) for T_i: the structure stays tiny in
+// expectation (H_M tuples) but individual operations must stay cheap
+// even through bursts.
+#include <benchmark/benchmark.h>
+
+#include "hash/hash_function.h"
+#include "treap/dominance_set.h"
+#include "treap/naive_dominance_set.h"
+#include "util/rng.h"
+
+namespace {
+
+using dds::hash::HashFunction;
+using dds::hash::HashKind;
+
+/// Drives `set` through `slots` slots of a sliding-window workload.
+template <typename Set>
+void drive(Set& set, std::int64_t slots, std::uint64_t domain,
+           std::int64_t window, std::uint64_t seed) {
+  dds::util::Xoshiro256StarStar rng(seed);
+  HashFunction h(HashKind::kMurmur2, seed);
+  for (std::int64_t t = 0; t < slots; ++t) {
+    set.expire(t);
+    for (int a = 0; a < 3; ++a) {
+      const std::uint64_t e = 1 + rng.next_below(domain);
+      set.observe(e, h(e), t + window);
+    }
+    benchmark::DoNotOptimize(set.min_hash());
+  }
+}
+
+void BM_DominanceSetTreap(benchmark::State& state) {
+  const auto domain = static_cast<std::uint64_t>(state.range(0));
+  const auto window = state.range(1);
+  for (auto _ : state) {
+    dds::treap::DominanceSet set(42);
+    drive(set, 2000, domain, window, 7);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 * 3);
+}
+
+void BM_DominanceSetNaive(benchmark::State& state) {
+  const auto domain = static_cast<std::uint64_t>(state.range(0));
+  const auto window = state.range(1);
+  for (auto _ : state) {
+    dds::treap::NaiveDominanceSet set;
+    drive(set, 2000, domain, window, 7);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 * 3);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DominanceSetTreap)
+    ->Args({100, 50})
+    ->Args({10000, 500})
+    ->Args({1000000, 5000});
+BENCHMARK(BM_DominanceSetNaive)
+    ->Args({100, 50})
+    ->Args({10000, 500})
+    ->Args({1000000, 5000});
+
+BENCHMARK_MAIN();

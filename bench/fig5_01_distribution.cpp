@@ -1,0 +1,54 @@
+// Figure 5.1 — number of messages vs stream position under the three
+// data-distribution methods (flooding / random / round-robin).
+// Paper parameters: k = 5 sites, sample size s = 10, both datasets.
+//
+// Expected shape (paper): messages rise fast early (the sample changes
+// often) then flatten; flooding sits far above random and round-robin,
+// which are nearly indistinguishable.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sites", "number of sites k", "5");
+  cli.flag("sample-size", "sample size s", "10");
+  cli.flag("points", "checkpoints along the stream", "10");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto sites = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const int points = static_cast<int>(cli.get_uint("points"));
+  bench::banner("Figure 5.1: messages vs distribution method", args);
+
+  for (auto dataset : {stream::Dataset::kOc48, stream::Dataset::kEnron}) {
+    sim::SeriesBundle bundle("elements");
+    for (auto distribution :
+         {stream::Distribution::kFlooding, stream::Distribution::kRandom,
+          stream::Distribution::kRoundRobin}) {
+      auto& series = bundle.series(stream::to_string(distribution));
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        const auto seed = bench::run_seed(
+            args, static_cast<std::uint64_t>(distribution) * 2 +
+                      static_cast<std::uint64_t>(dataset),
+            run);
+        core::SystemConfig config{sites, s, args.hash_kind, seed};
+        core::InfiniteSystem system(config, /*eager_threshold=*/false,
+                                    args.suppress_duplicates);
+        auto input = stream::make_trace(dataset, args.scale(dataset), seed + 1);
+        const auto length = input->length();
+        auto source = stream::make_partitioner(distribution, *input, sites,
+                                               seed + 2);
+        const std::uint64_t ape =
+            distribution == stream::Distribution::kFlooding ? sites : 1;
+        bench::run_with_series(system, *source, length, points, series, ape);
+      }
+    }
+    const auto& spec = stream::trace_spec(dataset);
+    bench::emit(bundle.to_table(),
+                "Figure 5.1 (" + spec.name + "): cumulative messages, k=" +
+                    std::to_string(sites) + ", s=" + std::to_string(s),
+                "fig5_01_" + stream::to_string(dataset) + ".csv", args);
+  }
+  return 0;
+}

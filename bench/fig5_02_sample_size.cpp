@@ -1,0 +1,44 @@
+// Figure 5.2 — number of messages as a function of the sample size s.
+// Paper parameters: k = 5 sites, s swept, all three distribution
+// methods, both datasets.
+//
+// Expected shape (paper): message count grows almost linearly in s, with
+// a much steeper slope under flooding than under random / round-robin.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sites", "number of sites k", "5");
+  cli.flag("sample-sizes", "comma-separated s sweep", "10,20,40,60,80,100");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto sites = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const auto sweep = cli.get_uint_list("sample-sizes");
+  bench::banner("Figure 5.2: messages vs sample size", args);
+
+  for (auto dataset : {stream::Dataset::kOc48, stream::Dataset::kEnron}) {
+    sim::SeriesBundle bundle("s");
+    for (auto distribution :
+         {stream::Distribution::kFlooding, stream::Distribution::kRandom,
+          stream::Distribution::kRoundRobin}) {
+      auto& series = bundle.series(stream::to_string(distribution));
+      for (std::size_t pi = 0; pi < sweep.size(); ++pi) {
+        for (std::uint64_t run = 0; run < args.runs; ++run) {
+          const auto seed = bench::run_seed(
+              args, 1000 * static_cast<std::uint64_t>(distribution) + pi, run);
+          series.add(static_cast<double>(sweep[pi]),
+                     static_cast<double>(bench::run_infinite_once(
+                         sites, sweep[pi], distribution, dataset, args, seed)));
+        }
+      }
+    }
+    const auto& spec = stream::trace_spec(dataset);
+    bench::emit(bundle.to_table(),
+                "Figure 5.2 (" + spec.name + "): messages vs s, k=" +
+                    std::to_string(sites),
+                "fig5_02_" + stream::to_string(dataset) + ".csv", args);
+  }
+  return 0;
+}

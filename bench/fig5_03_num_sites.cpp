@@ -1,0 +1,44 @@
+// Figure 5.3 — number of messages as a function of the number of sites
+// k. Paper parameters: s = 10, k swept, both datasets.
+//
+// Expected shape (paper): under flooding messages grow linearly in k;
+// under random distribution they are much smaller and almost flat in k.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sample-size", "sample size s", "10");
+  cli.flag("sites", "comma-separated k sweep", "5,10,20,30,40,50");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const auto sweep = cli.get_uint_list("sites");
+  bench::banner("Figure 5.3: messages vs number of sites", args);
+
+  for (auto dataset : {stream::Dataset::kOc48, stream::Dataset::kEnron}) {
+    sim::SeriesBundle bundle("k");
+    for (auto distribution :
+         {stream::Distribution::kFlooding, stream::Distribution::kRandom,
+          stream::Distribution::kRoundRobin}) {
+      auto& series = bundle.series(stream::to_string(distribution));
+      for (std::size_t pi = 0; pi < sweep.size(); ++pi) {
+        const auto k = static_cast<std::uint32_t>(sweep[pi]);
+        for (std::uint64_t run = 0; run < args.runs; ++run) {
+          const auto seed = bench::run_seed(
+              args, 2000 * static_cast<std::uint64_t>(distribution) + pi, run);
+          series.add(static_cast<double>(k),
+                     static_cast<double>(bench::run_infinite_once(
+                         k, s, distribution, dataset, args, seed)));
+        }
+      }
+    }
+    const auto& spec = stream::trace_spec(dataset);
+    bench::emit(bundle.to_table(),
+                "Figure 5.3 (" + spec.name + "): messages vs k, s=" +
+                    std::to_string(s),
+                "fig5_03_" + stream::to_string(dataset) + ".csv", args);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 5.4 — comparison between the number of messages sent by
+// Algorithm Broadcast and the proposed method, over the stream.
+// Paper parameters: k = 100 sites, s = 20, random distribution.
+//
+// Expected shape (paper): Broadcast sends several times more messages
+// than the proposed lazy scheme throughout the stream; both curves
+// flatten as the sample stabilizes.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sites", "number of sites k", "100");
+  cli.flag("sample-size", "sample size s", "20");
+  cli.flag("points", "checkpoints along the stream", "10");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto sites = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const int points = static_cast<int>(cli.get_uint("points"));
+  bench::banner("Figure 5.4: Broadcast vs proposed over the stream", args);
+
+  for (auto dataset : {stream::Dataset::kOc48, stream::Dataset::kEnron}) {
+    sim::SeriesBundle bundle("elements");
+    for (std::uint64_t run = 0; run < args.runs; ++run) {
+      const auto seed =
+          bench::run_seed(args, static_cast<std::uint64_t>(dataset), run);
+      {
+        core::SystemConfig config{sites, s, args.hash_kind, seed};
+        core::InfiniteSystem system(config, /*eager_threshold=*/false,
+                                    args.suppress_duplicates);
+        auto input = stream::make_trace(dataset, args.scale(dataset), seed + 1);
+        const auto length = input->length();
+        stream::RandomPartitioner source(*input, sites, seed + 2);
+        bench::run_with_series(system, source, length, points,
+                               bundle.series("proposed"));
+      }
+      {
+        core::SystemConfig config{sites, s, args.hash_kind, seed};
+        baseline::BroadcastSystem system(config, args.suppress_duplicates);
+        auto input = stream::make_trace(dataset, args.scale(dataset), seed + 1);
+        const auto length = input->length();
+        stream::RandomPartitioner source(*input, sites, seed + 2);
+        bench::run_with_series(system, source, length, points,
+                               bundle.series("broadcast"));
+      }
+    }
+    const auto& spec = stream::trace_spec(dataset);
+    bench::emit(bundle.to_table(),
+                "Figure 5.4 (" + spec.name + "): cumulative messages, k=" +
+                    std::to_string(sites) + ", s=" + std::to_string(s) +
+                    ", random",
+                "fig5_04_" + stream::to_string(dataset) + ".csv", args);
+  }
+  return 0;
+}

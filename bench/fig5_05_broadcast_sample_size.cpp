@@ -1,0 +1,45 @@
+// Figure 5.5 — messages sent by Algorithm Broadcast vs the proposed
+// method for different sample sizes. Paper parameters: k = 100 sites,
+// random distribution, s swept.
+//
+// Expected shape (paper): both grow ~ linearly in s, but Broadcast's
+// slope is considerably higher.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sites", "number of sites k", "100");
+  cli.flag("sample-sizes", "comma-separated s sweep", "10,20,40,60,80,100");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto sites = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const auto sweep = cli.get_uint_list("sample-sizes");
+  bench::banner("Figure 5.5: Broadcast vs proposed across sample sizes", args);
+
+  for (auto dataset : {stream::Dataset::kOc48, stream::Dataset::kEnron}) {
+    sim::SeriesBundle bundle("s");
+    for (std::size_t pi = 0; pi < sweep.size(); ++pi) {
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        const auto seed = bench::run_seed(args, pi, run);
+        bundle.series("proposed").add(
+            static_cast<double>(sweep[pi]),
+            static_cast<double>(bench::run_infinite_once(
+                sites, sweep[pi], stream::Distribution::kRandom, dataset, args,
+                seed)));
+        bundle.series("broadcast").add(
+            static_cast<double>(sweep[pi]),
+            static_cast<double>(bench::run_broadcast_once(
+                sites, sweep[pi], stream::Distribution::kRandom, dataset, args,
+                seed)));
+      }
+    }
+    const auto& spec = stream::trace_spec(dataset);
+    bench::emit(bundle.to_table(),
+                "Figure 5.5 (" + spec.name + "): messages vs s, k=" +
+                    std::to_string(sites) + ", random",
+                "fig5_05_" + stream::to_string(dataset) + ".csv", args);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 5.6 — Broadcast vs proposed for different dominate rates.
+// Paper parameters: k = 100 sites, s = 20, the "dominate" distribution:
+// site 1 receives each element with probability weight alpha against
+// weight 1 for every other site.
+//
+// Expected shape (paper): messages fall as the dominate rate grows —
+// the workload approaches centralized monitoring — for both algorithms,
+// with Broadcast above the proposed method throughout.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sites", "number of sites k", "100");
+  cli.flag("sample-size", "sample size s", "20");
+  cli.flag("rates", "comma-separated dominate rates", "1,10,50,100,200,500,1000");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto sites = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const auto rates = cli.get_uint_list("rates");
+  bench::banner("Figure 5.6: messages vs dominate rate", args);
+
+  for (auto dataset : {stream::Dataset::kOc48, stream::Dataset::kEnron}) {
+    sim::SeriesBundle bundle("dominate rate");
+    for (std::size_t pi = 0; pi < rates.size(); ++pi) {
+      const double rate = static_cast<double>(rates[pi]);
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        const auto seed = bench::run_seed(args, 3000 + pi, run);
+        bundle.series("proposed").add(
+            rate, static_cast<double>(bench::run_infinite_once(
+                      sites, s, stream::Distribution::kDominate, dataset, args,
+                      seed, rate)));
+        bundle.series("broadcast").add(
+            rate, static_cast<double>(bench::run_broadcast_once(
+                      sites, s, stream::Distribution::kDominate, dataset, args,
+                      seed, rate)));
+      }
+    }
+    const auto& spec = stream::trace_spec(dataset);
+    bench::emit(bundle.to_table(),
+                "Figure 5.6 (" + spec.name + "): messages vs dominate rate, k=" +
+                    std::to_string(sites) + ", s=" + std::to_string(s),
+                "fig5_06_" + stream::to_string(dataset) + ".csv", args);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) for the substrates on the
+// per-element hot path: hash evaluation, bottom-s sample offers, site
+// element processing, and treap updates.
+#include <benchmark/benchmark.h>
+
+#include "core/bottom_s_sample.h"
+#include "core/system.h"
+#include "hash/hash_function.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "treap/treap.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dds;
+
+void BM_Hash(benchmark::State& state) {
+  const auto kind = static_cast<hash::HashKind>(state.range(0));
+  hash::HashFunction h(kind, 42);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(++key));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(hash::to_string(kind));
+}
+
+void BM_BottomSOffer(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  hash::HashFunction h(hash::HashKind::kMurmur2, 1);
+  std::uint64_t e = 0;
+  core::BottomSSample sample(s);
+  for (auto _ : state) {
+    ++e;
+    benchmark::DoNotOptimize(sample.offer(e, h(e)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// End-to-end per-element cost of the infinite-window deployment.
+void BM_InfiniteSystemElement(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  core::SystemConfig config{k, 10, hash::HashKind::kMurmur2, 5};
+  core::InfiniteSystem system(config);
+  util::Xoshiro256StarStar rng(9);
+
+  // Pre-warm with 100k distinct elements so u is realistic.
+  {
+    stream::AllDistinctStream warm(100000, 3);
+    stream::RandomPartitioner source(warm, k, 4);
+    system.run(source);
+  }
+  class OneShot final : public sim::ArrivalSource {
+   public:
+    OneShot(sim::Slot slot, sim::NodeId site, std::uint64_t e)
+        : a_{slot, site, e} {}
+    std::optional<sim::Arrival> next() override {
+      if (done_) return std::nullopt;
+      done_ = true;
+      return a_;
+    }
+
+   private:
+    sim::Arrival a_;
+    bool done_ = false;
+  };
+  sim::Slot t = 1 << 20;
+  for (auto _ : state) {
+    OneShot src(++t, static_cast<sim::NodeId>(rng.next_below(k)), rng.next());
+    system.run(src);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TreapInsertErase(benchmark::State& state) {
+  treap::Treap<std::uint64_t, std::uint64_t> t(11);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) t.insert(i * 2, i);
+  util::Xoshiro256StarStar rng(12);
+  for (auto _ : state) {
+    const std::uint64_t key = rng.next_below(2 * n) | 1;  // odd: new key
+    t.insert(key, key);
+    t.erase(key);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_ZipfDraw(benchmark::State& state) {
+  stream::ZipfStream s(~0ULL, 1'000'000, 1.0, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.next_rank());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_Hash)->DenseRange(0, 3);
+BENCHMARK(BM_BottomSOffer)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_InfiniteSystemElement)->Arg(5)->Arg(100);
+BENCHMARK(BM_TreapInsertErase)->Arg(64)->Arg(4096)->Arg(262144);
+BENCHMARK(BM_ZipfDraw);
+
+BENCHMARK_MAIN();

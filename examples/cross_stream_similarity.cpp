@@ -1,0 +1,78 @@
+// Cross-stream similarity — composing two coordinators' samples.
+//
+// Two independent monitoring deployments (say, two data centers, each
+// with its own sites and coordinator) maintain distinct samples of the
+// user populations they serve. Because both use the same hash function,
+// their bottom-s samples are KMV sketches that COMPOSE: union size,
+// overlap, and Jaccard similarity of the two populations fall out of
+// the coordinator state with zero extra communication.
+//
+//   ./build/examples/cross_stream_similarity [--overlap-pct 30]
+#include <cstdio>
+
+#include "core/system.h"
+#include "query/estimators.h"
+#include "query/set_operations.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  cli.flag("sites", "sites per deployment", "4");
+  cli.flag("users", "distinct users per deployment", "50000");
+  cli.flag("overlap-pct", "percentage of users shared by both", "30");
+  cli.flag("sample-size", "sample size per coordinator", "512");
+  cli.flag("seed", "seed", "9");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto sites = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const auto users = cli.get_uint("users");
+  const auto overlap_pct = cli.get_uint("overlap-pct");
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const auto seed = cli.get_uint("seed");
+  const std::uint64_t shared = users * overlap_pct / 100;
+
+  // Same config (and hence the same hash seed) for both deployments —
+  // the precondition for sketch composition.
+  core::SystemConfig config{sites, s, hash::HashKind::kMurmur2, seed};
+  core::InfiniteSystem east(config), west(config);
+
+  auto feed = [&](core::InfiniteSystem& sys, std::uint64_t lo,
+                  std::uint64_t hi, std::uint64_t salt) {
+    std::vector<stream::Element> population;
+    population.reserve(hi - lo);
+    for (std::uint64_t u = lo; u < hi; ++u) {
+      population.push_back(util::mix64(u));
+    }
+    stream::VectorStream replay(std::move(population));
+    stream::RandomPartitioner src(replay, sites, salt);
+    sys.run(src);
+  };
+  // East serves users [0, users); West serves
+  // [users - shared, 2*users - shared): `shared` users in common.
+  feed(east, 0, users, seed + 1);
+  feed(west, users - shared, 2 * users - shared, seed + 2);
+
+  const auto est = query::estimate_set_operations(
+      east.coordinator().sample(), west.coordinator().sample());
+  const double true_union = static_cast<double>(2 * users - shared);
+  const double true_jaccard =
+      static_cast<double>(shared) / true_union;
+
+  std::printf("deployments: %u sites each, %llu users each, %llu shared\n",
+              sites, static_cast<unsigned long long>(users),
+              static_cast<unsigned long long>(shared));
+  std::printf("union:        estimated %.0f   (true %.0f, error %+.1f%%)\n",
+              est.union_size, true_union,
+              100.0 * (est.union_size - true_union) / true_union);
+  std::printf("intersection: estimated %.0f   (true %llu)\n",
+              est.intersection_size,
+              static_cast<unsigned long long>(shared));
+  std::printf("jaccard:      estimated %.3f (true %.3f)\n", est.jaccard,
+              true_jaccard);
+  std::printf("\nno messages were exchanged between the two deployments — "
+              "the estimates come from the coordinators' existing samples\n");
+  return 0;
+}

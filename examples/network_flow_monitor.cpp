@@ -1,0 +1,108 @@
+// Network flow monitor — the paper's OC48 scenario.
+//
+// k peering-link monitors each observe a stream of (src IP, dst IP)
+// flows; a central coordinator continuously maintains a distinct sample
+// of flows across all links. At any point an operator can ask questions
+// about the population of DISTINCT flows — independent of how chatty
+// each flow is — such as "how many distinct flows involve subnet X?".
+//
+//   ./build/examples/network_flow_monitor [--links 8] [--flows 500000]
+#include <cstdio>
+#include <string>
+
+#include "core/system.h"
+#include "query/estimators.h"
+#include "stream/element.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace {
+
+using dds::stream::Element;
+
+/// Synthesizes a flow: Zipf-popular (src, dst) pairs, like real peering
+/// traffic. The subnet of the source is recoverable from the key so
+/// query-time predicates can dissect the sample.
+class FlowStream final : public dds::stream::ElementStream {
+ public:
+  FlowStream(std::uint64_t n, std::uint64_t pair_domain, std::uint64_t seed)
+      : zipf_(n, pair_domain, 1.05, seed) {}
+
+  std::optional<Element> next() override {
+    const auto rank = zipf_.next();
+    if (!rank) return std::nullopt;
+    return *rank;
+  }
+  std::uint64_t length() const noexcept override { return zipf_.length(); }
+
+ private:
+  dds::stream::ZipfStream zipf_;
+};
+
+/// "Subnet" of a flow key: an 8-bit slice — stable per flow, uniform
+/// across flows.
+std::uint32_t subnet_of(Element flow) { return flow >> 56; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  cli.flag("links", "number of monitored links (sites)", "8");
+  cli.flag("flows", "number of observed packets", "500000");
+  cli.flag("pairs", "distinct (src,dst) pair domain", "60000");
+  cli.flag("sample-size", "distinct sample size at the coordinator", "256");
+  cli.flag("seed", "seed", "11");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto links = static_cast<std::uint32_t>(cli.get_uint("links"));
+  const auto flows = cli.get_uint("flows");
+  const auto pairs = cli.get_uint("pairs");
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const auto seed = cli.get_uint("seed");
+
+  std::printf("monitoring %u links, %llu packets, ~%llu distinct flows, "
+              "sample size %zu\n",
+              links, static_cast<unsigned long long>(flows),
+              static_cast<unsigned long long>(pairs), s);
+
+  core::SystemConfig config{links, s, hash::HashKind::kMurmur2, seed};
+  core::InfiniteSystem monitor(config, /*eager_threshold=*/false,
+                               /*suppress_duplicates=*/true);
+
+  FlowStream traffic(flows, pairs, seed + 1);
+  // Packets of a flow can appear on any link (asymmetric routing):
+  // random distribution.
+  stream::RandomPartitioner fabric(traffic, links, seed + 2);
+  monitor.run(fabric);
+
+  const auto& sample = monitor.coordinator().sample();
+  const double distinct_flows = query::estimate_distinct(sample);
+  std::printf("\nestimated distinct flows: %.0f\n", distinct_flows);
+
+  // Operator drill-down: distinct flows per source region (a quarter of
+  // the subnet space each, so every region holds ~ s/4 sample points —
+  // enough for a meaningful estimate at this sample size).
+  std::puts("distinct flows per source region (64 subnets each):");
+  for (std::uint32_t region = 0; region < 4; ++region) {
+    const double count = query::estimate_distinct_where(
+        sample, [region](Element flow) {
+          return subnet_of(flow) / 64 == region;
+        });
+    std::printf("  region %u (subnets %3u-%3u): ~%.0f distinct flows "
+                "(true ~%.0f)\n",
+                region, region * 64, region * 64 + 63, count,
+                distinct_flows / 4.0);
+  }
+
+  const auto& c = monitor.bus().counters();
+  std::printf("\ncommunication: %llu messages (%llu bytes) vs %llu packets "
+              "shipped under centralized collection\n",
+              static_cast<unsigned long long>(c.total),
+              static_cast<unsigned long long>(c.bytes),
+              static_cast<unsigned long long>(flows));
+  std::printf("per-link state: O(1) — one threshold word each\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Sliding-window dashboard — Chapter 4's protocol in action.
+//
+// A security dashboard wants a live uniform sample of the DISTINCT
+// source identities seen across k sensors in the last w time slots —
+// recent activity only, stale identities age out. This example drives
+// the sliding-window deployment through bursty synthetic traffic and
+// periodically prints what an operator would see: the current sample,
+// the per-sensor candidate-set sizes (the treap T_i of Algorithm 3),
+// and the communication spent so far.
+//
+//   ./build/examples/sliding_window_dashboard [--sensors 6] [--window 200]
+#include <cstdio>
+#include <vector>
+
+#include "core/system.h"
+#include "stream/element.h"
+#include "stream/generators.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  cli.flag("sensors", "number of sensors (sites)", "6");
+  cli.flag("window", "window size in slots", "200");
+  cli.flag("slots", "number of slots to simulate", "2000");
+  cli.flag("sample-size", "window sample size (parallel instances)", "4");
+  cli.flag("seed", "seed", "3");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto sensors = static_cast<std::uint32_t>(cli.get_uint("sensors"));
+  const auto window = static_cast<sim::Slot>(cli.get_uint("window"));
+  const auto slots = static_cast<sim::Slot>(cli.get_uint("slots"));
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const auto seed = cli.get_uint("seed");
+
+  core::SlidingSystemConfig config;
+  config.num_sites = sensors;
+  config.window = window;
+  config.sample_size = s;
+  config.seed = seed;
+  core::SlidingSystem dashboard(config);
+
+  /// One slot of traffic: bursty — occasionally a surge of fresh
+  /// identities, otherwise a trickle over a small hot set.
+  class SlotTraffic final : public sim::ArrivalSource {
+   public:
+    SlotTraffic(sim::Slot slot, std::uint32_t sensors,
+                util::Xoshiro256StarStar& rng, std::uint64_t& next_fresh)
+        : slot_(slot) {
+      const bool surge = rng.next_below(100) < 5;  // 5% surge slots
+      const std::uint64_t count = surge ? 20 : 1 + rng.next_below(4);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const bool fresh = surge || rng.next_below(10) < 3;
+        const stream::Element e =
+            fresh ? util::mix64(0xF00D ^ ++next_fresh)
+                  : util::mix64(1 + rng.next_below(50));
+        arrivals_.push_back(
+            {slot_, static_cast<sim::NodeId>(rng.next_below(sensors)), e});
+      }
+    }
+    std::optional<sim::Arrival> next() override {
+      if (pos_ >= arrivals_.size()) return std::nullopt;
+      return arrivals_[pos_++];
+    }
+
+   private:
+    sim::Slot slot_;
+    std::vector<sim::Arrival> arrivals_;
+    std::size_t pos_ = 0;
+  };
+
+  util::Xoshiro256StarStar rng(seed + 100);
+  std::uint64_t next_fresh = 0;
+  std::uint64_t last_total = 0;
+
+  std::printf("%-8s %-10s %-24s %-14s %s\n", "slot", "window-d", "sample",
+              "sum |T_i|", "msgs (delta)");
+  for (sim::Slot t = 0; t < slots; ++t) {
+    SlotTraffic traffic(t, sensors, rng, next_fresh);
+    dashboard.run(traffic);
+
+    if ((t + 1) % (slots / 10) == 0) {
+      const auto sample = dashboard.coordinator().sample(t);
+      std::string sample_str;
+      for (std::size_t j = 0; j < sample.size() && j < 3; ++j) {
+        sample_str += std::to_string(sample[j] % 100000) + " ";
+      }
+      const auto total = dashboard.bus().counters().total;
+      std::printf("%-8lld %-10s %-24s %-14zu %llu (+%llu)\n",
+                  static_cast<long long>(t),
+                  sample.empty() ? "empty" : "active", sample_str.c_str(),
+                  dashboard.total_site_state(),
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(total - last_total));
+      last_total = total;
+    }
+  }
+
+  const auto& c = dashboard.bus().counters();
+  std::printf("\n%lld slots, window %lld: %llu messages total; per-sensor "
+              "candidate memory stayed at ~%zu tuples (O(s log window "
+              "distinct), Lemma 10)\n",
+              static_cast<long long>(slots), static_cast<long long>(window),
+              static_cast<unsigned long long>(c.total),
+              dashboard.total_site_state() / sensors);
+  return 0;
+}

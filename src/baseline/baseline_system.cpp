@@ -1,0 +1,140 @@
+#include "baseline/baseline_system.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace dds::baseline {
+
+namespace {
+
+template <typename SiteT>
+std::vector<sim::StreamNode*> as_stream_nodes(
+    const std::vector<std::unique_ptr<SiteT>>& sites) {
+  std::vector<sim::StreamNode*> out;
+  out.reserve(sites.size());
+  for (const auto& site : sites) out.push_back(site.get());
+  return out;
+}
+
+}  // namespace
+
+BroadcastSystem::BroadcastSystem(const core::SystemConfig& config,
+                                 bool suppress_duplicates)
+    : bus_(config.num_sites),
+      // Same seed derivation as InfiniteSystem so head-to-head runs use
+      // the identical hash function.
+      hash_fn_(config.hash_kind, util::derive_seed(config.seed, 0xA5)) {
+  coordinator_ = std::make_unique<BroadcastCoordinator>(
+      bus_.coordinator_id(), config.sample_size, config.num_sites);
+  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  sites_.reserve(config.num_sites);
+  for (std::uint32_t i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<BroadcastSite>(
+        i, bus_.coordinator_id(), hash_fn_, suppress_duplicates));
+    bus_.attach(i, sites_.back().get());
+  }
+  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+                                          /*invoke_slot_begin=*/false);
+}
+
+CentralizedSystem::CentralizedSystem(const core::SystemConfig& config)
+    : bus_(config.num_sites),
+      hash_fn_(config.hash_kind, util::derive_seed(config.seed, 0xA5)) {
+  coordinator_ = std::make_unique<CentralizedCoordinator>(
+      bus_.coordinator_id(), config.sample_size);
+  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  sites_.reserve(config.num_sites);
+  for (std::uint32_t i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<ForwardingSite>(
+        i, bus_.coordinator_id(), hash_fn_));
+    bus_.attach(i, sites_.back().get());
+  }
+  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+                                          /*invoke_slot_begin=*/false);
+}
+
+DrsSystem::DrsSystem(const core::SystemConfig& config)
+    : bus_(config.num_sites) {
+  coordinator_ = std::make_unique<DrsCoordinator>(bus_.coordinator_id(),
+                                                  config.sample_size);
+  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  sites_.reserve(config.num_sites);
+  for (std::uint32_t i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<DrsSite>(
+        i, bus_.coordinator_id(), util::derive_seed(config.seed, 0xE00 + i)));
+    bus_.attach(i, sites_.back().get());
+  }
+  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+                                          /*invoke_slot_begin=*/false);
+}
+
+FullSyncSlidingSystem::FullSyncSlidingSystem(
+    const core::SlidingSystemConfig& config)
+    : bus_(config.num_sites),
+      // Match SlidingSystem's hash: family member 0 with the same seed
+      // derivation, so the two protocols sample identical elements.
+      hash_fn_(hash::HashFamily(config.hash_kind,
+                                util::derive_seed(config.seed, 0xC7))
+                   .at(0)) {
+  coordinator_ = std::make_unique<FullSyncSlidingCoordinator>(
+      bus_.coordinator_id(), config.num_sites);
+  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  sites_.reserve(config.num_sites);
+  for (std::uint32_t i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<FullSyncSlidingSite>(
+        i, bus_.coordinator_id(), config.window, hash_fn_,
+        util::derive_seed(config.seed, 0xF00 + i)));
+    bus_.attach(i, sites_.back().get());
+  }
+  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+                                          /*invoke_slot_begin=*/true);
+}
+
+std::size_t FullSyncSlidingSystem::total_site_state() const noexcept {
+  std::size_t total = 0;
+  for (const auto& site : sites_) total += site->state_size();
+  return total;
+}
+
+std::size_t FullSyncSlidingSystem::max_site_state() const noexcept {
+  std::size_t mx = 0;
+  for (const auto& site : sites_) mx = std::max(mx, site->state_size());
+  return mx;
+}
+
+BottomSSlidingSystem::BottomSSlidingSystem(
+    const core::SlidingSystemConfig& config)
+    : bus_(config.num_sites),
+      // Family member 0 with SlidingSystem's derivation: head-to-head
+      // runs against the parallel-copies scheme share instance 0's hash.
+      hash_fn_(hash::HashFamily(config.hash_kind,
+                                util::derive_seed(config.seed, 0xC7))
+                   .at(0)) {
+  coordinator_ = std::make_unique<BottomSSlidingCoordinator>(
+      bus_.coordinator_id(), config.sample_size);
+  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  sites_.reserve(config.num_sites);
+  for (std::uint32_t i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<BottomSSlidingSite>(
+        i, bus_.coordinator_id(), config.sample_size, config.window,
+        hash_fn_));
+    bus_.attach(i, sites_.back().get());
+  }
+  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+                                          /*invoke_slot_begin=*/true);
+}
+
+std::size_t BottomSSlidingSystem::total_site_state() const noexcept {
+  std::size_t total = 0;
+  for (const auto& site : sites_) total += site->state_size();
+  return total;
+}
+
+std::size_t BottomSSlidingSystem::max_site_state() const noexcept {
+  std::size_t mx = 0;
+  for (const auto& site : sites_) mx = std::max(mx, site->state_size());
+  return mx;
+}
+
+}  // namespace dds::baseline

@@ -1,0 +1,124 @@
+// Deployment facades for the baseline protocols, mirroring
+// core/system.h so benches can swap algorithms behind one shape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baseline/broadcast.h"
+#include "baseline/centralized.h"
+#include "baseline/drs.h"
+#include "baseline/fullsync_bottom_s.h"
+#include "baseline/sliding_fullsync.h"
+#include "core/system.h"
+#include "sim/runner.h"
+
+namespace dds::baseline {
+
+/// Algorithm Broadcast deployment (Section 5.2 comparison).
+class BroadcastSystem {
+ public:
+  explicit BroadcastSystem(const core::SystemConfig& config,
+                           bool suppress_duplicates = false);
+
+  sim::Bus& bus() noexcept { return bus_; }
+  sim::Runner& runner() noexcept { return *runner_; }
+  const BroadcastCoordinator& coordinator() const noexcept {
+    return *coordinator_;
+  }
+  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
+
+ private:
+  sim::Bus bus_;
+  hash::HashFunction hash_fn_;
+  std::vector<std::unique_ptr<BroadcastSite>> sites_;
+  std::unique_ptr<BroadcastCoordinator> coordinator_;
+  std::unique_ptr<sim::Runner> runner_;
+};
+
+/// Ship-everything deployment.
+class CentralizedSystem {
+ public:
+  explicit CentralizedSystem(const core::SystemConfig& config);
+
+  sim::Bus& bus() noexcept { return bus_; }
+  sim::Runner& runner() noexcept { return *runner_; }
+  const CentralizedCoordinator& coordinator() const noexcept {
+    return *coordinator_;
+  }
+  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
+
+ private:
+  sim::Bus bus_;
+  hash::HashFunction hash_fn_;
+  std::vector<std::unique_ptr<ForwardingSite>> sites_;
+  std::unique_ptr<CentralizedCoordinator> coordinator_;
+  std::unique_ptr<sim::Runner> runner_;
+};
+
+/// Distributed random (frequency-weighted) sampling deployment.
+class DrsSystem {
+ public:
+  explicit DrsSystem(const core::SystemConfig& config);
+
+  sim::Bus& bus() noexcept { return bus_; }
+  sim::Runner& runner() noexcept { return *runner_; }
+  const DrsCoordinator& coordinator() const noexcept { return *coordinator_; }
+  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
+
+ private:
+  sim::Bus bus_;
+  std::vector<std::unique_ptr<DrsSite>> sites_;
+  std::unique_ptr<DrsCoordinator> coordinator_;
+  std::unique_ptr<sim::Runner> runner_;
+};
+
+/// Full-sync sliding-window deployment (exact; message-heavy).
+class FullSyncSlidingSystem {
+ public:
+  explicit FullSyncSlidingSystem(const core::SlidingSystemConfig& config);
+
+  sim::Bus& bus() noexcept { return bus_; }
+  sim::Runner& runner() noexcept { return *runner_; }
+  const FullSyncSlidingCoordinator& coordinator() const noexcept {
+    return *coordinator_;
+  }
+  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
+
+  std::size_t total_site_state() const noexcept;
+  std::size_t max_site_state() const noexcept;
+
+ private:
+  sim::Bus bus_;
+  hash::HashFunction hash_fn_;
+  std::vector<std::unique_ptr<FullSyncSlidingSite>> sites_;
+  std::unique_ptr<FullSyncSlidingCoordinator> coordinator_;
+  std::unique_ptr<sim::Runner> runner_;
+};
+
+/// Exact distributed bottom-s sliding-window deployment (full-sync).
+class BottomSSlidingSystem {
+ public:
+  explicit BottomSSlidingSystem(const core::SlidingSystemConfig& config);
+
+  sim::Bus& bus() noexcept { return bus_; }
+  sim::Runner& runner() noexcept { return *runner_; }
+  const BottomSSlidingCoordinator& coordinator() const noexcept {
+    return *coordinator_;
+  }
+  const hash::HashFunction& hash_fn() const noexcept { return hash_fn_; }
+  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
+
+  std::size_t total_site_state() const noexcept;
+  std::size_t max_site_state() const noexcept;
+
+ private:
+  sim::Bus bus_;
+  hash::HashFunction hash_fn_;
+  std::vector<std::unique_ptr<BottomSSlidingSite>> sites_;
+  std::unique_ptr<BottomSSlidingCoordinator> coordinator_;
+  std::unique_ptr<sim::Runner> runner_;
+};
+
+}  // namespace dds::baseline

@@ -1,0 +1,66 @@
+#include "baseline/broadcast.h"
+
+namespace dds::baseline {
+
+BroadcastSite::BroadcastSite(sim::NodeId id, sim::NodeId coordinator,
+                             hash::HashFunction hash_fn,
+                             bool suppress_duplicates)
+    : id_(id),
+      coordinator_(coordinator),
+      hash_fn_(std::move(hash_fn)),
+      suppress_duplicates_(suppress_duplicates) {}
+
+void BroadcastSite::on_element(stream::Element element, sim::Slot /*t*/,
+                               sim::Bus& bus) {
+  if (suppress_duplicates_ && reported_.contains(element)) return;
+  const std::uint64_t hv = hash_fn_(element);
+  if (hv < u_local_) {
+    if (suppress_duplicates_) reported_.insert(element);
+    sim::Message msg;
+    msg.from = id_;
+    msg.to = coordinator_;
+    msg.type = sim::MsgType::kReportElement;
+    msg.a = element;
+    msg.b = hv;
+    bus.send(msg);
+  }
+}
+
+void BroadcastSite::on_message(const sim::Message& msg, sim::Bus& /*bus*/) {
+  if (msg.type == sim::MsgType::kThresholdBroadcast) {
+    u_local_ = msg.b;
+  }
+}
+
+BroadcastCoordinator::BroadcastCoordinator(sim::NodeId id,
+                                           std::size_t sample_size,
+                                           std::uint32_t num_sites)
+    : id_(id), num_sites_(num_sites), sample_(sample_size) {}
+
+void BroadcastCoordinator::on_message(const sim::Message& msg, sim::Bus& bus) {
+  if (msg.type != sim::MsgType::kReportElement) return;
+  if (msg.b >= u_) return;  // cannot happen when views are in sync
+  const auto outcome = sample_.offer(msg.a, msg.b);
+  std::uint64_t new_u = u_;
+  // Insert-then-discard semantics of Algorithm 2: u tightens to max(P)
+  // on every accepted new-element report once P is full (see
+  // infinite_coordinator.cpp).
+  if (outcome == core::BottomSSample::Outcome::kReplaced ||
+      outcome == core::BottomSSample::Outcome::kRejected) {
+    new_u = sample_.max_hash();
+  }
+  if (new_u != u_) {
+    u_ = new_u;
+    // The defining behaviour: push the new threshold to every site.
+    for (std::uint32_t i = 0; i < num_sites_; ++i) {
+      sim::Message out;
+      out.from = id_;
+      out.to = i;
+      out.type = sim::MsgType::kThresholdBroadcast;
+      out.b = u_;
+      bus.send(out);
+    }
+  }
+}
+
+}  // namespace dds::baseline

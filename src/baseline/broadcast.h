@@ -1,0 +1,70 @@
+// Algorithm "Broadcast" — the comparison algorithm of Section 5.2.
+//
+// Identical sampling rule to Algorithms 1 & 2, but the coordinator keeps
+// every site's threshold view exactly synchronized: whenever u changes it
+// broadcasts the new u to all k sites (k messages). Sites therefore never
+// send a report that fails to change the sample, and no per-report reply
+// is needed — but every sample change costs k messages, which the paper's
+// Figure 5.4-5.6 experiments show loses badly to the lazy scheme:
+// E[broadcasts] = k * E[#sample changes] ~ k * s ln(d/s) * ... versus the
+// proposed method's per-site lazy refresh.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/bottom_s_sample.h"
+#include "hash/hash_function.h"
+#include "sim/bus.h"
+#include "sim/node.h"
+#include "stream/element.h"
+
+namespace dds::baseline {
+
+class BroadcastSite final : public sim::StreamNode {
+ public:
+  /// `suppress_duplicates` mirrors the infinite-window site's extension
+  /// (see infinite_site.h): without it, re-arrivals of current sample
+  /// members re-report forever (h(e) < u always). Broadcast carries no
+  /// per-report reply, so suppression here remembers every element the
+  /// site ever reported — re-reporting a known element can never change
+  /// the coordinator's state, so skipping is always safe.
+  BroadcastSite(sim::NodeId id, sim::NodeId coordinator,
+                hash::HashFunction hash_fn, bool suppress_duplicates = false);
+
+  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  std::size_t state_size() const noexcept override {
+    return 1 + reported_.size();
+  }
+
+  std::uint64_t local_threshold() const noexcept { return u_local_; }
+
+ private:
+  sim::NodeId id_;
+  sim::NodeId coordinator_;
+  hash::HashFunction hash_fn_;
+  bool suppress_duplicates_;
+  std::uint64_t u_local_ = hash::kHashMax;
+  std::unordered_set<stream::Element> reported_;
+};
+
+class BroadcastCoordinator final : public sim::Node {
+ public:
+  BroadcastCoordinator(sim::NodeId id, std::size_t sample_size,
+                       std::uint32_t num_sites);
+
+  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  std::size_t state_size() const noexcept override { return sample_.size(); }
+
+  const core::BottomSSample& sample() const noexcept { return sample_; }
+  std::uint64_t threshold() const noexcept { return u_; }
+
+ private:
+  sim::NodeId id_;
+  std::uint32_t num_sites_;
+  core::BottomSSample sample_;
+  std::uint64_t u_ = hash::kHashMax;
+};
+
+}  // namespace dds::baseline

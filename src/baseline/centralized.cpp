@@ -1,0 +1,30 @@
+#include "baseline/centralized.h"
+
+namespace dds::baseline {
+
+ForwardingSite::ForwardingSite(sim::NodeId id, sim::NodeId coordinator,
+                               hash::HashFunction hash_fn)
+    : id_(id), coordinator_(coordinator), hash_fn_(std::move(hash_fn)) {}
+
+void ForwardingSite::on_element(stream::Element element, sim::Slot /*t*/,
+                                sim::Bus& bus) {
+  sim::Message msg;
+  msg.from = id_;
+  msg.to = coordinator_;
+  msg.type = sim::MsgType::kReportElement;
+  msg.a = element;
+  msg.b = hash_fn_(element);
+  bus.send(msg);
+}
+
+CentralizedCoordinator::CentralizedCoordinator(sim::NodeId /*id*/,
+                                               std::size_t sample_size)
+    : sample_(sample_size) {}
+
+void CentralizedCoordinator::on_message(const sim::Message& msg,
+                                        sim::Bus& /*bus*/) {
+  if (msg.type != sim::MsgType::kReportElement) return;
+  sample_.offer(msg.a, msg.b);
+}
+
+}  // namespace dds::baseline

@@ -1,0 +1,85 @@
+#include "baseline/fullsync_bottom_s.h"
+
+#include <algorithm>
+
+namespace dds::baseline {
+
+BottomSSlidingSite::BottomSSlidingSite(sim::NodeId id, sim::NodeId coordinator,
+                                       std::size_t sample_size,
+                                       sim::Slot window,
+                                       hash::HashFunction hash_fn)
+    : id_(id),
+      coordinator_(coordinator),
+      sampler_(sample_size, window, std::move(hash_fn)) {}
+
+void BottomSSlidingSite::on_slot_begin(sim::Slot t, sim::Bus& bus) {
+  sync(t, bus);
+}
+
+void BottomSSlidingSite::on_element(stream::Element element, sim::Slot t,
+                                    sim::Bus& bus) {
+  sampler_.observe(element, t);
+  sync(t, bus);
+}
+
+void BottomSSlidingSite::sync(sim::Slot now, sim::Bus& bus) {
+  const auto bottom = sampler_.sample(now);
+  // Drop shipped-records for tuples that left the local bottom-s; the
+  // coordinator's copies age out on their own.
+  std::unordered_map<stream::Element, sim::Slot> still;
+  still.reserve(bottom.size());
+  for (const auto& c : bottom) {
+    auto it = shipped_.find(c.element);
+    if (it == shipped_.end() || it->second != c.expiry) {
+      sim::Message msg;
+      msg.from = id_;
+      msg.to = coordinator_;
+      msg.type = sim::MsgType::kSlidingReport;
+      msg.a = c.element;
+      msg.b = c.hash;
+      msg.c = static_cast<std::uint64_t>(c.expiry);
+      bus.send(msg);
+    }
+    still.emplace(c.element, c.expiry);
+  }
+  shipped_ = std::move(still);
+}
+
+BottomSSlidingCoordinator::BottomSSlidingCoordinator(sim::NodeId /*id*/,
+                                                     std::size_t sample_size)
+    : sample_size_(sample_size) {}
+
+void BottomSSlidingCoordinator::on_message(const sim::Message& msg,
+                                           sim::Bus& bus) {
+  if (msg.type != sim::MsgType::kSlidingReport) return;
+  const treap::Candidate incoming{msg.a, msg.b,
+                                  static_cast<sim::Slot>(msg.c)};
+  auto [it, inserted] = pool_.emplace(msg.a, incoming);
+  if (!inserted && it->second.expiry < incoming.expiry) {
+    it->second = incoming;
+  }
+  // Opportunistic garbage collection keeps the pool near k*s entries.
+  const sim::Slot now = bus.now();
+  if (pool_.size() > 4 * sample_size_ + 64) {
+    std::erase_if(pool_, [now](const auto& kv) {
+      return kv.second.expiry <= now;
+    });
+  }
+}
+
+std::vector<treap::Candidate> BottomSSlidingCoordinator::sample(
+    sim::Slot now) const {
+  std::vector<treap::Candidate> live;
+  live.reserve(pool_.size());
+  for (const auto& [element, c] : pool_) {
+    if (c.expiry > now) live.push_back(c);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const treap::Candidate& a, const treap::Candidate& b) {
+              return a.hash < b.hash;
+            });
+  if (live.size() > sample_size_) live.resize(sample_size_);
+  return live;
+}
+
+}  // namespace dds::baseline

@@ -1,0 +1,71 @@
+// Distributed bottom-s sliding-window sampling, full-sync style — the
+// without-replacement s > 1 window sampler, distributed the same way as
+// the paper's Section 4.1 no-feedback sketch: whenever a tuple enters a
+// site's local bottom-s (or its expiry refreshes while it is there), the
+// site ships it to the coordinator; the coordinator pools per-site
+// candidates and answers queries with the bottom-s of the live pool.
+//
+// Exactness: every element of the global window bottom-s is, at its own
+// site, inside the local bottom-s (fewer than s smaller hashes exist
+// globally, hence locally), so the site has shipped it with its current
+// expiry; stale pool entries age out by timestamp, so the coordinator's
+// answer equals the true window bottom-s at every slot. The price is
+// message volume (no thresholds suppress anything) — measured against
+// the s-parallel-copies scheme in the abl7 bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/windowed_bottom_s.h"
+#include "hash/hash_function.h"
+#include "sim/bus.h"
+#include "sim/node.h"
+
+namespace dds::baseline {
+
+class BottomSSlidingSite final : public sim::StreamNode {
+ public:
+  BottomSSlidingSite(sim::NodeId id, sim::NodeId coordinator,
+                     std::size_t sample_size, sim::Slot window,
+                     hash::HashFunction hash_fn);
+
+  void on_slot_begin(sim::Slot t, sim::Bus& bus) override;
+  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
+  void on_message(const sim::Message& /*msg*/, sim::Bus& /*bus*/) override {}
+
+  std::size_t state_size() const noexcept override {
+    return sampler_.state_size();
+  }
+
+ private:
+  /// Ships every tuple of the current local bottom-s the coordinator
+  /// has not seen at its current expiry.
+  void sync(sim::Slot now, sim::Bus& bus);
+
+  sim::NodeId id_;
+  sim::NodeId coordinator_;
+  core::WindowedBottomSSampler sampler_;
+  /// element -> expiry last shipped; pruned to the current bottom-s.
+  std::unordered_map<stream::Element, sim::Slot> shipped_;
+};
+
+class BottomSSlidingCoordinator final : public sim::Node {
+ public:
+  BottomSSlidingCoordinator(sim::NodeId id, std::size_t sample_size);
+
+  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  std::size_t state_size() const noexcept override { return pool_.size(); }
+
+  /// Exact window bottom-s at slot `now`, hash-ascending.
+  std::vector<treap::Candidate> sample(sim::Slot now) const;
+
+ private:
+  std::size_t sample_size_;
+  /// element -> freshest reported candidate (across sites).
+  std::unordered_map<stream::Element, treap::Candidate> pool_;
+};
+
+}  // namespace dds::baseline

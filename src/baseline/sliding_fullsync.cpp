@@ -1,0 +1,86 @@
+#include "baseline/sliding_fullsync.h"
+
+namespace dds::baseline {
+
+FullSyncSlidingSite::FullSyncSlidingSite(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         sim::Slot window,
+                                         hash::HashFunction hash_fn,
+                                         std::uint64_t seed)
+    : id_(id),
+      coordinator_(coordinator),
+      window_(window),
+      hash_fn_(std::move(hash_fn)),
+      candidates_(seed) {}
+
+void FullSyncSlidingSite::on_slot_begin(sim::Slot t, sim::Bus& bus) {
+  candidates_.expire(t);
+  report_if_changed(bus);
+}
+
+void FullSyncSlidingSite::on_element(stream::Element element, sim::Slot t,
+                                     sim::Bus& bus) {
+  candidates_.observe(element, hash_fn_(element), t + window_);
+  report_if_changed(bus);
+}
+
+void FullSyncSlidingSite::report_if_changed(sim::Bus& bus) {
+  const auto current = candidates_.min_hash();
+  const bool valid = current.has_value();
+  if (valid == reported_valid_ &&
+      (!valid || *current == last_reported_)) {
+    return;
+  }
+  sim::Message msg;
+  msg.from = id_;
+  msg.to = coordinator_;
+  msg.type = sim::MsgType::kSlidingReport;
+  if (valid) {
+    msg.a = current->element;
+    msg.b = current->hash;
+    msg.c = static_cast<std::uint64_t>(current->expiry);
+    last_reported_ = *current;
+  } else {
+    msg.a = 0;
+    msg.b = hash::kHashMax;  // sentinel: site has no candidate
+    msg.c = 0;
+  }
+  reported_valid_ = valid;
+  bus.send(msg);
+}
+
+FullSyncSlidingCoordinator::FullSyncSlidingCoordinator(sim::NodeId /*id*/,
+                                                       std::uint32_t num_sites)
+    : per_site_(num_sites) {}
+
+void FullSyncSlidingCoordinator::on_message(const sim::Message& msg,
+                                            sim::Bus& /*bus*/) {
+  if (msg.type != sim::MsgType::kSlidingReport) return;
+  if (msg.from >= per_site_.size()) return;
+  PerSite& slot = per_site_[msg.from];
+  if (msg.b == hash::kHashMax) {
+    slot.valid = false;
+  } else {
+    slot.valid = true;
+    slot.candidate =
+        treap::Candidate{msg.a, msg.b, static_cast<sim::Slot>(msg.c)};
+  }
+}
+
+std::size_t FullSyncSlidingCoordinator::state_size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : per_site_) n += s.valid ? 1 : 0;
+  return n;
+}
+
+std::optional<treap::Candidate> FullSyncSlidingCoordinator::sample(
+    sim::Slot now) const {
+  std::optional<treap::Candidate> best;
+  for (const auto& s : per_site_) {
+    if (!s.valid || s.candidate.expiry <= now) continue;
+    if (!best || s.candidate.hash < best->hash) best = s.candidate;
+  }
+  return best;
+}
+
+}  // namespace dds::baseline

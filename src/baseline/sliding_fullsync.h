@@ -1,0 +1,77 @@
+// Sliding-window "full sync" baseline — the no-feedback alternative the
+// paper sketches in Section 4.1's intuition paragraph:
+//
+//   "Each site i, at all times, keeps track of the element with the
+//    smallest hash value from D_i(t,w). Whenever this changes, the
+//    coordinator is informed of the new distinct sample from D_i(t,w)."
+//
+// The coordinator stores every site's current local minimum (O(k) state)
+// and answers queries with the global minimum among the valid ones. No
+// replies flow back, so the coordinator's answer is EXACT at every slot
+// (unlike the lazy protocol's transient post-expiry regime) — making this
+// both the message-cost comparator for the sliding ablation and the live
+// distributed oracle in tests. Its weakness is message volume: every
+// local-minimum change is shipped, even when the site could never beat
+// the global minimum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hash/hash_function.h"
+#include "sim/bus.h"
+#include "sim/node.h"
+#include "stream/element.h"
+#include "treap/dominance_set.h"
+
+namespace dds::baseline {
+
+class FullSyncSlidingSite final : public sim::StreamNode {
+ public:
+  FullSyncSlidingSite(sim::NodeId id, sim::NodeId coordinator,
+                      sim::Slot window, hash::HashFunction hash_fn,
+                      std::uint64_t seed);
+
+  void on_slot_begin(sim::Slot t, sim::Bus& bus) override;
+  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
+  void on_message(const sim::Message& /*msg*/, sim::Bus& /*bus*/) override {}
+
+  std::size_t state_size() const noexcept override {
+    return candidates_.size();
+  }
+
+ private:
+  /// Ships the local minimum if it changed since the last report. A
+  /// cleared site (no candidates) reports the kHashMax sentinel once.
+  void report_if_changed(sim::Bus& bus);
+
+  sim::NodeId id_;
+  sim::NodeId coordinator_;
+  sim::Slot window_;
+  hash::HashFunction hash_fn_;
+  treap::DominanceSet candidates_;
+  bool reported_valid_ = false;
+  treap::Candidate last_reported_{};
+};
+
+class FullSyncSlidingCoordinator final : public sim::Node {
+ public:
+  FullSyncSlidingCoordinator(sim::NodeId id, std::uint32_t num_sites);
+
+  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  std::size_t state_size() const noexcept override;
+
+  /// Exact window sample at slot `now`: the minimum-hash element among
+  /// the sites' current minima, or nullopt for an empty window.
+  std::optional<treap::Candidate> sample(sim::Slot now) const;
+
+ private:
+  struct PerSite {
+    bool valid = false;
+    treap::Candidate candidate{};
+  };
+  std::vector<PerSite> per_site_;
+};
+
+}  // namespace dds::baseline

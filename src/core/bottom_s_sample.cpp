@@ -1,0 +1,46 @@
+#include "core/bottom_s_sample.h"
+
+#include <stdexcept>
+
+namespace dds::core {
+
+BottomSSample::BottomSSample(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("BottomSSample: capacity must be positive");
+  }
+}
+
+BottomSSample::Outcome BottomSSample::offer(stream::Element element,
+                                            std::uint64_t hash) {
+  if (members_.contains(element)) return Outcome::kDuplicate;
+  if (by_hash_.size() < capacity_) {
+    by_hash_.emplace(hash, element);
+    members_.insert(element);
+    return Outcome::kInserted;
+  }
+  auto last = std::prev(by_hash_.end());
+  if (hash >= last->first) return Outcome::kRejected;
+  members_.erase(last->second);
+  by_hash_.erase(last);
+  by_hash_.emplace(hash, element);
+  members_.insert(element);
+  return Outcome::kReplaced;
+}
+
+std::vector<BottomSSample::Entry> BottomSSample::entries() const {
+  std::vector<Entry> out;
+  out.reserve(by_hash_.size());
+  for (const auto& [hash, element] : by_hash_) {
+    out.push_back(Entry{element, hash});
+  }
+  return out;
+}
+
+std::vector<stream::Element> BottomSSample::elements() const {
+  std::vector<stream::Element> out;
+  out.reserve(by_hash_.size());
+  for (const auto& [hash, element] : by_hash_) out.push_back(element);
+  return out;
+}
+
+}  // namespace dds::core

@@ -1,0 +1,75 @@
+// BottomSSample — the coordinator's sample container P.
+//
+// Holds the (up to) s distinct elements with the smallest hash values
+// offered so far. This is exactly the paper's sampling strategy
+// (Chapter 3): "the distinct sample at time t is the set of elements
+// from S(t) that yield the s smallest elements in h(S(t))" — a bottom-s
+// (KMV) sketch, which is simultaneously a uniform random sample without
+// replacement from the distinct elements.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "hash/hash_function.h"
+#include "stream/element.h"
+
+namespace dds::core {
+
+class BottomSSample {
+ public:
+  /// What an offer() did.
+  enum class Outcome : std::uint8_t {
+    kDuplicate,  ///< element already sampled; no change
+    kInserted,   ///< element added, capacity not yet exceeded
+    kReplaced,   ///< element added, largest-hash element evicted
+    kRejected,   ///< hash too large for a full sample; no change
+  };
+
+  struct Entry {
+    stream::Element element = 0;
+    std::uint64_t hash = 0;
+  };
+
+  explicit BottomSSample(std::size_t capacity);
+
+  /// Offers (element, hash). The same element must always be offered
+  /// with the same hash (h is a function).
+  Outcome offer(stream::Element element, std::uint64_t hash);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return by_hash_.size(); }
+  bool full() const noexcept { return size() == capacity_; }
+  bool contains(stream::Element element) const {
+    return members_.contains(element);
+  }
+
+  /// Largest hash in the sample; asserts non-empty.
+  std::uint64_t max_hash() const {
+    assert(!by_hash_.empty());
+    return std::prev(by_hash_.end())->first;
+  }
+
+  /// The s-th smallest hash observed so far, or kHashMax while fewer
+  /// than s distinct elements have been offered. This is u(t).
+  std::uint64_t threshold() const noexcept {
+    return full() && capacity_ > 0 ? std::prev(by_hash_.end())->first
+                                   : hash::kHashMax;
+  }
+
+  /// Entries in hash-ascending order.
+  std::vector<Entry> entries() const;
+
+  /// Just the elements, hash-ascending.
+  std::vector<stream::Element> elements() const;
+
+ private:
+  std::size_t capacity_;
+  std::set<std::pair<std::uint64_t, stream::Element>> by_hash_;
+  std::unordered_set<stream::Element> members_;
+};
+
+}  // namespace dds::core

@@ -1,0 +1,99 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+
+namespace dds::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4444535F434B5054ULL;  // "DDS_CKPT"
+constexpr std::uint64_t kVersion = 1;
+
+void put_u64(CheckpointImage& out, std::uint64_t value) {
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * b)));
+  }
+}
+
+std::optional<std::uint64_t> get_u64(const CheckpointImage& in,
+                                     std::size_t& pos) {
+  if (pos + 8 > in.size()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (int b = 0; b < 8; ++b) {
+    value |= static_cast<std::uint64_t>(in[pos + b]) << (8 * b);
+  }
+  pos += 8;
+  return value;
+}
+
+}  // namespace
+
+CheckpointImage checkpoint(const InfiniteWindowCoordinator& coordinator) {
+  const auto entries = coordinator.sample().entries();
+  CheckpointImage out;
+  out.reserve(8 * (4 + 2 * entries.size() + 1));
+  put_u64(out, kMagic);
+  put_u64(out, kVersion);
+  put_u64(out, coordinator.sample().capacity());
+  put_u64(out, entries.size());
+  for (const auto& entry : entries) {
+    put_u64(out, entry.element);
+    put_u64(out, entry.hash);
+  }
+  put_u64(out, coordinator.threshold());
+  return out;
+}
+
+std::optional<CheckpointContents> parse_checkpoint(
+    const CheckpointImage& image) {
+  std::size_t pos = 0;
+  const auto magic = get_u64(image, pos);
+  const auto version = get_u64(image, pos);
+  const auto capacity = get_u64(image, pos);
+  const auto count = get_u64(image, pos);
+  if (!magic || *magic != kMagic) return std::nullopt;
+  if (!version || *version != kVersion) return std::nullopt;
+  if (!capacity || *capacity == 0 || !count || *count > *capacity) {
+    return std::nullopt;
+  }
+  CheckpointContents contents;
+  contents.sample_size = static_cast<std::size_t>(*capacity);
+  contents.entries.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto element = get_u64(image, pos);
+    const auto hash = get_u64(image, pos);
+    if (!element || !hash) return std::nullopt;
+    contents.entries.push_back(BottomSSample::Entry{*element, *hash});
+  }
+  const auto threshold = get_u64(image, pos);
+  if (!threshold || pos != image.size()) return std::nullopt;
+  contents.threshold = *threshold;
+  return contents;
+}
+
+std::unique_ptr<InfiniteWindowCoordinator> restore_coordinator(
+    sim::NodeId id, const CheckpointImage& image, std::uint32_t instance,
+    bool eager_threshold) {
+  const auto contents = parse_checkpoint(image);
+  if (!contents) return nullptr;
+  auto coordinator = std::make_unique<InfiniteWindowCoordinator>(
+      id, contents->sample_size, instance, eager_threshold);
+  coordinator->restore(contents->entries, contents->threshold);
+  return coordinator;
+}
+
+void resync_sites(sim::NodeId coordinator_id, sim::Bus& bus,
+                  std::uint32_t instance) {
+  for (std::uint32_t i = 0; i < bus.num_sites(); ++i) {
+    sim::Message msg;
+    msg.from = coordinator_id;
+    msg.to = i;
+    msg.type = sim::MsgType::kThresholdBroadcast;
+    msg.instance = instance;
+    msg.b = hash::kHashMax;  // u_i <- 1: report everything again
+    bus.send(msg);
+  }
+  bus.drain();
+}
+
+}  // namespace dds::core

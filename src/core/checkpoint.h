@@ -1,0 +1,61 @@
+// Coordinator checkpointing and failover.
+//
+// The coordinator is the single stateful hub of the protocol (sites are
+// O(1)); in a real deployment it is the component one would replicate.
+// This module serializes the infinite-window coordinator's state — the
+// sample P and the threshold u — to a portable byte image, and restores
+// it into a fresh coordinator.
+//
+// Failover semantics. Hashes only decrease u over time, so a restored
+// checkpoint is a VALID uniform sample of the distinct elements seen up
+// to checkpoint time; elements that arrived between the checkpoint and
+// the crash may be missing and, because sites hold thresholds smaller
+// than the restored u, would never be re-reported on their own. The
+// `resync` helper closes that gap: it broadcasts a threshold reset
+// (u_i <- 1) to every site — k messages — after which every element
+// that belongs in the sample is re-offered on its next arrival. Tests
+// verify the restored+resynced deployment converges to the exact
+// bottom-s on re-exposure.
+//
+// The wire format is versioned and endian-stable (little-endian u64s):
+//   [magic u64][version u64][sample_size u64][count u64]
+//   [element u64, hash u64] * count   [u u64]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/infinite_coordinator.h"
+#include "sim/bus.h"
+
+namespace dds::core {
+
+/// Serialized coordinator image.
+using CheckpointImage = std::vector<std::uint8_t>;
+
+/// Captures sample + threshold.
+CheckpointImage checkpoint(const InfiniteWindowCoordinator& coordinator);
+
+/// Parsed view of an image; nullopt if the image is malformed.
+struct CheckpointContents {
+  std::size_t sample_size = 0;
+  std::vector<BottomSSample::Entry> entries;
+  std::uint64_t threshold = 0;
+};
+std::optional<CheckpointContents> parse_checkpoint(const CheckpointImage& image);
+
+/// Builds a fresh coordinator from an image. Returns nullptr if the
+/// image is malformed. `instance` / `eager_threshold` as in the normal
+/// constructor.
+std::unique_ptr<InfiniteWindowCoordinator> restore_coordinator(
+    sim::NodeId id, const CheckpointImage& image, std::uint32_t instance = 0,
+    bool eager_threshold = false);
+
+/// Broadcasts a threshold reset (u_i <- 1) from the coordinator to all
+/// k sites — the post-failover resynchronization step. Costs exactly k
+/// messages.
+void resync_sites(sim::NodeId coordinator_id, sim::Bus& bus,
+                  std::uint32_t instance = 0);
+
+}  // namespace dds::core

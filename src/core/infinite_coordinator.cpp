@@ -1,0 +1,58 @@
+#include "core/infinite_coordinator.h"
+
+namespace dds::core {
+
+InfiniteWindowCoordinator::InfiniteWindowCoordinator(sim::NodeId id,
+                                                     std::size_t sample_size,
+                                                     std::uint32_t instance,
+                                                     bool eager_threshold)
+    : id_(id),
+      instance_(instance),
+      eager_threshold_(eager_threshold),
+      sample_(sample_size) {}
+
+void InfiniteWindowCoordinator::restore(
+    const std::vector<BottomSSample::Entry>& entries,
+    std::uint64_t threshold_value) {
+  sample_ = BottomSSample(sample_.capacity());
+  for (const auto& entry : entries) sample_.offer(entry.element, entry.hash);
+  u_ = threshold_value;
+}
+
+void InfiniteWindowCoordinator::on_message(const sim::Message& msg,
+                                           sim::Bus& bus) {
+  if (msg.type != sim::MsgType::kReportElement || msg.instance != instance_) {
+    return;
+  }
+  if (msg.b < u_) {
+    const auto outcome = sample_.offer(msg.a, msg.b);
+    // Algorithm 2 lines 5-8 insert the element and then discard the
+    // largest of the s+1, so u tightens to max(P) on EVERY accepted
+    // report of a new element once the sample is full — including one
+    // whose hash is the largest of the s+1 (our kRejected outcome,
+    // where the "discarded" element is the incoming one itself).
+    // Skipping the kRejected update would leave u at its initial 1
+    // until some element beat the current maximum, and every site
+    // would keep reporting everything in the meantime.
+    if (outcome == BottomSSample::Outcome::kReplaced ||
+        outcome == BottomSSample::Outcome::kRejected) {
+      u_ = sample_.max_hash();
+    } else if (eager_threshold_ && sample_.full()) {
+      u_ = sample_.max_hash();
+    }
+  }
+  // Algorithm 2 line 11: reply with the current u unconditionally. The
+  // reply also piggy-backs whether the reported element now sits in the
+  // sample (reply.a) — free information in a constant-size message that
+  // the optional duplicate-suppression site extension uses.
+  sim::Message reply;
+  reply.from = id_;
+  reply.to = msg.from;
+  reply.type = sim::MsgType::kThresholdReply;
+  reply.instance = instance_;
+  reply.a = sample_.contains(msg.a) ? 1 : 0;
+  reply.b = u_;
+  bus.send(reply);
+}
+
+}  // namespace dds::core

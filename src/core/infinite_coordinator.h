@@ -1,0 +1,61 @@
+// Algorithm 2 — the infinite-window algorithm at the coordinator.
+//
+//   Initialization: P <- {}, u <- 1
+//   on receiving e from site i:
+//     if h(e) < u:
+//       insert e into P if absent
+//       if |P| > s: discard the largest-hash element; u <- max hash in P
+//     send u back to site i
+//   on query: return P
+//
+// We implement the pseudocode literally: u stays at 1 (kHashMax) while
+// |P| < s, and tightens to max(P) on every accepted new-element report
+// afterwards — note the insert-then-discard in lines 5-8 updates u even
+// when the discarded element is the incoming one, i.e. even when the
+// sample itself did not change. The `eager_threshold` option tightens u
+// one report earlier (as soon as |P| == s); the abl6 bench quantifies
+// the (tiny) difference.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bottom_s_sample.h"
+#include "hash/hash_function.h"
+#include "sim/bus.h"
+#include "sim/node.h"
+
+namespace dds::core {
+
+class InfiniteWindowCoordinator final : public sim::Node {
+ public:
+  InfiniteWindowCoordinator(sim::NodeId id, std::size_t sample_size,
+                            std::uint32_t instance = 0,
+                            bool eager_threshold = false);
+
+  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+
+  /// O(s) state: the sample.
+  std::size_t state_size() const noexcept override { return sample_.size(); }
+
+  /// The query answer: a uniform random sample without replacement of
+  /// size min(s, d) from the distinct elements observed so far.
+  const BottomSSample& sample() const noexcept { return sample_; }
+
+  /// Current u(t).
+  std::uint64_t threshold() const noexcept { return u_; }
+
+  /// Failover hook (see checkpoint.h): replaces the sample contents and
+  /// threshold with a checkpointed state. Entries beyond the sample
+  /// capacity are ignored (bottom-s semantics).
+  void restore(const std::vector<BottomSSample::Entry>& entries,
+               std::uint64_t threshold_value);
+
+ private:
+  sim::NodeId id_;
+  std::uint32_t instance_;
+  bool eager_threshold_;
+  BottomSSample sample_;
+  std::uint64_t u_ = hash::kHashMax;  // the paper's u <- 1
+};
+
+}  // namespace dds::core

@@ -1,0 +1,55 @@
+#include "core/infinite_site.h"
+
+namespace dds::core {
+
+InfiniteWindowSite::InfiniteWindowSite(sim::NodeId id, sim::NodeId coordinator,
+                                       hash::HashFunction hash_fn,
+                                       std::uint32_t instance,
+                                       bool suppress_duplicates)
+    : id_(id),
+      coordinator_(coordinator),
+      hash_fn_(std::move(hash_fn)),
+      instance_(instance),
+      suppress_duplicates_(suppress_duplicates) {}
+
+void InfiniteWindowSite::on_element(stream::Element element, sim::Slot /*t*/,
+                                    sim::Bus& bus) {
+  if (suppress_duplicates_ && known_sampled_.contains(element)) return;
+  const std::uint64_t hv = hash_fn_(element);
+  if (hv < u_local_) {
+    sim::Message msg;
+    msg.from = id_;
+    msg.to = coordinator_;
+    msg.type = sim::MsgType::kReportElement;
+    msg.instance = instance_;
+    msg.a = element;
+    msg.b = hv;
+    bus.send(msg);
+    pending_report_ = element;
+  }
+}
+
+void InfiniteWindowSite::on_message(const sim::Message& msg, sim::Bus& /*bus*/) {
+  if (msg.type == sim::MsgType::kThresholdReply ||
+      msg.type == sim::MsgType::kThresholdBroadcast) {
+    if (msg.instance == instance_) {
+      u_local_ = msg.b;
+      // A threshold reset broadcast (u = 1, i.e. kHashMax) is the
+      // post-failover resync (checkpoint.h): forget suppression state so
+      // every element is re-offered on its next arrival.
+      if (msg.type == sim::MsgType::kThresholdBroadcast &&
+          msg.b == hash::kHashMax) {
+        known_sampled_.clear();
+      }
+      // Reply flag: the element we just reported is in the sample. The
+      // zero-delay model guarantees the reply for report j arrives
+      // before report j+1 is issued, so pending_report_ is unambiguous.
+      if (suppress_duplicates_ && msg.type == sim::MsgType::kThresholdReply &&
+          msg.a == 1) {
+        known_sampled_.insert(pending_report_);
+      }
+    }
+  }
+}
+
+}  // namespace dds::core

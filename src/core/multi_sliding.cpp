@@ -1,0 +1,68 @@
+#include "core/multi_sliding.h"
+
+#include "util/rng.h"
+
+namespace dds::core {
+
+MultiSlidingSite::MultiSlidingSite(sim::NodeId id, sim::NodeId coordinator,
+                                   sim::Slot window,
+                                   const hash::HashFamily& family,
+                                   std::size_t sample_size,
+                                   std::uint64_t seed) {
+  copies_.reserve(sample_size);
+  for (std::size_t j = 0; j < sample_size; ++j) {
+    copies_.emplace_back(id, coordinator, window, family.at(j),
+                         util::derive_seed(seed, j),
+                         static_cast<std::uint32_t>(j));
+  }
+}
+
+void MultiSlidingSite::on_slot_begin(sim::Slot t, sim::Bus& bus) {
+  for (auto& copy : copies_) copy.on_slot_begin(t, bus);
+}
+
+void MultiSlidingSite::on_element(stream::Element element, sim::Slot t,
+                                  sim::Bus& bus) {
+  for (auto& copy : copies_) copy.on_element(element, t, bus);
+}
+
+void MultiSlidingSite::on_message(const sim::Message& msg, sim::Bus& bus) {
+  if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
+}
+
+std::size_t MultiSlidingSite::state_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& copy : copies_) total += copy.state_size();
+  return total;
+}
+
+MultiSlidingCoordinator::MultiSlidingCoordinator(sim::NodeId id,
+                                                 std::size_t sample_size) {
+  copies_.reserve(sample_size);
+  for (std::size_t j = 0; j < sample_size; ++j) {
+    copies_.emplace_back(id, static_cast<std::uint32_t>(j));
+  }
+}
+
+void MultiSlidingCoordinator::on_message(const sim::Message& msg,
+                                         sim::Bus& bus) {
+  if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
+}
+
+std::size_t MultiSlidingCoordinator::state_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& copy : copies_) total += copy.state_size();
+  return total;
+}
+
+std::vector<stream::Element> MultiSlidingCoordinator::sample(
+    sim::Slot now) const {
+  std::vector<stream::Element> out;
+  out.reserve(copies_.size());
+  for (const auto& copy : copies_) {
+    if (auto c = copy.sample(now)) out.push_back(c->element);
+  }
+  return out;
+}
+
+}  // namespace dds::core

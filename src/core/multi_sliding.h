@@ -1,0 +1,56 @@
+// Sliding-window sampling with sample size s > 1 — the extension the
+// paper calls "straightforward" (Section 4.1): run s independent copies
+// of the single-sample protocol, copy j using hash function j of an
+// indexed family and tagging its bus traffic instance = j. The result is
+// a with-replacement distinct sample of the window; distinct-union of a
+// slightly larger s gives without-replacement (Chapter 3's reduction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sliding_coordinator.h"
+#include "core/sliding_site.h"
+#include "hash/hash_function.h"
+
+namespace dds::core {
+
+class MultiSlidingSite final : public sim::StreamNode {
+ public:
+  MultiSlidingSite(sim::NodeId id, sim::NodeId coordinator, sim::Slot window,
+                   const hash::HashFamily& family, std::size_t sample_size,
+                   std::uint64_t seed);
+
+  void on_slot_begin(sim::Slot t, sim::Bus& bus) override;
+  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+
+  /// Total candidate tuples across the s copies.
+  std::size_t state_size() const noexcept override;
+
+  const SlidingWindowSite& copy(std::size_t j) const { return copies_[j]; }
+
+ private:
+  std::vector<SlidingWindowSite> copies_;
+};
+
+class MultiSlidingCoordinator final : public sim::Node {
+ public:
+  MultiSlidingCoordinator(sim::NodeId id, std::size_t sample_size);
+
+  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  std::size_t state_size() const noexcept override;
+
+  /// The with-replacement window sample at slot `now` (one element per
+  /// copy holding a valid sample).
+  std::vector<stream::Element> sample(sim::Slot now) const;
+
+  const SlidingWindowCoordinator& copy(std::size_t j) const {
+    return copies_[j];
+  }
+
+ private:
+  std::vector<SlidingWindowCoordinator> copies_;
+};
+
+}  // namespace dds::core

@@ -1,0 +1,47 @@
+#include "core/sliding_coordinator.h"
+
+namespace dds::core {
+
+SlidingWindowCoordinator::SlidingWindowCoordinator(sim::NodeId id,
+                                                   std::uint32_t instance)
+    : id_(id), instance_(instance) {}
+
+void SlidingWindowCoordinator::on_message(const sim::Message& msg,
+                                          sim::Bus& bus) {
+  if (msg.type != sim::MsgType::kSlidingReport || msg.instance != instance_) {
+    return;
+  }
+  const sim::Slot now = bus.now();
+  const auto incoming_expiry = static_cast<sim::Slot>(msg.c);
+  const bool stored_expired = !has_ || expiry_ <= now;
+  const bool smaller_hash = has_ && msg.b < u_;
+  const bool refresh = has_ && msg.a == element_ && incoming_expiry > expiry_;
+  if (stored_expired || smaller_hash || refresh) {
+    has_ = true;
+    element_ = msg.a;
+    u_ = msg.b;
+    expiry_ = incoming_expiry;
+  }
+  sim::Message reply;
+  reply.from = id_;
+  reply.to = msg.from;
+  reply.type = sim::MsgType::kSlidingReply;
+  reply.instance = instance_;
+  reply.a = element_;
+  reply.b = u_;
+  reply.c = static_cast<std::uint64_t>(expiry_);
+  bus.send(reply);
+}
+
+std::optional<treap::Candidate> SlidingWindowCoordinator::sample(
+    sim::Slot now) const {
+  if (!has_ || expiry_ <= now) return std::nullopt;
+  return treap::Candidate{element_, u_, expiry_};
+}
+
+std::optional<treap::Candidate> SlidingWindowCoordinator::raw_sample() const {
+  if (!has_) return std::nullopt;
+  return treap::Candidate{element_, u_, expiry_};
+}
+
+}  // namespace dds::core

@@ -1,0 +1,61 @@
+// Algorithm 4 — the sliding-window algorithm at the coordinator (s = 1).
+//
+// State: (e*, u*, t*) — the sample, its hash, and its expiry slot. On a
+// report (e', t') from site i at slot t:
+//   adopt (e', h', t') if  u* > h'  or  the stored sample has expired;
+//   reply with the (possibly updated) (e*, t*) — the reply doubles as
+//   the lazy threshold refresh for site i.
+//
+// One extension beyond the pseudocode: a re-report of the *current*
+// sample element with a later expiry refreshes t* (the element
+// re-arrived somewhere, extending its window membership). Without this
+// the refreshed tuple would only be re-adopted after a needless expiry
+// round-trip.
+//
+// Note on exactness: the paper's lazy scheme allows a transient regime
+// after the sample expires in which the coordinator may hold a valid but
+// non-minimal element, until the site owning the true minimum next
+// communicates (its local view expiry bounds the lag). The thesis proves
+// space and message bounds for this scheme but no exactness lemma; our
+// tests quantify the agreement rate and verify the s = 1, k = 1 case is
+// exact. See also baseline::SlidingBroadcast* for the eager variant the
+// paper sketches (broadcast on every u increase), which restores
+// minimality at higher message cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hash/hash_function.h"
+#include "sim/bus.h"
+#include "sim/node.h"
+#include "stream/element.h"
+#include "treap/dominance_set.h"
+
+namespace dds::core {
+
+class SlidingWindowCoordinator final : public sim::Node {
+ public:
+  explicit SlidingWindowCoordinator(sim::NodeId id, std::uint32_t instance = 0);
+
+  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+
+  std::size_t state_size() const noexcept override { return has_ ? 1 : 0; }
+
+  /// The query answer at slot `now`: the sample, or nullopt if no valid
+  /// (unexpired) sample is held.
+  std::optional<treap::Candidate> sample(sim::Slot now) const;
+
+  /// Raw stored tuple regardless of expiry; test hook.
+  std::optional<treap::Candidate> raw_sample() const;
+
+ private:
+  sim::NodeId id_;
+  std::uint32_t instance_;
+  bool has_ = false;
+  stream::Element element_ = 0;
+  std::uint64_t u_ = hash::kHashMax;
+  sim::Slot expiry_ = 0;
+};
+
+}  // namespace dds::core

@@ -1,0 +1,70 @@
+#include "core/sliding_site.h"
+
+namespace dds::core {
+
+SlidingWindowSite::SlidingWindowSite(sim::NodeId id, sim::NodeId coordinator,
+                                     sim::Slot window,
+                                     hash::HashFunction hash_fn,
+                                     std::uint64_t seed,
+                                     std::uint32_t instance)
+    : id_(id),
+      coordinator_(coordinator),
+      window_(window),
+      hash_fn_(std::move(hash_fn)),
+      instance_(instance),
+      candidates_(seed) {}
+
+void SlidingWindowSite::on_slot_begin(sim::Slot t, sim::Bus& bus) {
+  candidates_.expire(t);
+  if (has_view_ && view_expiry_ <= t) {
+    // Lines 21-25: the sample view expired; fall back to the local
+    // minimum and offer it to the coordinator.
+    if (auto c = candidates_.min_hash()) {
+      view_element_ = c->element;
+      u_local_ = c->hash;
+      view_expiry_ = c->expiry;
+      offer(c->element, c->hash, c->expiry, bus);
+    } else {
+      has_view_ = false;
+      u_local_ = hash::kHashMax;
+    }
+  }
+}
+
+void SlidingWindowSite::on_element(stream::Element element, sim::Slot t,
+                                   sim::Bus& bus) {
+  const std::uint64_t hv = hash_fn_(element);
+  const sim::Slot expiry = t + window_;
+  candidates_.observe(element, hv, expiry);
+  if (hv < u_local_) {
+    offer(element, hv, expiry, bus);
+  }
+}
+
+void SlidingWindowSite::on_message(const sim::Message& msg, sim::Bus& /*bus*/) {
+  if (msg.type != sim::MsgType::kSlidingReply || msg.instance != instance_) {
+    return;
+  }
+  // Lines 16-20: adopt the coordinator's sample as the local view and
+  // remember it as a candidate.
+  has_view_ = true;
+  view_element_ = msg.a;
+  u_local_ = msg.b;
+  view_expiry_ = static_cast<sim::Slot>(msg.c);
+  candidates_.insert(msg.a, msg.b, static_cast<sim::Slot>(msg.c));
+}
+
+void SlidingWindowSite::offer(stream::Element element, std::uint64_t hash,
+                              sim::Slot expiry, sim::Bus& bus) {
+  sim::Message msg;
+  msg.from = id_;
+  msg.to = coordinator_;
+  msg.type = sim::MsgType::kSlidingReport;
+  msg.instance = instance_;
+  msg.a = element;
+  msg.b = hash;
+  msg.c = static_cast<std::uint64_t>(expiry);
+  bus.send(msg);
+}
+
+}  // namespace dds::core

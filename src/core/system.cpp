@@ -1,0 +1,86 @@
+#include "core/system.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace dds::core {
+
+namespace {
+
+template <typename SiteT>
+std::vector<sim::StreamNode*> as_stream_nodes(
+    const std::vector<std::unique_ptr<SiteT>>& sites) {
+  std::vector<sim::StreamNode*> out;
+  out.reserve(sites.size());
+  for (const auto& site : sites) out.push_back(site.get());
+  return out;
+}
+
+}  // namespace
+
+InfiniteSystem::InfiniteSystem(const SystemConfig& config, bool eager_threshold,
+                               bool suppress_duplicates)
+    : bus_(config.num_sites),
+      hash_fn_(config.hash_kind, util::derive_seed(config.seed, 0xA5)) {
+  coordinator_ = std::make_unique<InfiniteWindowCoordinator>(
+      bus_.coordinator_id(), config.sample_size, /*instance=*/0,
+      eager_threshold);
+  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  sites_.reserve(config.num_sites);
+  for (std::uint32_t i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<InfiniteWindowSite>(
+        i, bus_.coordinator_id(), hash_fn_, /*instance=*/0,
+        suppress_duplicates));
+    bus_.attach(i, sites_.back().get());
+  }
+  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+                                          /*invoke_slot_begin=*/false);
+}
+
+WithReplacementSystem::WithReplacementSystem(const SystemConfig& config)
+    : bus_(config.num_sites),
+      family_(config.hash_kind, util::derive_seed(config.seed, 0xB6)) {
+  coordinator_ = std::make_unique<WithReplacementCoordinator>(
+      bus_.coordinator_id(), family_, config.sample_size);
+  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  sites_.reserve(config.num_sites);
+  for (std::uint32_t i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<WithReplacementSite>(
+        i, bus_.coordinator_id(), family_, config.sample_size));
+    bus_.attach(i, sites_.back().get());
+  }
+  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+                                          /*invoke_slot_begin=*/false);
+}
+
+SlidingSystem::SlidingSystem(const SlidingSystemConfig& config)
+    : bus_(config.num_sites),
+      family_(config.hash_kind, util::derive_seed(config.seed, 0xC7)) {
+  coordinator_ = std::make_unique<MultiSlidingCoordinator>(
+      bus_.coordinator_id(), config.sample_size);
+  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  sites_.reserve(config.num_sites);
+  for (std::uint32_t i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<MultiSlidingSite>(
+        i, bus_.coordinator_id(), config.window, family_, config.sample_size,
+        util::derive_seed(config.seed, 0xD800ULL + i)));
+    bus_.attach(i, sites_.back().get());
+  }
+  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+                                          /*invoke_slot_begin=*/true);
+}
+
+std::size_t SlidingSystem::total_site_state() const noexcept {
+  std::size_t total = 0;
+  for (const auto& site : sites_) total += site->state_size();
+  return total;
+}
+
+std::size_t SlidingSystem::max_site_state() const noexcept {
+  std::size_t mx = 0;
+  for (const auto& site : sites_) mx = std::max(mx, site->state_size());
+  return mx;
+}
+
+}  // namespace dds::core

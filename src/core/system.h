@@ -1,0 +1,119 @@
+// Facades that wire up a complete simulated deployment — bus, k sites,
+// coordinator, runner — for each protocol. Examples, tests, and every
+// bench binary build on these instead of repeating the plumbing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/infinite_coordinator.h"
+#include "core/infinite_site.h"
+#include "core/multi_sliding.h"
+#include "core/with_replacement.h"
+#include "hash/hash_function.h"
+#include "sim/bus.h"
+#include "sim/runner.h"
+
+namespace dds::core {
+
+/// Shared knobs for every deployment facade.
+struct SystemConfig {
+  std::uint32_t num_sites = 5;
+  std::size_t sample_size = 10;
+  hash::HashKind hash_kind = hash::HashKind::kMurmur2;
+  std::uint64_t seed = 1;
+};
+
+/// Infinite-window deployment of Algorithms 1 & 2 (sampling without
+/// replacement).
+class InfiniteSystem {
+ public:
+  /// `eager_threshold` forwards to InfiniteWindowCoordinator;
+  /// `suppress_duplicates` to InfiniteWindowSite.
+  explicit InfiniteSystem(const SystemConfig& config,
+                          bool eager_threshold = false,
+                          bool suppress_duplicates = false);
+
+  sim::Bus& bus() noexcept { return bus_; }
+  sim::Runner& runner() noexcept { return *runner_; }
+  const InfiniteWindowCoordinator& coordinator() const noexcept {
+    return *coordinator_;
+  }
+  const hash::HashFunction& hash_fn() const noexcept { return hash_fn_; }
+  InfiniteWindowSite& site(std::size_t i) { return *sites_[i]; }
+
+  /// Feeds the whole source through the deployment; returns arrivals
+  /// processed. Message counts accumulate in bus().counters().
+  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
+
+ private:
+  sim::Bus bus_;
+  hash::HashFunction hash_fn_;
+  std::vector<std::unique_ptr<InfiniteWindowSite>> sites_;
+  std::unique_ptr<InfiniteWindowCoordinator> coordinator_;
+  std::unique_ptr<sim::Runner> runner_;
+};
+
+/// Infinite-window deployment of the with-replacement sampler
+/// (s parallel single-element copies).
+class WithReplacementSystem {
+ public:
+  explicit WithReplacementSystem(const SystemConfig& config);
+
+  sim::Bus& bus() noexcept { return bus_; }
+  sim::Runner& runner() noexcept { return *runner_; }
+  const WithReplacementCoordinator& coordinator() const noexcept {
+    return *coordinator_;
+  }
+  const hash::HashFamily& family() const noexcept { return family_; }
+
+  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
+
+ private:
+  sim::Bus bus_;
+  hash::HashFamily family_;
+  std::vector<std::unique_ptr<WithReplacementSite>> sites_;
+  std::unique_ptr<WithReplacementCoordinator> coordinator_;
+  std::unique_ptr<sim::Runner> runner_;
+};
+
+/// Sliding-window deployment of Algorithms 3 & 4 (sample_size
+/// independent copies; sample_size = 1 is the paper's base protocol).
+struct SlidingSystemConfig {
+  std::uint32_t num_sites = 10;
+  sim::Slot window = 100;
+  std::size_t sample_size = 1;
+  hash::HashKind hash_kind = hash::HashKind::kMurmur2;
+  std::uint64_t seed = 1;
+};
+
+class SlidingSystem {
+ public:
+  explicit SlidingSystem(const SlidingSystemConfig& config);
+
+  sim::Bus& bus() noexcept { return bus_; }
+  sim::Runner& runner() noexcept { return *runner_; }
+  const MultiSlidingCoordinator& coordinator() const noexcept {
+    return *coordinator_;
+  }
+  const MultiSlidingSite& site(std::size_t i) const { return *sites_[i]; }
+  std::uint32_t num_sites() const noexcept { return bus_.num_sites(); }
+  const hash::HashFamily& family() const noexcept { return family_; }
+
+  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
+
+  /// Sum over sites of |T_i| — the total candidate memory right now.
+  std::size_t total_site_state() const noexcept;
+  /// max over sites of |T_i|.
+  std::size_t max_site_state() const noexcept;
+
+ private:
+  sim::Bus bus_;
+  hash::HashFamily family_;
+  std::vector<std::unique_ptr<MultiSlidingSite>> sites_;
+  std::unique_ptr<MultiSlidingCoordinator> coordinator_;
+  std::unique_ptr<sim::Runner> runner_;
+};
+
+}  // namespace dds::core

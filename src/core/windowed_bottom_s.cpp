@@ -1,0 +1,22 @@
+#include "core/windowed_bottom_s.h"
+
+namespace dds::core {
+
+WindowedBottomSSampler::WindowedBottomSSampler(std::size_t sample_size,
+                                               sim::Slot window,
+                                               hash::HashFunction hash_fn)
+    : window_(window),
+      hash_fn_(std::move(hash_fn)),
+      candidates_(sample_size) {}
+
+void WindowedBottomSSampler::observe(stream::Element element, sim::Slot t) {
+  candidates_.expire(t);
+  candidates_.observe(element, hash_fn_(element), t + window_);
+}
+
+std::vector<treap::Candidate> WindowedBottomSSampler::sample(sim::Slot now) {
+  candidates_.expire(now);
+  return candidates_.bottom_s();
+}
+
+}  // namespace dds::core

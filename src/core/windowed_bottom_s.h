@@ -1,0 +1,53 @@
+// Bottom-s distinct sampling over a sliding window — the
+// without-replacement extension of Chapter 4 (the thesis implements
+// s = 1 and calls larger s "straightforward"; this module and the
+// full-sync distributed variant in baseline/fullsync_bottom_s.h make it
+// concrete).
+//
+// WindowedBottomSSampler is the single-stream primitive: it wraps an
+// SDominanceSet and answers "the s smallest-hash distinct elements of
+// the last w slots" exactly, in O(s log(M/s)) expected space — the
+// bottom-s analogue of priority sampling over sliding windows (Babcock,
+// Datar & Motwani 2002).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_function.h"
+#include "sim/message.h"
+#include "stream/element.h"
+#include "treap/s_dominance_set.h"
+
+namespace dds::core {
+
+class WindowedBottomSSampler {
+ public:
+  WindowedBottomSSampler(std::size_t sample_size, sim::Slot window,
+                         hash::HashFunction hash_fn);
+
+  /// Observes an arrival at slot `t`. Slots must be non-decreasing.
+  void observe(stream::Element element, sim::Slot t);
+
+  /// The exact bottom-s distinct sample of the window ending at `now`
+  /// (hash-ascending). `now` must be >= the latest observed slot.
+  std::vector<treap::Candidate> sample(sim::Slot now);
+
+  /// Tuples currently retained (the memory metric).
+  std::size_t state_size() const noexcept { return candidates_.size(); }
+
+  std::size_t sample_size() const noexcept { return candidates_.sample_size(); }
+  sim::Slot window() const noexcept { return window_; }
+  const hash::HashFunction& hash_fn() const noexcept { return hash_fn_; }
+
+  const treap::SDominanceSet& candidates() const noexcept {
+    return candidates_;
+  }
+
+ private:
+  sim::Slot window_;
+  hash::HashFunction hash_fn_;
+  treap::SDominanceSet candidates_;
+};
+
+}  // namespace dds::core

@@ -1,0 +1,56 @@
+#include "core/with_replacement.h"
+
+namespace dds::core {
+
+WithReplacementSite::WithReplacementSite(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         const hash::HashFamily& family,
+                                         std::size_t sample_size) {
+  copies_.reserve(sample_size);
+  for (std::size_t j = 0; j < sample_size; ++j) {
+    copies_.emplace_back(id, coordinator, family.at(j),
+                         static_cast<std::uint32_t>(j));
+  }
+}
+
+void WithReplacementSite::on_element(stream::Element element, sim::Slot t,
+                                     sim::Bus& bus) {
+  for (auto& copy : copies_) copy.on_element(element, t, bus);
+}
+
+void WithReplacementSite::on_message(const sim::Message& msg, sim::Bus& bus) {
+  if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
+}
+
+WithReplacementCoordinator::WithReplacementCoordinator(
+    sim::NodeId id, const hash::HashFamily& /*family*/,
+    std::size_t sample_size) {
+  copies_.reserve(sample_size);
+  for (std::size_t j = 0; j < sample_size; ++j) {
+    copies_.emplace_back(id, /*sample_size=*/1,
+                         static_cast<std::uint32_t>(j));
+  }
+}
+
+void WithReplacementCoordinator::on_message(const sim::Message& msg,
+                                            sim::Bus& bus) {
+  if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
+}
+
+std::size_t WithReplacementCoordinator::state_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& copy : copies_) total += copy.state_size();
+  return total;
+}
+
+std::vector<stream::Element> WithReplacementCoordinator::sample() const {
+  std::vector<stream::Element> out;
+  out.reserve(copies_.size());
+  for (const auto& copy : copies_) {
+    const auto elems = copy.sample().elements();
+    if (!elems.empty()) out.push_back(elems.front());
+  }
+  return out;
+}
+
+}  // namespace dds::core

@@ -1,0 +1,32 @@
+#include "hash/hash_function.h"
+
+#include <stdexcept>
+
+namespace dds::hash {
+
+HashKind parse_hash_kind(const std::string& name) {
+  if (name == "murmur2") return HashKind::kMurmur2;
+  if (name == "murmur3") return HashKind::kMurmur3;
+  if (name == "splitmix") return HashKind::kSplitMix;
+  if (name == "tabulation") return HashKind::kTabulation;
+  throw std::invalid_argument("unknown hash kind: " + name);
+}
+
+std::string to_string(HashKind kind) {
+  switch (kind) {
+    case HashKind::kMurmur2: return "murmur2";
+    case HashKind::kMurmur3: return "murmur3";
+    case HashKind::kSplitMix: return "splitmix";
+    case HashKind::kTabulation: return "tabulation";
+  }
+  return "?";
+}
+
+HashFunction::HashFunction(HashKind kind, std::uint64_t seed)
+    : kind_(kind), seed_(seed) {
+  if (kind_ == HashKind::kTabulation) {
+    tabulation_ = std::make_shared<const TabulationHash>(seed);
+  }
+}
+
+}  // namespace dds::hash

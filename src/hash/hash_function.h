@@ -1,0 +1,100 @@
+// The hash abstraction the samplers are built on.
+//
+// The paper models h : U -> [0,1] with mutually independent outputs. We
+// realize h as a seeded 64-bit hash over 64-bit element keys and compare
+// hash values as integers — a strictly monotone reparameterization of the
+// unit interval that is exact (no floating-point ties). `unit_interval`
+// exposes the [0,1) view needed by the distinct-count estimator.
+//
+// `HashFunction` is a small value type (cheap to copy except for the
+// tabulation variant, which carries 16 KiB of tables behind a shared_ptr)
+// so that `HashFamily` can hand out s independent functions for
+// with-replacement sampling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hash/murmur2.h"
+#include "hash/murmur3.h"
+#include "hash/tabulation.h"
+#include "util/rng.h"
+
+namespace dds::hash {
+
+enum class HashKind : std::uint8_t {
+  kMurmur2,     // paper's choice (MurmurHash 2.0, 64-bit)
+  kMurmur3,     // MurmurHash3 x64-128, first word
+  kSplitMix,    // splitmix64 finalizer (fast, good avalanche)
+  kTabulation,  // 3-independent simple tabulation
+};
+
+/// Parses "murmur2" / "murmur3" / "splitmix" / "tabulation".
+HashKind parse_hash_kind(const std::string& name);
+std::string to_string(HashKind kind);
+
+/// Largest hash value; used as the identity for "no sample yet"
+/// (the paper's u_i <- 1 initialization).
+inline constexpr std::uint64_t kHashMax = ~0ULL;
+
+/// Maps a 64-bit hash to the unit interval [0, 1).
+constexpr double unit_interval(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// A seeded hash function over u64 keys.
+class HashFunction {
+ public:
+  HashFunction() : HashFunction(HashKind::kMurmur2, 0) {}
+  HashFunction(HashKind kind, std::uint64_t seed);
+
+  std::uint64_t operator()(std::uint64_t key) const noexcept {
+    switch (kind_) {
+      case HashKind::kMurmur2:
+        return murmur2_64(key, seed_);
+      case HashKind::kMurmur3:
+        return murmur3_64(key, seed_);
+      case HashKind::kSplitMix:
+        return util::mix64(key ^ seed_);
+      case HashKind::kTabulation:
+        return (*tabulation_)(key ^ seed_);
+    }
+    return 0;  // unreachable
+  }
+
+  /// h(key) mapped into [0,1), the paper's view of the hash.
+  double unit(std::uint64_t key) const noexcept {
+    return unit_interval((*this)(key));
+  }
+
+  HashKind kind() const noexcept { return kind_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  HashKind kind_;
+  std::uint64_t seed_;
+  std::shared_ptr<const TabulationHash> tabulation_;  // only for kTabulation
+};
+
+/// An indexed family of independent hash functions: member i is seeded
+/// with derive_seed(master, i). With-replacement sampling runs s parallel
+/// samplers over family members 0..s-1.
+class HashFamily {
+ public:
+  HashFamily(HashKind kind, std::uint64_t master_seed)
+      : kind_(kind), master_seed_(master_seed) {}
+
+  HashFunction at(std::uint64_t index) const {
+    return HashFunction(kind_, util::derive_seed(master_seed_, index));
+  }
+
+  HashKind kind() const noexcept { return kind_; }
+  std::uint64_t master_seed() const noexcept { return master_seed_; }
+
+ private:
+  HashKind kind_;
+  std::uint64_t master_seed_;
+};
+
+}  // namespace dds::hash

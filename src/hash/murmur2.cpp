@@ -1,0 +1,62 @@
+#include "hash/murmur2.h"
+
+#include <cstring>
+
+namespace dds::hash {
+
+namespace {
+constexpr std::uint64_t kM = 0xC6A4A7935BD1E995ULL;
+constexpr int kR = 47;
+}  // namespace
+
+std::uint64_t murmur2_64(const void* data, std::size_t len,
+                         std::uint64_t seed) noexcept {
+  std::uint64_t h = seed ^ (static_cast<std::uint64_t>(len) * kM);
+
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const std::size_t n_blocks = len / 8;
+
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    std::uint64_t k;
+    std::memcpy(&k, bytes + i * 8, 8);
+    k *= kM;
+    k ^= k >> kR;
+    k *= kM;
+    h ^= k;
+    h *= kM;
+  }
+
+  const unsigned char* tail = bytes + n_blocks * 8;
+  switch (len & 7U) {
+    case 7: h ^= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: h ^= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: h ^= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: h ^= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: h ^= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: h ^= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1: h ^= static_cast<std::uint64_t>(tail[0]); h *= kM; break;
+    default: break;
+  }
+
+  h ^= h >> kR;
+  h *= kM;
+  h ^= h >> kR;
+  return h;
+}
+
+std::uint64_t murmur2_64(std::uint64_t key, std::uint64_t seed) noexcept {
+  // One 8-byte block, no tail.
+  std::uint64_t h = seed ^ (8ULL * kM);
+  std::uint64_t k = key;
+  k *= kM;
+  k ^= k >> kR;
+  k *= kM;
+  h ^= k;
+  h *= kM;
+  h ^= h >> kR;
+  h *= kM;
+  h ^= h >> kR;
+  return h;
+}
+
+}  // namespace dds::hash

@@ -1,0 +1,20 @@
+// MurmurHash2, 64-bit variant (MurmurHash64A, Austin Appleby, public
+// domain). This is the hash family the paper's Java implementation used
+// ("MurmurHash 2.0", Holub's port); we implement the canonical 64-bit
+// version for byte buffers and a fast fixed-width path for u64 keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dds::hash {
+
+/// MurmurHash64A over an arbitrary byte buffer.
+std::uint64_t murmur2_64(const void* data, std::size_t len,
+                         std::uint64_t seed) noexcept;
+
+/// MurmurHash64A specialized to a single u64 key (8-byte message).
+/// Identical output to murmur2_64(&key, 8, seed) on little-endian hosts.
+std::uint64_t murmur2_64(std::uint64_t key, std::uint64_t seed) noexcept;
+
+}  // namespace dds::hash

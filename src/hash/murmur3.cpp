@@ -1,0 +1,95 @@
+#include "hash/murmur3.h"
+
+#include <cstring>
+
+namespace dds::hash {
+
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+constexpr std::uint64_t fmix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+constexpr std::uint64_t kC1 = 0x87C37B91114253D5ULL;
+constexpr std::uint64_t kC2 = 0x4CF5AD432745937FULL;
+
+}  // namespace
+
+std::array<std::uint64_t, 2> murmur3_128(const void* data, std::size_t len,
+                                         std::uint64_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const std::size_t n_blocks = len / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    std::uint64_t k1, k2;
+    std::memcpy(&k1, bytes + i * 16, 8);
+    std::memcpy(&k2, bytes + i * 16 + 8, 8);
+
+    k1 *= kC1; k1 = rotl64(k1, 31); k1 *= kC2; h1 ^= k1;
+    h1 = rotl64(h1, 27); h1 += h2; h1 = h1 * 5 + 0x52DCE729;
+    k2 *= kC2; k2 = rotl64(k2, 33); k2 *= kC1; h2 ^= k2;
+    h2 = rotl64(h2, 31); h2 += h1; h2 = h2 * 5 + 0x38495AB5;
+  }
+
+  const unsigned char* tail = bytes + n_blocks * 16;
+  std::uint64_t k1 = 0, k2 = 0;
+  switch (len & 15U) {
+    case 15: k2 ^= static_cast<std::uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<std::uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<std::uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<std::uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<std::uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<std::uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<std::uint64_t>(tail[8]);
+      k2 *= kC2; k2 = rotl64(k2, 33); k2 *= kC1; h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<std::uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<std::uint64_t>(tail[0]);
+      k1 *= kC1; k1 = rotl64(k1, 31); k1 *= kC2; h1 ^= k1;
+      break;
+    default: break;
+  }
+
+  h1 ^= static_cast<std::uint64_t>(len);
+  h2 ^= static_cast<std::uint64_t>(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return {h1, h2};
+}
+
+std::uint64_t murmur3_64(const void* data, std::size_t len,
+                         std::uint64_t seed) noexcept {
+  return murmur3_128(data, len, seed)[0];
+}
+
+std::uint64_t murmur3_64(std::uint64_t key, std::uint64_t seed) noexcept {
+  unsigned char buf[8];
+  std::memcpy(buf, &key, 8);
+  return murmur3_128(buf, 8, seed)[0];
+}
+
+}  // namespace dds::hash

@@ -1,0 +1,23 @@
+// MurmurHash3 x64-128 (Austin Appleby, public domain), exposed as a
+// 64-bit hash (first half of the 128-bit digest). Included as an
+// alternative to MurmurHash2 for the hash-sensitivity ablation (A3).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dds::hash {
+
+/// Full 128-bit digest.
+std::array<std::uint64_t, 2> murmur3_128(const void* data, std::size_t len,
+                                         std::uint64_t seed) noexcept;
+
+/// First 64 bits of the 128-bit digest over a byte buffer.
+std::uint64_t murmur3_64(const void* data, std::size_t len,
+                         std::uint64_t seed) noexcept;
+
+/// Fixed-width path for a single u64 key.
+std::uint64_t murmur3_64(std::uint64_t key, std::uint64_t seed) noexcept;
+
+}  // namespace dds::hash

@@ -1,0 +1,14 @@
+#include "hash/tabulation.h"
+
+#include "util/rng.h"
+
+namespace dds::hash {
+
+TabulationHash::TabulationHash(std::uint64_t seed) noexcept {
+  util::SplitMix64 sm(seed);
+  for (auto& table : tables_) {
+    for (auto& word : table) word = sm.next();
+  }
+}
+
+}  // namespace dds::hash

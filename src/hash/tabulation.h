@@ -1,0 +1,31 @@
+// Simple tabulation hashing over 64-bit keys: 8 lookup tables of 256
+// random 64-bit words, XORed per input byte. Only 3-independent, but
+// known to behave like a fully random function for min-hash style
+// applications (Patrascu & Thorup 2012). Included in the hash ablation
+// as the "theoretically clean" alternative to the Murmur mixers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dds::hash {
+
+class TabulationHash {
+ public:
+  /// Fills the 8x256 tables from a SplitMix64 stream seeded with `seed`.
+  explicit TabulationHash(std::uint64_t seed) noexcept;
+
+  std::uint64_t operator()(std::uint64_t key) const noexcept {
+    std::uint64_t h = 0;
+    for (int b = 0; b < 8; ++b) {
+      h ^= tables_[static_cast<std::size_t>(b)]
+                  [static_cast<std::size_t>((key >> (8 * b)) & 0xFF)];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace dds::hash

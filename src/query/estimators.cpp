@@ -1,0 +1,19 @@
+#include "query/estimators.h"
+
+#include <cmath>
+
+namespace dds::query {
+
+double estimate_distinct(const core::BottomSSample& sample) {
+  if (!sample.full()) return static_cast<double>(sample.size());
+  const double u = hash::unit_interval(sample.max_hash());
+  if (u <= 0.0) return static_cast<double>(sample.size());
+  return (static_cast<double>(sample.size()) - 1.0) / u;
+}
+
+double distinct_relative_error(std::size_t sample_size) {
+  if (sample_size <= 2) return 1.0;
+  return 1.0 / std::sqrt(static_cast<double>(sample_size - 2));
+}
+
+}  // namespace dds::query

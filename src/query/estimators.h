@@ -1,0 +1,75 @@
+// Query-time estimators over the coordinator's distinct sample — the
+// motivating queries of the paper's introduction: distinct counts,
+// predicate-restricted distinct counts ("how many distinct visitors from
+// country X?"), and predicate averages ("average age of distinct users").
+//
+// The bottom-s sample doubles as a KMV sketch: if u_s is the s-th
+// smallest hash mapped to (0,1), then (s-1)/u_s is the classic unbiased
+// distinct-count estimator (Bar-Yossef et al. 2002). Because inclusion
+// in a distinct sample is frequency-independent, predicate estimators
+// are simple sample fractions scaled by the distinct-count estimate.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "core/bottom_s_sample.h"
+#include "hash/hash_function.h"
+#include "stream/element.h"
+
+namespace dds::query {
+
+template <typename P>
+concept ElementPredicate = requires(P p, stream::Element e) {
+  { p(e) } -> std::convertible_to<bool>;
+};
+
+template <typename F>
+concept ElementValue = requires(F f, stream::Element e) {
+  { f(e) } -> std::convertible_to<double>;
+};
+
+/// Estimated number of distinct elements observed. Exact (== sample
+/// size) while the sample is not full; (s-1)/u_s once it is.
+double estimate_distinct(const core::BottomSSample& sample);
+
+/// Estimated number of distinct elements satisfying `pred`:
+/// |{x in P : pred(x)}| / s * d-hat. Exact while the sample is not full.
+template <ElementPredicate P>
+double estimate_distinct_where(const core::BottomSSample& sample, P pred) {
+  const auto entries = sample.entries();
+  std::size_t matching = 0;
+  for (const auto& e : entries) matching += pred(e.element) ? 1 : 0;
+  if (!sample.full()) return static_cast<double>(matching);
+  if (entries.empty()) return 0.0;
+  const double fraction =
+      static_cast<double>(matching) / static_cast<double>(entries.size());
+  return fraction * estimate_distinct(sample);
+}
+
+/// Estimated fraction of distinct elements satisfying `pred` (in [0,1]).
+template <ElementPredicate P>
+double estimate_fraction_where(const core::BottomSSample& sample, P pred) {
+  const auto entries = sample.entries();
+  if (entries.empty()) return 0.0;
+  std::size_t matching = 0;
+  for (const auto& e : entries) matching += pred(e.element) ? 1 : 0;
+  return static_cast<double>(matching) / static_cast<double>(entries.size());
+}
+
+/// Estimated mean of `value` over the distinct elements ("average age of
+/// distinct users"). Returns 0 for an empty sample.
+template <ElementValue F>
+double estimate_mean(const core::BottomSSample& sample, F value) {
+  const auto entries = sample.entries();
+  if (entries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& e : entries) sum += value(e.element);
+  return sum / static_cast<double>(entries.size());
+}
+
+/// Standard error heuristics: the relative error of the KMV distinct
+/// estimator is ~ 1/sqrt(s-2) (Beyer et al. 2007).
+double distinct_relative_error(std::size_t sample_size);
+
+}  // namespace dds::query

@@ -1,0 +1,62 @@
+#include "query/hyperloglog.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace dds::query {
+
+HyperLogLog::HyperLogLog(int precision, hash::HashFunction hash_fn)
+    : precision_(precision), hash_fn_(std::move(hash_fn)) {
+  if (precision < 4 || precision > 18) {
+    throw std::invalid_argument("HyperLogLog: precision must be in [4, 18]");
+  }
+  registers_.assign(1ULL << precision, 0);
+}
+
+void HyperLogLog::add(stream::Element element) {
+  const std::uint64_t h = hash_fn_(element);
+  const std::size_t index = h >> (64 - precision_);
+  // rho: position of the leftmost 1-bit in the remaining bits (1-based).
+  const std::uint64_t rest = (h << precision_) | (1ULL << (precision_ - 1));
+  const auto rho = static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+  if (rho > registers_[index]) registers_[index] = rho;
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  switch (registers_.size()) {
+    case 16: alpha = 0.673; break;
+    case 32: alpha = 0.697; break;
+    case 64: alpha = 0.709; break;
+    default: alpha = 0.7213 / (1.0 + 1.079 / m); break;
+  }
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    zeros += (r == 0) ? 1 : 0;
+  }
+  const double raw = alpha * m * m / sum;
+  if (raw <= 2.5 * m && zeros != 0) {
+    // Small-range correction: linear counting.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    throw std::invalid_argument("HyperLogLog::merge: precision mismatch");
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+double HyperLogLog::relative_error() const noexcept {
+  return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+}
+
+}  // namespace dds::query

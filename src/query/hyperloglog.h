@@ -1,0 +1,46 @@
+// HyperLogLog distinct counter (Flajolet et al. 2007) — a substrate for
+// cross-validating the KMV estimator that falls out of the coordinator's
+// bottom-s sample.
+//
+// The paper motivates distinct sampling partly through distinct-count
+// queries; this module provides the standard cardinality sketch the
+// streaming community would reach for, so EXPERIMENTS.md can show the
+// sample-based estimate agreeing with an independent counter on the
+// same stream (ablation abl8). Dense representation, 2^p registers,
+// with the standard small-range (linear counting) and bias corrections.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_function.h"
+#include "stream/element.h"
+
+namespace dds::query {
+
+class HyperLogLog {
+ public:
+  /// `precision` p in [4, 18]: 2^p one-byte registers, relative error
+  /// ~ 1.04 / sqrt(2^p).
+  explicit HyperLogLog(int precision, hash::HashFunction hash_fn);
+
+  void add(stream::Element element);
+
+  /// Cardinality estimate with linear-counting small-range correction.
+  double estimate() const;
+
+  /// Merges another sketch built with the same precision and hash.
+  void merge(const HyperLogLog& other);
+
+  int precision() const noexcept { return precision_; }
+  std::size_t register_count() const noexcept { return registers_.size(); }
+  /// Standard error 1.04/sqrt(m).
+  double relative_error() const noexcept;
+
+ private:
+  int precision_;
+  hash::HashFunction hash_fn_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace dds::query

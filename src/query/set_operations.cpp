@@ -1,0 +1,68 @@
+#include "query/set_operations.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "query/estimators.h"
+
+namespace dds::query {
+
+SetEstimates estimate_set_operations(const core::BottomSSample& a,
+                                     const core::BottomSSample& b) {
+  if (a.capacity() != b.capacity()) {
+    throw std::invalid_argument(
+        "set operations need samples of equal capacity");
+  }
+  const std::size_t s = a.capacity();
+
+  // Merge the two entry lists into the bottom-s of the union. Entries
+  // are (element, hash) with hashes consistent across sketches because
+  // the hash function is shared.
+  std::vector<core::BottomSSample::Entry> merged;
+  {
+    const auto ea = a.entries();
+    const auto eb = b.entries();
+    merged.reserve(ea.size() + eb.size());
+    std::merge(ea.begin(), ea.end(), eb.begin(), eb.end(),
+               std::back_inserter(merged),
+               [](const auto& x, const auto& y) { return x.hash < y.hash; });
+    // Deduplicate shared elements (same element => same hash).
+    std::unordered_set<stream::Element> seen;
+    std::erase_if(merged, [&seen](const auto& e) {
+      return !seen.insert(e.element).second;
+    });
+    if (merged.size() > s) merged.resize(s);
+  }
+
+  SetEstimates out;
+  // Union cardinality via the KMV estimator on the merged sketch.
+  core::BottomSSample union_sketch(s);
+  for (const auto& e : merged) union_sketch.offer(e.element, e.hash);
+  out.union_size = estimate_distinct(union_sketch);
+
+  // Jaccard: fraction of the merged bottom-s present in BOTH sketches.
+  std::size_t in_both = 0;
+  for (const auto& e : merged) {
+    if (a.contains(e.element) && b.contains(e.element)) ++in_both;
+  }
+  out.jaccard = merged.empty()
+                    ? 0.0
+                    : static_cast<double>(in_both) /
+                          static_cast<double>(merged.size());
+  out.intersection_size = out.jaccard * out.union_size;
+  return out;
+}
+
+double estimate_union(const core::BottomSSample& a,
+                      const core::BottomSSample& b) {
+  return estimate_set_operations(a, b).union_size;
+}
+
+double estimate_jaccard(const core::BottomSSample& a,
+                        const core::BottomSSample& b) {
+  return estimate_set_operations(a, b).jaccard;
+}
+
+}  // namespace dds::query

@@ -1,0 +1,41 @@
+// Set-operation estimators over two coordinators' bottom-s samples.
+//
+// A bottom-s distinct sample doubles as a KMV sketch, and two KMV
+// sketches built with the SAME hash function compose: the bottom-s of
+// the union of their entries is the KMV sketch of the set union, and
+// the overlap inside that combined sketch estimates Jaccard similarity
+// (Beyer et al. 2007; Cohen & Kaplan 2007). This turns the paper's
+// coordinator state into a cross-stream analytics primitive: "how many
+// distinct flows did link A and link B share last hour?" without any
+// extra communication.
+//
+// Both samples MUST use the same hash function (same kind and seed);
+// the functions throw otherwise when the mismatch is detectable.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bottom_s_sample.h"
+
+namespace dds::query {
+
+struct SetEstimates {
+  double union_size = 0.0;
+  double intersection_size = 0.0;
+  double jaccard = 0.0;
+};
+
+/// Estimates |A u B|, |A n B| and J(A,B) from two bottom-s samples of
+/// equal capacity built with a shared hash function.
+SetEstimates estimate_set_operations(const core::BottomSSample& a,
+                                     const core::BottomSSample& b);
+
+/// Estimated |A u B| only.
+double estimate_union(const core::BottomSSample& a,
+                      const core::BottomSSample& b);
+
+/// Estimated Jaccard similarity |A n B| / |A u B| in [0, 1].
+double estimate_jaccard(const core::BottomSSample& a,
+                        const core::BottomSSample& b);
+
+}  // namespace dds::query

@@ -1,0 +1,61 @@
+// Message model for the continuous distributed monitoring simulation.
+//
+// The paper's model (Chapter 2): k sites and one coordinator, synchronous
+// time slots, zero message delay, and every protocol message fits in a
+// constant number of bytes. We mirror that with a fixed-size POD message:
+// routing header + three 64-bit payload words, which is enough for every
+// protocol in this library (element key, hash value, expiry timestamp).
+// The cost metric of the paper — number of messages — is counted by the
+// Bus, one per Message, so a broadcast to k sites costs k messages.
+#pragma once
+
+#include <cstdint>
+
+namespace dds::sim {
+
+/// Node identifier. Sites are 0..k-1; the coordinator gets its own id.
+using NodeId = std::uint32_t;
+
+/// Slot timestamps. Signed so "expiry - w" style arithmetic is safe.
+using Slot = std::int64_t;
+
+inline constexpr NodeId kNoNode = ~0U;
+
+/// Protocol-level message tags. One flat enum across protocols keeps the
+/// Bus counters simple; each protocol uses its own subset.
+enum class MsgType : std::uint8_t {
+  // Infinite-window protocol (Algorithms 1 & 2).
+  kReportElement,   // site -> coord: candidate element (a=element, b=hash)
+  kThresholdReply,  // coord -> site: current u (b=u)
+  // Broadcast baseline (Section 5.2).
+  kThresholdBroadcast,  // coord -> every site: new u (b=u)
+  // Sliding-window protocol (Algorithms 3 & 4).
+  kSlidingReport,  // site -> coord: (a=element, b=hash, c=expiry slot)
+  kSlidingReply,   // coord -> site: global sample (a=element, b=hash, c=expiry)
+  // Distributed random (frequency-weighted) sampling baseline.
+  kDrsReport,  // site -> coord: (a=element, b=random tag)
+  kDrsReply,   // coord -> site: current threshold (b=tag threshold)
+};
+
+inline constexpr std::uint8_t kNumMsgTypes = 7;
+
+/// A constant-size protocol message.
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  MsgType type = MsgType::kReportElement;
+  /// Sub-sampler index for multi-instance protocols (with-replacement
+  /// sampling and s>1 sliding windows run s independent instances).
+  std::uint32_t instance = 0;
+  std::uint64_t a = 0;  ///< element key (when applicable)
+  std::uint64_t b = 0;  ///< hash value / threshold
+  std::uint64_t c = 0;  ///< expiry slot (sliding-window protocols)
+
+  /// Wire size in bytes under the paper's constant-size-message
+  /// assumption: header (from,to,type,instance) + three payload words.
+  static constexpr std::size_t wire_bytes() noexcept {
+    return 4 + 4 + 1 + 4 + 3 * 8;
+  }
+};
+
+}  // namespace dds::sim

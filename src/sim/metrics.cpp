@@ -1,0 +1,76 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace dds::sim {
+
+std::vector<double> Series::xs() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& [x, _] : points_) out.push_back(x);
+  return out;
+}
+
+double Series::mean_at(double x) const {
+  auto it = points_.find(x);
+  return it == points_.end() ? 0.0 : it->second.mean();
+}
+
+const util::RunningStat& Series::stat_at(double x) const {
+  auto it = points_.find(x);
+  if (it == points_.end()) {
+    throw std::out_of_range("Series: no samples at requested x");
+  }
+  return it->second;
+}
+
+Series& SeriesBundle::series(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    order_.push_back(name);
+    return series_[name];
+  }
+  return it->second;
+}
+
+const Series* SeriesBundle::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+util::Table SeriesBundle::to_table(bool with_ci) const {
+  std::vector<std::string> header{x_label_};
+  for (const auto& name : order_) {
+    header.push_back(name);
+    if (with_ci) header.push_back(name + " ci95");
+  }
+  util::Table table(std::move(header));
+
+  std::set<double> all_x;
+  for (const auto& [_, s] : series_) {
+    for (double x : s.xs()) all_x.insert(x);
+  }
+  for (double x : all_x) {
+    std::vector<std::string> row{util::fmt(x)};
+    for (const auto& name : order_) {
+      const Series& s = series_.at(name);
+      auto xs = s.xs();
+      const bool present =
+          std::find(xs.begin(), xs.end(), x) != xs.end();
+      if (present) {
+        const auto& stat = s.stat_at(x);
+        row.push_back(util::fmt(stat.mean()));
+        if (with_ci) row.push_back(util::fmt(stat.ci95_halfwidth(), 3));
+      } else {
+        row.push_back("-");
+        if (with_ci) row.push_back("-");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace dds::sim

@@ -1,0 +1,52 @@
+// Time-series capture for experiments: (x, y...) samples accumulated
+// across repeated runs and reduced to mean / CI per x — the paper
+// averages every data point over 50 independent runs (Chapter 5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace dds::sim {
+
+/// Accumulates y-samples keyed by an x coordinate (stream position,
+/// sample size, #sites, window size, ...) over multiple runs.
+class Series {
+ public:
+  void add(double x, double y) { points_[x].add(y); }
+
+  /// Sorted x coordinates.
+  std::vector<double> xs() const;
+  /// Mean y at x (0 if absent).
+  double mean_at(double x) const;
+  const util::RunningStat& stat_at(double x) const;
+  bool empty() const noexcept { return points_.empty(); }
+
+ private:
+  std::map<double, util::RunningStat> points_;
+};
+
+/// A named bundle of series sharing an x axis; renders the paper-style
+/// table with one row per x and one (mean, ci95) column pair per series.
+class SeriesBundle {
+ public:
+  explicit SeriesBundle(std::string x_label) : x_label_(std::move(x_label)) {}
+
+  Series& series(const std::string& name);
+  const Series* find(const std::string& name) const;
+
+  /// Builds a table: x | <name> mean | <name> ci95 | ...
+  /// Series order follows first insertion.
+  util::Table to_table(bool with_ci = true) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> order_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace dds::sim

@@ -1,0 +1,42 @@
+// Node interfaces for the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/message.h"
+
+namespace dds::sim {
+
+class Bus;
+
+/// Anything attached to the Bus: protocol sites and coordinators.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Handles a delivered message. May send further messages via `bus`.
+  virtual void on_message(const Message& msg, Bus& bus) = 0;
+
+  /// Number of stream-element records currently held (the paper's
+  /// per-site "memory consumption", Figures 5.7 / 5.9). Constant-state
+  /// nodes report their O(1) state size.
+  virtual std::size_t state_size() const noexcept { return 0; }
+};
+
+/// A node that observes stream elements (a site).
+class StreamNode : public Node {
+ public:
+  /// Called by the runner for every element delivered to this site in
+  /// slot `t`. May send messages via `bus`.
+  virtual void on_element(std::uint64_t element, Slot t, Bus& bus) = 0;
+
+  /// Called once per slot before any arrivals of slot `t` are delivered
+  /// (sliding-window sites run their expiry logic here). Default: no-op.
+  virtual void on_slot_begin(Slot t, Bus& bus) {
+    (void)t;
+    (void)bus;
+  }
+};
+
+}  // namespace dds::sim

@@ -1,0 +1,62 @@
+#include "sim/runner.h"
+
+#include <stdexcept>
+
+namespace dds::sim {
+
+Runner::Runner(Bus& bus, std::vector<StreamNode*> sites,
+               bool invoke_slot_begin)
+    : bus_(bus), sites_(std::move(sites)),
+      invoke_slot_begin_(invoke_slot_begin) {
+  if (sites_.size() != bus_.num_sites()) {
+    throw std::invalid_argument("Runner: site count mismatch with bus");
+  }
+}
+
+void Runner::set_observer(std::uint64_t observe_every,
+                          std::function<void(const Progress&)> observer) {
+  observe_every_ = observe_every;
+  observer_ = std::move(observer);
+}
+
+void Runner::begin_slots_through(Slot slot) {
+  if (!invoke_slot_begin_) {
+    current_slot_ = slot;
+    bus_.set_now(current_slot_);
+    return;
+  }
+  while (current_slot_ < slot) {
+    ++current_slot_;
+    bus_.set_now(current_slot_);
+    for (auto* site : sites_) {
+      site->on_slot_begin(current_slot_, bus_);
+      bus_.drain();
+    }
+  }
+}
+
+std::uint64_t Runner::run(ArrivalSource& source) {
+  while (auto arrival = source.next()) {
+    if (arrival->slot < current_slot_) {
+      throw std::invalid_argument("Runner: arrivals must be slot-ordered");
+    }
+    if (arrival->site >= sites_.size()) {
+      throw std::out_of_range("Runner: arrival for unknown site");
+    }
+    begin_slots_through(arrival->slot);
+    sites_[arrival->site]->on_element(arrival->element, arrival->slot, bus_);
+    bus_.drain();
+    ++processed_;
+    if (observe_every_ != 0 && observer_ && processed_ % observe_every_ == 0) {
+      observer_(Progress{processed_, current_slot_, false});
+    }
+  }
+  if (observer_) {
+    observer_(Progress{processed_, current_slot_, true});
+  }
+  return processed_;
+}
+
+void Runner::advance_to_slot(Slot slot) { begin_slots_through(slot); }
+
+}  // namespace dds::sim

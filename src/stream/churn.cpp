@@ -1,0 +1,40 @@
+#include "stream/churn.h"
+
+#include <stdexcept>
+
+namespace dds::stream {
+
+ChurnStream::ChurnStream(std::uint64_t n, double fresh_fraction,
+                         std::size_t recency, std::uint64_t seed)
+    : n_(n),
+      fresh_fraction_(fresh_fraction),
+      salt_(util::mix64(seed ^ 0xC4012BULL)),
+      rng_(seed) {
+  if (fresh_fraction < 0.0 || fresh_fraction > 1.0) {
+    throw std::invalid_argument("ChurnStream: fresh_fraction not in [0,1]");
+  }
+  if (recency == 0) {
+    throw std::invalid_argument("ChurnStream: recency must be positive");
+  }
+  recent_.reserve(recency);
+  recent_.resize(recency, 0);
+}
+
+std::optional<Element> ChurnStream::next() {
+  if (emitted_ >= n_) return std::nullopt;
+  ++emitted_;
+  const bool fresh =
+      next_id_ == 0 || rng_.next_bernoulli(fresh_fraction_);
+  if (fresh) {
+    const Element e = util::mix64(salt_ + (++next_id_));
+    recent_[ring_pos_] = e;
+    ring_pos_ = (ring_pos_ + 1) % recent_.size();
+    return e;
+  }
+  const std::size_t live =
+      next_id_ < recent_.size() ? static_cast<std::size_t>(next_id_)
+                                : recent_.size();
+  return recent_[rng_.next_below(live)];
+}
+
+}  // namespace dds::stream

@@ -1,0 +1,44 @@
+// ChurnStream — a workload whose distinct-churn rate is a dial.
+//
+// Lemma 12 bounds the sliding-window message cost by O(kT b/M): b is
+// the peak number of elements per slot whose LAST occurrence is that
+// slot (churn) and M the number of distinct in-window elements. Real
+// traces fix b/M; this generator sweeps it: each emitted element is a
+// brand-new identity with probability `fresh_fraction`, otherwise a
+// uniform redraw from the `recency` most recent identities. High
+// fresh_fraction => high churn (b ~ per-slot arrivals); low => a stable
+// working set whose window membership keeps refreshing (b ~ 0 for the
+// persistent identities). The abl9 bench sweeps this dial against the
+// Lemma 12 bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/generators.h"
+
+namespace dds::stream {
+
+class ChurnStream final : public ElementStream {
+ public:
+  ChurnStream(std::uint64_t n, double fresh_fraction, std::size_t recency,
+              std::uint64_t seed);
+
+  std::optional<Element> next() override;
+  std::uint64_t length() const noexcept override { return n_; }
+
+  /// Identities created so far (diagnostics).
+  std::uint64_t fresh_count() const noexcept { return next_id_; }
+
+ private:
+  std::uint64_t n_;
+  double fresh_fraction_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t salt_;
+  std::vector<Element> recent_;  // ring buffer of recent identities
+  std::size_t ring_pos_ = 0;
+  util::Xoshiro256StarStar rng_;
+};
+
+}  // namespace dds::stream

@@ -1,0 +1,52 @@
+#include "stream/file_stream.h"
+
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+#include "hash/murmur2.h"
+
+namespace dds::stream {
+
+namespace {
+
+bool is_decimal(const std::string& line) noexcept {
+  if (line.empty() || line.size() > 20) return false;
+  for (char ch : line) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FileStream::FileStream(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("FileStream: cannot open " + path.string());
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    // Tolerate CRLF traces.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (is_decimal(line)) {
+      try {
+        elements_.push_back(std::stoull(line));
+        ++numeric_lines_;
+        continue;
+      } catch (const std::out_of_range&) {
+        // falls through to token hashing
+      }
+    }
+    elements_.push_back(hash::murmur2_64(line.data(), line.size(), 0));
+    ++token_lines_;
+  }
+}
+
+std::optional<Element> FileStream::next() {
+  if (pos_ >= elements_.size()) return std::nullopt;
+  return elements_[pos_++];
+}
+
+}  // namespace dds::stream

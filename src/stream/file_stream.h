@@ -1,0 +1,38 @@
+// FileStream — replay a real trace from disk.
+//
+// The paper's experiments ran on the CAIDA OC48 and Enron traces, which
+// we cannot ship (DESIGN.md §3). Users who hold such data can replay it
+// through this adapter: one element per line, either a decimal 64-bit
+// identifier or an arbitrary token (hashed to an identifier with
+// MurmurHash2, seed 0 — stable across runs). Lines are loaded eagerly
+// so length() is known up front; memory is 8 bytes per element.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "stream/generators.h"
+
+namespace dds::stream {
+
+class FileStream final : public ElementStream {
+ public:
+  /// Throws std::runtime_error if the file cannot be read.
+  explicit FileStream(const std::filesystem::path& path);
+
+  std::optional<Element> next() override;
+  std::uint64_t length() const noexcept override { return elements_.size(); }
+
+  /// How many lines were parsed as decimal ids vs hashed as tokens.
+  std::uint64_t numeric_lines() const noexcept { return numeric_lines_; }
+  std::uint64_t token_lines() const noexcept { return token_lines_; }
+
+ private:
+  std::vector<Element> elements_;
+  std::size_t pos_ = 0;
+  std::uint64_t numeric_lines_ = 0;
+  std::uint64_t token_lines_ = 0;
+};
+
+}  // namespace dds::stream

@@ -1,0 +1,114 @@
+#include "stream/generators.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dds::stream {
+
+UniformStream::UniformStream(std::uint64_t n, std::uint64_t domain_size,
+                             std::uint64_t seed)
+    : n_(n), domain_size_(domain_size), rng_(seed) {
+  if (domain_size_ == 0) {
+    throw std::invalid_argument("UniformStream: empty domain");
+  }
+}
+
+std::optional<Element> UniformStream::next() {
+  if (emitted_ >= n_) return std::nullopt;
+  ++emitted_;
+  return util::mix64(rng_.next_below(domain_size_) + 1);
+}
+
+AllDistinctStream::AllDistinctStream(std::uint64_t n, std::uint64_t salt)
+    : n_(n), salt_(util::mix64(salt)) {}
+
+std::optional<Element> AllDistinctStream::next() {
+  if (emitted_ >= n_) return std::nullopt;
+  // mix64 is a bijection on u64, so distinct indices map to distinct
+  // elements. The salted base offsets different streams to disjoint
+  // pre-image ranges (overlap would need two salted bases within n of
+  // each other — probability ~ n/2^64).
+  return util::mix64(salt_ + (++emitted_));
+}
+
+namespace {
+
+/// (exp(x) - 1) / x, stable near 0.
+double helper_expm1_ratio(double x) noexcept {
+  return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0 * (1.0 + x / 3.0);
+}
+
+/// log(1 + x) / x, stable near 0.
+double helper_log1p_ratio(double x) noexcept {
+  return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0 + x * x / 3.0;
+}
+
+}  // namespace
+
+ZipfStream::ZipfStream(std::uint64_t n, std::uint64_t domain_size, double alpha,
+                       std::uint64_t seed)
+    : n_(n),
+      domain_size_(domain_size),
+      alpha_(alpha),
+      salt_(util::mix64(seed ^ 0x5A1D0F00DULL)),
+      rng_(seed) {
+  if (domain_size_ == 0) {
+    throw std::invalid_argument("ZipfStream: empty domain");
+  }
+  if (!(alpha_ > 0.0)) {
+    throw std::invalid_argument("ZipfStream: alpha must be > 0");
+  }
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_ = h_integral(static_cast<double>(domain_size_) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfStream::h_integral(double x) const noexcept {
+  const double log_x = std::log(x);
+  return helper_expm1_ratio((1.0 - alpha_) * log_x) * log_x;
+}
+
+double ZipfStream::h(double x) const noexcept {
+  return std::exp(-alpha_ * std::log(x));
+}
+
+double ZipfStream::h_integral_inverse(double x) const noexcept {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // numerical guard, per Hormann
+  return std::exp(helper_log1p_ratio(t) * x);
+}
+
+std::uint64_t ZipfStream::next_rank() {
+  // Hormann & Derflinger rejection-inversion (the scheme used by Apache
+  // Commons RNG's RejectionInversionZipfSampler). Expected < 2 rounds.
+  while (true) {
+    const double u =
+        h_integral_num_ + rng_.next_double() * (h_integral_x1_ - h_integral_num_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > domain_size_) {
+      k = domain_size_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+std::optional<Element> ZipfStream::next() {
+  if (emitted_ >= n_) return std::nullopt;
+  ++emitted_;
+  return util::mix64(next_rank() ^ salt_);
+}
+
+std::vector<Element> drain(ElementStream& stream) {
+  std::vector<Element> out;
+  out.reserve(stream.length());
+  while (auto e = stream.next()) out.push_back(*e);
+  return out;
+}
+
+}  // namespace dds::stream

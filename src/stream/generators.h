@@ -1,0 +1,111 @@
+// Element stream generators.
+//
+// An ElementStream is a finite, single-pass, deterministic-under-seed
+// sequence of elements (with duplicates). Experiments construct a fresh
+// stream per run; re-creating a stream with the same parameters and seed
+// reproduces it exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stream/element.h"
+#include "util/rng.h"
+
+namespace dds::stream {
+
+class ElementStream {
+ public:
+  virtual ~ElementStream() = default;
+  /// Next element, or nullopt at end of stream.
+  virtual std::optional<Element> next() = 0;
+  /// Total number of elements this stream will produce.
+  virtual std::uint64_t length() const noexcept = 0;
+};
+
+/// `n` i.i.d. uniform draws over a domain of `domain_size` identifiers.
+class UniformStream final : public ElementStream {
+ public:
+  UniformStream(std::uint64_t n, std::uint64_t domain_size,
+                std::uint64_t seed);
+  std::optional<Element> next() override;
+  std::uint64_t length() const noexcept override { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t domain_size_;
+  std::uint64_t emitted_ = 0;
+  util::Xoshiro256StarStar rng_;
+};
+
+/// `n` elements, all distinct (identifier i is emitted exactly once, in a
+/// pseudo-random-looking but deterministic order). The worst case for a
+/// distinct sampler — every arrival is new — and the shape of the
+/// lower-bound input (Lemma 9).
+class AllDistinctStream final : public ElementStream {
+ public:
+  AllDistinctStream(std::uint64_t n, std::uint64_t salt);
+  std::optional<Element> next() override;
+  std::uint64_t length() const noexcept override { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t salt_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Zipf(alpha) draws over ranks 1..domain_size via Hormann's
+/// rejection-inversion sampling — O(1) time and space per draw, exact
+/// for any alpha > 0 (alpha == 1 handled through the limit form).
+/// P(rank = r) proportional to r^-alpha.
+class ZipfStream final : public ElementStream {
+ public:
+  ZipfStream(std::uint64_t n, std::uint64_t domain_size, double alpha,
+             std::uint64_t seed);
+  std::optional<Element> next() override;
+  std::uint64_t length() const noexcept override { return n_; }
+
+  /// Raw Zipf rank draw in [1, domain_size]; exposed for tests.
+  std::uint64_t next_rank();
+
+ private:
+  double h_integral(double x) const noexcept;
+  double h(double x) const noexcept;
+  double h_integral_inverse(double x) const noexcept;
+
+  std::uint64_t n_;
+  std::uint64_t domain_size_;
+  double alpha_;
+  std::uint64_t salt_;
+  std::uint64_t emitted_ = 0;
+  util::Xoshiro256StarStar rng_;
+  // Rejection-inversion precomputed constants.
+  double h_integral_x1_;
+  double h_integral_num_;
+  double s_;
+};
+
+/// Replays a fixed vector of elements; test helper.
+class VectorStream final : public ElementStream {
+ public:
+  explicit VectorStream(std::vector<Element> elements)
+      : elements_(std::move(elements)) {}
+  std::optional<Element> next() override {
+    if (pos_ >= elements_.size()) return std::nullopt;
+    return elements_[pos_++];
+  }
+  std::uint64_t length() const noexcept override { return elements_.size(); }
+
+ private:
+  std::vector<Element> elements_;
+  std::size_t pos_ = 0;
+};
+
+/// Collects a whole stream into a vector (test helper; do not use on
+/// paper-scale streams).
+std::vector<Element> drain(ElementStream& stream);
+
+}  // namespace dds::stream

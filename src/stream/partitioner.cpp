@@ -1,0 +1,134 @@
+#include "stream/partitioner.h"
+
+#include <stdexcept>
+
+namespace dds::stream {
+
+Distribution parse_distribution(const std::string& name) {
+  if (name == "flooding") return Distribution::kFlooding;
+  if (name == "random") return Distribution::kRandom;
+  if (name == "round-robin" || name == "roundrobin") {
+    return Distribution::kRoundRobin;
+  }
+  if (name == "dominate") return Distribution::kDominate;
+  throw std::invalid_argument("unknown distribution: " + name);
+}
+
+std::string to_string(Distribution distribution) {
+  switch (distribution) {
+    case Distribution::kFlooding: return "flooding";
+    case Distribution::kRandom: return "random";
+    case Distribution::kRoundRobin: return "round-robin";
+    case Distribution::kDominate: return "dominate";
+  }
+  return "?";
+}
+
+FloodingPartitioner::FloodingPartitioner(ElementStream& stream,
+                                         std::uint32_t num_sites)
+    : stream_(stream), num_sites_(num_sites) {
+  if (num_sites_ == 0) throw std::invalid_argument("flooding: no sites");
+}
+
+std::optional<sim::Arrival> FloodingPartitioner::next() {
+  if (!has_current_ || cursor_ == num_sites_) {
+    auto e = stream_.next();
+    if (!e) return std::nullopt;
+    current_ = *e;
+    has_current_ = true;
+    cursor_ = 0;
+    ++slot_;
+  }
+  return sim::Arrival{slot_, cursor_++, current_};
+}
+
+RandomPartitioner::RandomPartitioner(ElementStream& stream,
+                                     std::uint32_t num_sites,
+                                     std::uint64_t seed)
+    : stream_(stream), num_sites_(num_sites), rng_(seed) {
+  if (num_sites_ == 0) throw std::invalid_argument("random: no sites");
+}
+
+std::optional<sim::Arrival> RandomPartitioner::next() {
+  auto e = stream_.next();
+  if (!e) return std::nullopt;
+  ++slot_;
+  return sim::Arrival{
+      slot_, static_cast<sim::NodeId>(rng_.next_below(num_sites_)), *e};
+}
+
+RoundRobinPartitioner::RoundRobinPartitioner(ElementStream& stream,
+                                             std::uint32_t num_sites)
+    : stream_(stream), num_sites_(num_sites) {
+  if (num_sites_ == 0) throw std::invalid_argument("round-robin: no sites");
+}
+
+std::optional<sim::Arrival> RoundRobinPartitioner::next() {
+  auto e = stream_.next();
+  if (!e) return std::nullopt;
+  ++slot_;
+  return sim::Arrival{
+      slot_, static_cast<sim::NodeId>(slot_ % num_sites_), *e};
+}
+
+DominatePartitioner::DominatePartitioner(ElementStream& stream,
+                                         std::uint32_t num_sites,
+                                         double dominate_rate,
+                                         std::uint64_t seed)
+    : stream_(stream), num_sites_(num_sites), rng_(seed) {
+  if (num_sites_ == 0) throw std::invalid_argument("dominate: no sites");
+  if (!(dominate_rate >= 1.0)) {
+    throw std::invalid_argument("dominate: rate must be >= 1");
+  }
+  p_site0_ = dominate_rate /
+             (dominate_rate + static_cast<double>(num_sites_ - 1));
+}
+
+std::optional<sim::Arrival> DominatePartitioner::next() {
+  auto e = stream_.next();
+  if (!e) return std::nullopt;
+  ++slot_;
+  sim::NodeId site = 0;
+  if (num_sites_ > 1 && !rng_.next_bernoulli(p_site0_)) {
+    site = static_cast<sim::NodeId>(1 + rng_.next_below(num_sites_ - 1));
+  }
+  return sim::Arrival{slot_, site, *e};
+}
+
+SlottedFeeder::SlottedFeeder(ElementStream& stream, std::uint32_t num_sites,
+                             std::uint32_t per_slot, std::uint64_t seed)
+    : stream_(stream), num_sites_(num_sites), per_slot_(per_slot), rng_(seed) {
+  if (num_sites_ == 0) throw std::invalid_argument("slotted: no sites");
+  if (per_slot_ == 0) throw std::invalid_argument("slotted: per_slot == 0");
+}
+
+std::optional<sim::Arrival> SlottedFeeder::next() {
+  auto e = stream_.next();
+  if (!e) return std::nullopt;
+  if (in_slot_ == per_slot_) {
+    in_slot_ = 0;
+    ++slot_;
+  }
+  ++in_slot_;
+  return sim::Arrival{
+      slot_, static_cast<sim::NodeId>(rng_.next_below(num_sites_)), *e};
+}
+
+std::unique_ptr<sim::ArrivalSource> make_partitioner(
+    Distribution distribution, ElementStream& stream, std::uint32_t num_sites,
+    std::uint64_t seed, double dominate_rate) {
+  switch (distribution) {
+    case Distribution::kFlooding:
+      return std::make_unique<FloodingPartitioner>(stream, num_sites);
+    case Distribution::kRandom:
+      return std::make_unique<RandomPartitioner>(stream, num_sites, seed);
+    case Distribution::kRoundRobin:
+      return std::make_unique<RoundRobinPartitioner>(stream, num_sites);
+    case Distribution::kDominate:
+      return std::make_unique<DominatePartitioner>(stream, num_sites,
+                                                   dominate_rate, seed);
+  }
+  throw std::invalid_argument("bad distribution enum");
+}
+
+}  // namespace dds::stream

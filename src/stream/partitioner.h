@@ -1,0 +1,118 @@
+// Distribution strategies: how a logical stream is spread over the k
+// sites. These are the four methods of Section 5.1/5.2:
+//
+//   * flooding    — every element is observed by every site;
+//   * random      — each element goes to one uniformly random site;
+//   * round-robin — element j goes to site j mod k;
+//   * dominate    — element goes to site 0 with probability weight
+//                   `dominate_rate` alpha against weight 1 for each other
+//                   site (P[site 0] = alpha / (alpha + k - 1)).
+//
+// A partitioner adapts an ElementStream into the simulator's
+// ArrivalSource. For infinite-window runs the slot is simply the element
+// index (slots carry no semantics there); sliding-window runs use
+// SlottedFeeder instead (Section 5.3's input construction).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/runner.h"
+#include "stream/generators.h"
+#include "util/rng.h"
+
+namespace dds::stream {
+
+enum class Distribution : std::uint8_t {
+  kFlooding,
+  kRandom,
+  kRoundRobin,
+  kDominate,
+};
+
+Distribution parse_distribution(const std::string& name);
+std::string to_string(Distribution distribution);
+
+/// Every element delivered to all k sites (k arrivals per element, same
+/// slot).
+class FloodingPartitioner final : public sim::ArrivalSource {
+ public:
+  FloodingPartitioner(ElementStream& stream, std::uint32_t num_sites);
+  std::optional<sim::Arrival> next() override;
+
+ private:
+  ElementStream& stream_;
+  std::uint32_t num_sites_;
+  std::uint32_t cursor_ = 0;
+  Element current_ = 0;
+  bool has_current_ = false;
+  sim::Slot slot_ = -1;
+};
+
+/// Each element to one uniformly random site.
+class RandomPartitioner final : public sim::ArrivalSource {
+ public:
+  RandomPartitioner(ElementStream& stream, std::uint32_t num_sites,
+                    std::uint64_t seed);
+  std::optional<sim::Arrival> next() override;
+
+ private:
+  ElementStream& stream_;
+  std::uint32_t num_sites_;
+  sim::Slot slot_ = -1;
+  util::Xoshiro256StarStar rng_;
+};
+
+/// Element j to site j mod k.
+class RoundRobinPartitioner final : public sim::ArrivalSource {
+ public:
+  RoundRobinPartitioner(ElementStream& stream, std::uint32_t num_sites);
+  std::optional<sim::Arrival> next() override;
+
+ private:
+  ElementStream& stream_;
+  std::uint32_t num_sites_;
+  sim::Slot slot_ = -1;
+};
+
+/// Site 0 favoured by the dominate rate (Section 5.2's skew experiment).
+class DominatePartitioner final : public sim::ArrivalSource {
+ public:
+  DominatePartitioner(ElementStream& stream, std::uint32_t num_sites,
+                      double dominate_rate, std::uint64_t seed);
+  std::optional<sim::Arrival> next() override;
+
+ private:
+  ElementStream& stream_;
+  std::uint32_t num_sites_;
+  double p_site0_;
+  sim::Slot slot_ = -1;
+  util::Xoshiro256StarStar rng_;
+};
+
+/// Section 5.3's sliding-window input: each slot carries `per_slot`
+/// elements, each assigned to a uniformly random site (a site may receive
+/// several elements in one slot).
+class SlottedFeeder final : public sim::ArrivalSource {
+ public:
+  SlottedFeeder(ElementStream& stream, std::uint32_t num_sites,
+                std::uint32_t per_slot, std::uint64_t seed);
+  std::optional<sim::Arrival> next() override;
+
+ private:
+  ElementStream& stream_;
+  std::uint32_t num_sites_;
+  std::uint32_t per_slot_;
+  std::uint32_t in_slot_ = 0;
+  sim::Slot slot_ = 0;
+  util::Xoshiro256StarStar rng_;
+};
+
+/// Factory over the Distribution enum (dominate_rate ignored except for
+/// kDominate).
+std::unique_ptr<sim::ArrivalSource> make_partitioner(
+    Distribution distribution, ElementStream& stream, std::uint32_t num_sites,
+    std::uint64_t seed, double dominate_rate = 1.0);
+
+}  // namespace dds::stream

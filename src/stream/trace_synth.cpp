@@ -1,0 +1,61 @@
+#include "stream/trace_synth.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dds::stream {
+
+Dataset parse_dataset(const std::string& name) {
+  if (name == "oc48") return Dataset::kOc48;
+  if (name == "enron") return Dataset::kEnron;
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+std::string to_string(Dataset dataset) {
+  switch (dataset) {
+    case Dataset::kOc48: return "oc48";
+    case Dataset::kEnron: return "enron";
+  }
+  return "?";
+}
+
+const TraceSpec& trace_spec(Dataset dataset) {
+  // Zipf parameters calibrated empirically (see EXPERIMENTS.md) so that
+  // a full-scale run reproduces Table 5.1's distinct counts to within ~1%:
+  // measured 4,392,068 (OC48 @ domain 8.0M -> tuned to 7.8M) and
+  // 371,208 (Enron @ 2.5M -> tuned to 2.6M) vs the paper's counts below.
+  static const TraceSpec oc48{"OC48", 42'268'510ULL, 4'337'768ULL,
+                              7'800'000ULL, 1.0};
+  static const TraceSpec enron{"Enron", 1'557'491ULL, 374'330ULL,
+                               2'600'000ULL, 1.0};
+  switch (dataset) {
+    case Dataset::kOc48: return oc48;
+    case Dataset::kEnron: return enron;
+  }
+  throw std::invalid_argument("bad dataset enum");
+}
+
+std::unique_ptr<ElementStream> make_trace(Dataset dataset, double scale,
+                                          std::uint64_t seed) {
+  if (!(scale > 0.0) || scale > 1.0) {
+    throw std::invalid_argument("make_trace: scale must be in (0, 1]");
+  }
+  const TraceSpec& spec = trace_spec(dataset);
+  const auto n = static_cast<std::uint64_t>(
+      std::llround(scale * static_cast<double>(spec.paper_elements)));
+  return std::make_unique<ZipfStream>(n, spec.domain, spec.alpha, seed);
+}
+
+TraceStats measure(ElementStream& stream) {
+  TraceStats stats;
+  std::unordered_set<Element> seen;
+  while (auto e = stream.next()) {
+    ++stats.elements;
+    seen.insert(*e);
+  }
+  stats.distinct = seen.size();
+  return stats;
+}
+
+}  // namespace dds::stream

@@ -1,0 +1,116 @@
+#include "treap/dominance_set.h"
+
+#include <cassert>
+#include <limits>
+
+namespace dds::treap {
+
+namespace {
+constexpr std::uint64_t kU64Min = 0;
+}
+
+void DominanceSet::observe(std::uint64_t element, std::uint64_t hash,
+                           sim::Slot expiry) {
+  auto it = index_.find(element);
+  if (it != index_.end()) {
+    if (it->second.expiry >= expiry) return;  // nothing newer to record
+    erase_key(it->second);
+    index_.erase(it);
+  }
+  // Arrivals carry the newest timestamp in the stream, so the newcomer
+  // cannot be dominated; it may dominate earlier tuples.
+  assert(!is_dominated(hash, expiry));
+  prune_dominated_by(hash, expiry);
+  const Key key{expiry, hash, element};
+  tree_.insert(key, 0);
+  index_.emplace(element, key);
+}
+
+void DominanceSet::insert(std::uint64_t element, std::uint64_t hash,
+                          sim::Slot expiry) {
+  auto it = index_.find(element);
+  if (it != index_.end()) {
+    if (it->second.expiry >= expiry) return;  // stored copy is fresher
+    erase_key(it->second);
+    index_.erase(it);
+  }
+  if (is_dominated(hash, expiry)) return;
+  prune_dominated_by(hash, expiry);
+  const Key key{expiry, hash, element};
+  tree_.insert(key, 0);
+  index_.emplace(element, key);
+}
+
+void DominanceSet::expire(sim::Slot now) {
+  tree_.remove_prefix_while(
+      [now](const Key& k, char) { return k.expiry <= now; },
+      [this](const Key& k, char) { index_.erase(k.element); });
+}
+
+std::optional<Candidate> DominanceSet::min_hash() const {
+  if (tree_.empty()) return std::nullopt;
+  const auto [key, _] = tree_.front();
+  return Candidate{key.element, key.hash, key.expiry};
+}
+
+std::vector<Candidate> DominanceSet::snapshot() const {
+  std::vector<Candidate> out;
+  out.reserve(tree_.size());
+  tree_.for_each([&out](const Key& k, char) {
+    out.push_back(Candidate{k.element, k.hash, k.expiry});
+  });
+  return out;
+}
+
+bool DominanceSet::check_invariants() const {
+  if (!tree_.check_invariants()) return false;
+  if (tree_.size() != index_.size()) return false;
+  // Staircase: in (expiry, hash) key order, hashes are non-decreasing,
+  // and no tuple is dominated by a later one.
+  bool ok = true;
+  bool have_prev = false;
+  Candidate prev{};
+  tree_.for_each([&](const Key& k, char) {
+    const Candidate cur{k.element, k.hash, k.expiry};
+    if (have_prev) {
+      if (cur.hash < prev.hash) ok = false;
+      if (cur.expiry > prev.expiry && cur.hash < prev.hash) ok = false;
+    }
+    auto idx = index_.find(cur.element);
+    if (idx == index_.end() || idx->second.expiry != cur.expiry ||
+        idx->second.hash != cur.hash) {
+      ok = false;
+    }
+    prev = cur;
+    have_prev = true;
+  });
+  return ok;
+}
+
+void DominanceSet::prune_dominated_by(std::uint64_t hash, sim::Slot expiry) {
+  // Dominated tuples have expiry' < expiry and hash' > hash. Tuples with
+  // expiry' < expiry are exactly the keys below (expiry, 0, 0); by the
+  // staircase those among them with hash' > hash form a suffix.
+  auto lower = tree_.split_off_lower(Key{expiry, kU64Min, kU64Min});
+  lower.remove_suffix_while(
+      [hash](const Key& k, char) { return k.hash > hash; },
+      [this](const Key& k, char) { index_.erase(k.element); });
+  tree_.absorb_lower(std::move(lower));
+}
+
+bool DominanceSet::is_dominated(std::uint64_t hash, sim::Slot expiry) const {
+  // A dominating tuple has expiry' > expiry and hash' < hash. Keys with
+  // expiry' > expiry form a suffix whose minimum hash sits at its front
+  // (staircase), which lower_bound finds directly.
+  if (expiry == std::numeric_limits<sim::Slot>::max()) return false;
+  auto lb = tree_.lower_bound_key(Key{expiry + 1, kU64Min, kU64Min});
+  return lb.has_value() && lb->hash < hash;
+}
+
+void DominanceSet::erase_key(const Key& key) {
+  const bool removed = tree_.erase(key);
+  assert(removed);
+  (void)removed;
+}
+
+}  // namespace dds::treap

@@ -1,0 +1,102 @@
+// DominanceSet — the per-site candidate structure T_i of Algorithm 3.
+//
+// Stores (element, hash, expiry) tuples and maintains the paper's
+// dominance invariant: a tuple (e', t') is discarded as soon as another
+// tuple (e, t) with t > t' and h(e) < h(e') exists, because e' can never
+// again be the minimum-hash element of the window. What survives is a
+// "staircase": sorted by (expiry, hash), hash values are non-decreasing,
+// so the minimum-hash candidate is always the front and every bulk
+// operation is a contiguous range.
+//
+// Backed by the treap of treap.h (the paper's prescribed structure) plus
+// an element -> tuple index for duplicate refresh. Expected size is
+// H_{|D_i(t,w)|} = O(log of per-site distinct count) by Lemma 10.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/message.h"
+#include "treap/treap.h"
+
+namespace dds::treap {
+
+/// One candidate tuple.
+struct Candidate {
+  std::uint64_t element = 0;
+  std::uint64_t hash = 0;
+  sim::Slot expiry = 0;  ///< first slot at which the tuple is no longer valid
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+class DominanceSet {
+ public:
+  explicit DominanceSet(std::uint64_t seed = 0x646f6dULL) : tree_(seed) {}
+
+  /// Handles a fresh arrival of `element` whose window expiry is
+  /// `expiry` (= arrival slot + w). If the element is already tracked,
+  /// its expiry is refreshed; dominated tuples are pruned. `expiry` must
+  /// be >= every expiry currently stored (arrivals carry the newest
+  /// timestamp), which the staircase maintenance relies on.
+  void observe(std::uint64_t element, std::uint64_t hash, sim::Slot expiry);
+
+  /// Inserts a candidate with an arbitrary expiry (the coordinator's
+  /// reply in Algorithm 3 line 18). No-op if the candidate is itself
+  /// dominated by a stored tuple; otherwise stored tuples it dominates
+  /// are pruned. If the element is already present, the later expiry wins.
+  void insert(std::uint64_t element, std::uint64_t hash, sim::Slot expiry);
+
+  /// Drops all tuples with expiry <= now (they left the window).
+  void expire(sim::Slot now);
+
+  /// The candidate with the smallest hash, or nullopt if empty. By the
+  /// staircase invariant this is also the earliest-expiring tuple.
+  std::optional<Candidate> min_hash() const;
+
+  std::size_t size() const noexcept { return tree_.size(); }
+  bool empty() const noexcept { return tree_.empty(); }
+  bool contains(std::uint64_t element) const {
+    return index_.contains(element);
+  }
+
+  /// All candidates in (expiry, hash) order; test/debug helper.
+  std::vector<Candidate> snapshot() const;
+
+  /// Verifies treap invariants, index consistency, and the staircase
+  /// (non-decreasing hash in key order). Test hook; O(n log n).
+  bool check_invariants() const;
+
+  /// Max tree depth, for space diagnostics.
+  std::size_t max_depth() const { return tree_.max_depth(); }
+
+ private:
+  struct Key {
+    sim::Slot expiry;
+    std::uint64_t hash;
+    std::uint64_t element;
+
+    friend bool operator<(const Key& a, const Key& b) noexcept {
+      if (a.expiry != b.expiry) return a.expiry < b.expiry;
+      if (a.hash != b.hash) return a.hash < b.hash;
+      return a.element < b.element;
+    }
+  };
+
+  /// Removes stored tuples dominated by a (hash, expiry) newcomer:
+  /// everything with expiry' < expiry and hash' > hash.
+  void prune_dominated_by(std::uint64_t hash, sim::Slot expiry);
+
+  /// True iff a stored tuple dominates (hash, expiry): some tuple with
+  /// expiry' > expiry and hash' < hash.
+  bool is_dominated(std::uint64_t hash, sim::Slot expiry) const;
+
+  void erase_key(const Key& key);
+
+  Treap<Key, char> tree_;  // payload lives in the key; value unused
+  std::unordered_map<std::uint64_t, Key> index_;  // element -> its key
+};
+
+}  // namespace dds::treap

@@ -1,0 +1,60 @@
+#include "treap/naive_dominance_set.h"
+
+#include <algorithm>
+
+namespace dds::treap {
+
+void NaiveDominanceSet::observe(std::uint64_t element, std::uint64_t hash,
+                                sim::Slot expiry) {
+  insert(element, hash, expiry);
+}
+
+void NaiveDominanceSet::insert(std::uint64_t element, std::uint64_t hash,
+                               sim::Slot expiry) {
+  auto it = std::find_if(items_.begin(), items_.end(),
+                         [&](const Candidate& c) { return c.element == element; });
+  if (it != items_.end()) {
+    if (it->expiry >= expiry) return;
+    items_.erase(it);
+  }
+  items_.push_back(Candidate{element, hash, expiry});
+  prune();
+}
+
+void NaiveDominanceSet::expire(sim::Slot now) {
+  std::erase_if(items_, [now](const Candidate& c) { return c.expiry <= now; });
+}
+
+std::optional<Candidate> NaiveDominanceSet::min_hash() const {
+  if (items_.empty()) return std::nullopt;
+  return *std::min_element(
+      items_.begin(), items_.end(),
+      [](const Candidate& a, const Candidate& b) { return a.hash < b.hash; });
+}
+
+bool NaiveDominanceSet::contains(std::uint64_t element) const {
+  return std::any_of(items_.begin(), items_.end(),
+                     [&](const Candidate& c) { return c.element == element; });
+}
+
+std::vector<Candidate> NaiveDominanceSet::snapshot() const {
+  std::vector<Candidate> out = items_;
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.expiry != b.expiry) return a.expiry < b.expiry;
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.element < b.element;
+  });
+  return out;
+}
+
+void NaiveDominanceSet::prune() {
+  // Quadratic dominance sweep: drop any candidate for which a strictly
+  // later-expiring, strictly smaller-hash candidate exists.
+  std::erase_if(items_, [this](const Candidate& c) {
+    return std::any_of(items_.begin(), items_.end(), [&](const Candidate& d) {
+      return d.expiry > c.expiry && d.hash < c.hash;
+    });
+  });
+}
+
+}  // namespace dds::treap

@@ -1,0 +1,36 @@
+// A brutally simple O(n)-per-operation reference implementation of the
+// dominance set, used (a) as the oracle in equivalence tests against the
+// treap-backed DominanceSet and (b) as the baseline in the treap ablation
+// bench (A4). Semantics are identical to DominanceSet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "treap/dominance_set.h"
+
+namespace dds::treap {
+
+class NaiveDominanceSet {
+ public:
+  void observe(std::uint64_t element, std::uint64_t hash, sim::Slot expiry);
+  void insert(std::uint64_t element, std::uint64_t hash, sim::Slot expiry);
+  void expire(sim::Slot now);
+  std::optional<Candidate> min_hash() const;
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  bool contains(std::uint64_t element) const;
+
+  /// Candidates in (expiry, hash, element) order, matching
+  /// DominanceSet::snapshot.
+  std::vector<Candidate> snapshot() const;
+
+ private:
+  void prune();
+
+  std::vector<Candidate> items_;  // unordered
+};
+
+}  // namespace dds::treap

@@ -1,0 +1,155 @@
+#include "treap/s_dominance_set.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dds::treap {
+
+namespace {
+
+bool key_less(const Candidate& a, const Candidate& b) noexcept {
+  if (a.expiry != b.expiry) return a.expiry < b.expiry;
+  if (a.hash != b.hash) return a.hash < b.hash;
+  return a.element < b.element;
+}
+
+}  // namespace
+
+SDominanceSet::SDominanceSet(std::size_t sample_size) : s_(sample_size) {
+  if (sample_size == 0) {
+    throw std::invalid_argument("SDominanceSet: sample size must be positive");
+  }
+}
+
+void SDominanceSet::observe(std::uint64_t element, std::uint64_t hash,
+                            sim::Slot expiry) {
+  auto it = std::find_if(items_.begin(), items_.end(), [&](const Candidate& c) {
+    return c.element == element;
+  });
+  if (it != items_.end()) {
+    if (it->expiry >= expiry) return;
+    items_.erase(it);
+  }
+  const Candidate fresh{element, hash, expiry};
+  items_.insert(std::upper_bound(items_.begin(), items_.end(), fresh, key_less),
+                fresh);
+  prune();
+}
+
+void SDominanceSet::insert(std::uint64_t element, std::uint64_t hash,
+                           sim::Slot expiry) {
+  auto it = std::find_if(items_.begin(), items_.end(), [&](const Candidate& c) {
+    return c.element == element;
+  });
+  if (it != items_.end()) {
+    if (it->expiry >= expiry) return;
+    items_.erase(it);
+  }
+  // Reject if already s-dominated by stored tuples.
+  std::size_t dominators = 0;
+  for (const Candidate& c : items_) {
+    if (c.expiry > expiry && c.hash < hash) ++dominators;
+  }
+  if (dominators >= s_) return;
+  const Candidate fresh{element, hash, expiry};
+  items_.insert(std::upper_bound(items_.begin(), items_.end(), fresh, key_less),
+                fresh);
+  prune();
+}
+
+void SDominanceSet::expire(sim::Slot now) {
+  // Sorted by expiry: expired tuples form a prefix.
+  auto first_live = std::find_if(
+      items_.begin(), items_.end(),
+      [now](const Candidate& c) { return c.expiry > now; });
+  items_.erase(items_.begin(), first_live);
+}
+
+std::vector<Candidate> SDominanceSet::bottom_s() const {
+  std::vector<Candidate> out = items_;
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.hash < b.hash;
+  });
+  if (out.size() > s_) out.resize(s_);
+  return out;
+}
+
+std::optional<Candidate> SDominanceSet::min_hash() const {
+  if (items_.empty()) return std::nullopt;
+  return *std::min_element(
+      items_.begin(), items_.end(),
+      [](const Candidate& a, const Candidate& b) { return a.hash < b.hash; });
+}
+
+bool SDominanceSet::contains(std::uint64_t element) const {
+  return std::any_of(items_.begin(), items_.end(), [&](const Candidate& c) {
+    return c.element == element;
+  });
+}
+
+std::vector<Candidate> SDominanceSet::snapshot() const { return items_; }
+
+bool SDominanceSet::check_invariants() const {
+  if (!std::is_sorted(items_.begin(), items_.end(), key_less)) return false;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    std::size_t dominators = 0;
+    std::size_t same_element = 0;
+    for (std::size_t j = 0; j < items_.size(); ++j) {
+      if (items_[j].element == items_[i].element) ++same_element;
+      if (items_[j].expiry > items_[i].expiry &&
+          items_[j].hash < items_[i].hash) {
+        ++dominators;
+      }
+    }
+    if (same_element != 1) return false;
+    if (dominators >= s_) return false;
+  }
+  return true;
+}
+
+void SDominanceSet::prune() {
+  // Single backward sweep over expiry groups: a tuple survives iff fewer
+  // than s surviving strictly-later-expiry tuples have a smaller hash.
+  // (Counting survivors only is exact: a pruned dominator's own s
+  // dominators also dominate anything it dominated.)
+  std::vector<std::uint64_t> later_hashes;  // sorted, survivors only
+  std::vector<Candidate> kept_reversed;
+  kept_reversed.reserve(items_.size());
+
+  std::size_t group_end = items_.size();
+  while (group_end > 0) {
+    // Identify the equal-expiry group [group_begin, group_end).
+    std::size_t group_begin = group_end;
+    const sim::Slot expiry = items_[group_end - 1].expiry;
+    while (group_begin > 0 && items_[group_begin - 1].expiry == expiry) {
+      --group_begin;
+    }
+    // Judge each group member against strictly-later survivors. Walk the
+    // group backwards so the final global reverse restores ascending
+    // (expiry, hash) order.
+    std::vector<std::uint64_t> group_survivor_hashes;
+    for (std::size_t i = group_end; i-- > group_begin;) {
+      const auto below = static_cast<std::size_t>(
+          std::lower_bound(later_hashes.begin(), later_hashes.end(),
+                           items_[i].hash) -
+          later_hashes.begin());
+      if (below < s_) {
+        kept_reversed.push_back(items_[i]);
+        group_survivor_hashes.push_back(items_[i].hash);
+      }
+    }
+    // Fold the group's survivors into the later-hash set.
+    for (std::uint64_t h : group_survivor_hashes) {
+      later_hashes.insert(
+          std::lower_bound(later_hashes.begin(), later_hashes.end(), h), h);
+    }
+    group_end = group_begin;
+  }
+
+  if (kept_reversed.size() != items_.size()) {
+    std::reverse(kept_reversed.begin(), kept_reversed.end());
+    items_ = std::move(kept_reversed);
+  }
+}
+
+}  // namespace dds::treap

@@ -1,0 +1,79 @@
+// SDominanceSet — the bottom-s generalization of the dominance set.
+//
+// The paper handles window sample sizes s > 1 by running s independent
+// copies of the single-sample protocol (a with-replacement sample; see
+// multi_sliding.h). This module implements the WITHOUT-replacement
+// alternative the thesis leaves as "straightforward": maintain, per
+// site, every tuple that could still belong to the bottom-s of some
+// current or future window.
+//
+// Generalized dominance: a tuple (e, t) is prunable iff at least s
+// tuples (e', t') with t' > t and h(e') < h(e) exist — then e can never
+// again be among the s smallest in-window hashes (its s dominators all
+// outlive it). For s = 1 this degenerates to DominanceSet's rule.
+//
+// Two structural facts keep maintenance cheap:
+//   * a dominator always expires after its dominated tuple, so counts
+//     of live dominators never decrease through expiry;
+//   * if a dominator is itself prunable, the dominated tuple already
+//     has s other (smaller-hash, later-expiry) dominators, so pruning
+//     order cannot strand an unprunable tuple.
+// The expected size is O(s(1 + log(M/s))) for M distinct in-window
+// elements (the bottom-s analogue of Lemma 10), so this implementation
+// stores tuples in a flat expiry-sorted vector and pays an O(|T|) scan
+// per update — tiny in practice and trivially correct; the fuzz suite
+// checks it against an O(n^2) reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "treap/dominance_set.h"
+
+namespace dds::treap {
+
+class SDominanceSet {
+ public:
+  explicit SDominanceSet(std::size_t sample_size);
+
+  /// Fresh arrival with the newest expiry (>= everything stored).
+  /// Refreshes the tuple if the element is already tracked, then prunes
+  /// every tuple that acquired its s-th dominator.
+  void observe(std::uint64_t element, std::uint64_t hash, sim::Slot expiry);
+
+  /// Arbitrary-expiry insert (coordinator feedback). No-op if the tuple
+  /// itself is already s-dominated.
+  void insert(std::uint64_t element, std::uint64_t hash, sim::Slot expiry);
+
+  /// Drops tuples with expiry <= now.
+  void expire(sim::Slot now);
+
+  /// The up-to-s smallest-hash candidates, hash-ascending.
+  std::vector<Candidate> bottom_s() const;
+
+  /// Smallest-hash candidate (convenience; == bottom_s().front()).
+  std::optional<Candidate> min_hash() const;
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t sample_size() const noexcept { return s_; }
+  bool contains(std::uint64_t element) const;
+
+  /// All tuples in (expiry, hash, element) order.
+  std::vector<Candidate> snapshot() const;
+
+  /// Checks that no stored tuple is s-dominated and that every stored
+  /// element is unique. O(n^2) test hook.
+  bool check_invariants() const;
+
+ private:
+  /// Removes every tuple with >= s strictly-later-expiry smaller-hash
+  /// dominators. O(n log n).
+  void prune();
+
+  std::size_t s_;
+  std::vector<Candidate> items_;  // kept sorted by (expiry, hash, element)
+};
+
+}  // namespace dds::treap

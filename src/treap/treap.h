@@ -1,0 +1,309 @@
+// A randomized search tree (treap; Seidel & Aragon 1996) — the data
+// structure the paper prescribes for the sliding-window per-site
+// candidate set T_i (Chapter 4). Keys are BST-ordered; heap priorities
+// drawn from a per-tree PRNG keep the expected depth logarithmic.
+//
+// Beyond the textbook operations this treap supports the two bulk
+// operations the dominance set needs, both via split/merge:
+//   * remove-prefix-while(pred): detach the maximal prefix (in key order)
+//     whose elements satisfy a *prefix-monotone* predicate;
+//   * remove-suffix-while(pred): symmetric, for dominance pruning.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace dds::treap {
+
+/// Ordered map on unique keys with expected O(log n) updates.
+/// K must be strictly ordered by Compare; V is arbitrary payload.
+template <typename K, typename V, typename Compare = std::less<K>>
+class Treap {
+ public:
+  explicit Treap(std::uint64_t seed = 0x7265617021ULL) : rng_(seed) {}
+
+  std::size_t size() const noexcept { return size_of(root_.get()); }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  /// Inserts key->value. Returns false (and leaves the tree unchanged)
+  /// if the key is already present.
+  bool insert(const K& key, const V& value) {
+    if (contains(key)) return false;
+    auto node = std::make_unique<Node>(key, value, rng_.next());
+    auto [left, right] = split(std::move(root_), key);
+    root_ = merge(merge(std::move(left), std::move(node)), std::move(right));
+    return true;
+  }
+
+  /// Removes a key. Returns false if absent.
+  bool erase(const K& key) {
+    bool removed = false;
+    root_ = erase_rec(std::move(root_), key, removed);
+    return removed;
+  }
+
+  bool contains(const K& key) const {
+    const Node* cur = root_.get();
+    while (cur != nullptr) {
+      if (cmp_(key, cur->key)) {
+        cur = cur->left.get();
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right.get();
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Pointer to the value for key, or nullptr.
+  const V* find(const K& key) const {
+    const Node* cur = root_.get();
+    while (cur != nullptr) {
+      if (cmp_(key, cur->key)) {
+        cur = cur->left.get();
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right.get();
+      } else {
+        return &cur->value;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Smallest key (asserts non-empty).
+  std::pair<K, V> front() const {
+    const Node* cur = root_.get();
+    assert(cur != nullptr);
+    while (cur->left) cur = cur->left.get();
+    return {cur->key, cur->value};
+  }
+
+  /// Largest key (asserts non-empty).
+  std::pair<K, V> back() const {
+    const Node* cur = root_.get();
+    assert(cur != nullptr);
+    while (cur->right) cur = cur->right.get();
+    return {cur->key, cur->value};
+  }
+
+  /// Detaches the maximal prefix (ascending key order) on which `pred`
+  /// holds; pred must be prefix-monotone (once false, false for all
+  /// larger keys). Each detached (key, value) is passed to `sink`.
+  template <typename Pred, typename Sink>
+  void remove_prefix_while(Pred pred, Sink sink) {
+    auto [taken, rest] = split_prefix(std::move(root_), pred);
+    root_ = std::move(rest);
+    drain_in_order(std::move(taken), sink);
+  }
+
+  /// Symmetric: detaches the maximal suffix (descending from the largest
+  /// key) on which `pred` holds; pred must be suffix-monotone.
+  template <typename Pred, typename Sink>
+  void remove_suffix_while(Pred pred, Sink sink) {
+    auto [rest, taken] = split_suffix(std::move(root_), pred);
+    root_ = std::move(rest);
+    drain_in_order(std::move(taken), sink);
+  }
+
+  /// Smallest key >= `key`, or nullopt.
+  std::optional<K> lower_bound_key(const K& key) const {
+    const Node* cur = root_.get();
+    const Node* best = nullptr;
+    while (cur != nullptr) {
+      if (cmp_(cur->key, key)) {
+        cur = cur->right.get();
+      } else {
+        best = cur;
+        cur = cur->left.get();
+      }
+    }
+    return best == nullptr ? std::nullopt : std::optional<K>(best->key);
+  }
+
+  /// Splits off all keys strictly below `key` into a separate treap;
+  /// this treap keeps the keys >= `key`.
+  Treap split_off_lower(const K& key) {
+    auto [lo, hi] = split(std::move(root_), key);
+    root_ = std::move(hi);
+    Treap out(rng_.next());
+    out.root_ = std::move(lo);
+    return out;
+  }
+
+  /// Merges `lower` back; every key in `lower` must be strictly smaller
+  /// than every key in this treap.
+  void absorb_lower(Treap&& lower) {
+    root_ = merge(std::move(lower.root_), std::move(root_));
+  }
+
+  /// In-order traversal.
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for_each_rec(root_.get(), fn);
+  }
+
+  void clear() noexcept { root_.reset(); }
+
+  /// Verifies BST order, heap order on priorities, and size counters.
+  /// Test hook; O(n).
+  bool check_invariants() const {
+    return check_rec(root_.get(), nullptr, nullptr).ok;
+  }
+
+  /// Expected depth diagnostics for the space benches: max node depth.
+  std::size_t max_depth() const { return depth_rec(root_.get()); }
+
+ private:
+  struct Node {
+    Node(const K& k, const V& v, std::uint64_t prio)
+        : key(k), value(v), priority(prio) {}
+    K key;
+    V value;
+    std::uint64_t priority;
+    std::size_t size = 1;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+  using NodePtr = std::unique_ptr<Node>;
+
+  static std::size_t size_of(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->size;
+  }
+
+  static void update(Node* n) noexcept {
+    if (n != nullptr) {
+      n->size = 1 + size_of(n->left.get()) + size_of(n->right.get());
+    }
+  }
+
+  /// Splits into (< key, >= key). `key` itself goes right if present.
+  std::pair<NodePtr, NodePtr> split(NodePtr node, const K& key) {
+    if (node == nullptr) return {nullptr, nullptr};
+    if (cmp_(node->key, key)) {
+      auto [mid, right] = split(std::move(node->right), key);
+      node->right = std::move(mid);
+      update(node.get());
+      return {std::move(node), std::move(right)};
+    }
+    auto [left, mid] = split(std::move(node->left), key);
+    node->left = std::move(mid);
+    update(node.get());
+    return {std::move(left), std::move(node)};
+  }
+
+  /// Splits into (prefix where pred holds, rest); pred prefix-monotone.
+  template <typename Pred>
+  std::pair<NodePtr, NodePtr> split_prefix(NodePtr node, Pred pred) {
+    if (node == nullptr) return {nullptr, nullptr};
+    if (pred(node->key, node->value)) {
+      // Whole left subtree satisfies pred (keys smaller than node->key).
+      auto [taken, rest] = split_prefix(std::move(node->right), pred);
+      node->right = std::move(taken);
+      update(node.get());
+      return {std::move(node), std::move(rest)};
+    }
+    auto [taken, rest] = split_prefix(std::move(node->left), pred);
+    node->left = std::move(rest);
+    update(node.get());
+    return {std::move(taken), std::move(node)};
+  }
+
+  /// Splits into (rest, suffix where pred holds); pred suffix-monotone.
+  template <typename Pred>
+  std::pair<NodePtr, NodePtr> split_suffix(NodePtr node, Pred pred) {
+    if (node == nullptr) return {nullptr, nullptr};
+    if (pred(node->key, node->value)) {
+      auto [rest, taken] = split_suffix(std::move(node->left), pred);
+      node->left = std::move(taken);
+      update(node.get());
+      return {std::move(rest), std::move(node)};
+    }
+    auto [rest, taken] = split_suffix(std::move(node->right), pred);
+    node->right = std::move(rest);
+    update(node.get());
+    return {std::move(node), std::move(taken)};
+  }
+
+  NodePtr merge(NodePtr a, NodePtr b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (a->priority >= b->priority) {
+      a->right = merge(std::move(a->right), std::move(b));
+      update(a.get());
+      return a;
+    }
+    b->left = merge(std::move(a), std::move(b->left));
+    update(b.get());
+    return b;
+  }
+
+  NodePtr erase_rec(NodePtr node, const K& key, bool& removed) {
+    if (node == nullptr) return nullptr;
+    if (cmp_(key, node->key)) {
+      node->left = erase_rec(std::move(node->left), key, removed);
+    } else if (cmp_(node->key, key)) {
+      node->right = erase_rec(std::move(node->right), key, removed);
+    } else {
+      removed = true;
+      return merge(std::move(node->left), std::move(node->right));
+    }
+    update(node.get());
+    return node;
+  }
+
+  template <typename Sink>
+  static void drain_in_order(NodePtr node, Sink& sink) {
+    if (node == nullptr) return;
+    drain_in_order(std::move(node->left), sink);
+    sink(node->key, node->value);
+    drain_in_order(std::move(node->right), sink);
+  }
+
+  template <typename Fn>
+  static void for_each_rec(const Node* node, Fn& fn) {
+    if (node == nullptr) return;
+    for_each_rec(node->left.get(), fn);
+    fn(node->key, node->value);
+    for_each_rec(node->right.get(), fn);
+  }
+
+  struct CheckResult {
+    bool ok = true;
+    std::size_t size = 0;
+  };
+
+  CheckResult check_rec(const Node* node, const K* lo, const K* hi) const {
+    if (node == nullptr) return {true, 0};
+    if (lo != nullptr && !cmp_(*lo, node->key)) return {false, 0};
+    if (hi != nullptr && !cmp_(node->key, *hi)) return {false, 0};
+    if (node->left && node->left->priority > node->priority) return {false, 0};
+    if (node->right && node->right->priority > node->priority) {
+      return {false, 0};
+    }
+    auto l = check_rec(node->left.get(), lo, &node->key);
+    auto r = check_rec(node->right.get(), &node->key, hi);
+    const std::size_t total = 1 + l.size + r.size;
+    return {l.ok && r.ok && node->size == total, total};
+  }
+
+  static std::size_t depth_rec(const Node* node) {
+    if (node == nullptr) return 0;
+    return 1 + std::max(depth_rec(node->left.get()),
+                        depth_rec(node->right.get()));
+  }
+
+  NodePtr root_;
+  util::Xoshiro256StarStar rng_;
+  Compare cmp_{};
+};
+
+}  // namespace dds::treap

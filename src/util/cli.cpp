@@ -1,0 +1,112 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace dds::util {
+
+Cli& Cli::flag(std::string name, std::string help, std::string default_value) {
+  specs_[std::move(name)] = Spec{std::move(help), std::move(default_value),
+                                 /*is_boolean=*/false};
+  return *this;
+}
+
+Cli& Cli::boolean(std::string name, std::string help) {
+  specs_[std::move(name)] = Spec{std::move(help), "false", /*is_boolean=*/true};
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    if (it->second.is_boolean) {
+      values_[name] = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  auto spec = specs_.find(name);
+  if (spec == specs_.end()) {
+    throw std::invalid_argument("Cli: flag not registered: --" + name);
+  }
+  return spec->second.default_value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+std::uint64_t Cli::get_uint(const std::string& name) const {
+  return std::stoull(get(name));
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::vector<std::uint64_t> Cli::get_uint_list(const std::string& name) const {
+  std::vector<std::uint64_t> out;
+  std::stringstream ss(get(name));
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stoull(tok));
+  }
+  return out;
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_boolean) os << " <value> (default: " << spec.default_value
+                             << ")";
+    os << "\n      " << spec.help << '\n';
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace dds::util

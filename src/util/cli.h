@@ -1,0 +1,45 @@
+// Minimal command-line flag parser for the bench/example binaries.
+// Supports `--name value`, `--name=value`, and boolean `--flag`.
+// Unknown flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dds::util {
+
+class Cli {
+ public:
+  /// Registers a flag with a help string and (for valued flags) a default.
+  Cli& flag(std::string name, std::string help, std::string default_value);
+  Cli& boolean(std::string name, std::string help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or on
+  /// any unknown/malformed flag.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  std::uint64_t get_uint(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. "--sites 5,10,20".
+  std::vector<std::uint64_t> get_uint_list(const std::string& name) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_boolean = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dds::util

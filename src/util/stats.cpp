@@ -1,0 +1,179 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dds::util {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStat::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double harmonic(std::uint64_t n) noexcept {
+  if (n == 0) return 0.0;
+  constexpr std::uint64_t kExactCutoff = 1'000'000;
+  if (n <= kExactCutoff) {
+    // Sum smallest-first for accuracy.
+    double h = 0.0;
+    for (std::uint64_t j = n; j >= 1; --j) h += 1.0 / static_cast<double>(j);
+    return h;
+  }
+  constexpr double kEulerGamma = 0.57721566490153286060;
+  const double x = static_cast<double>(n);
+  return std::log(x) + kEulerGamma + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x);
+}
+
+double infinite_window_upper_bound(std::uint64_t k, std::uint64_t s,
+                                   std::uint64_t d) noexcept {
+  const double ks = static_cast<double>(k) * static_cast<double>(s);
+  if (d <= s) return 2.0 * static_cast<double>(k) * static_cast<double>(d);
+  return 2.0 * ks + 2.0 * ks * (harmonic(d) - harmonic(s));
+}
+
+double infinite_window_lower_bound(std::uint64_t k, std::uint64_t s,
+                                   std::uint64_t d) noexcept {
+  if (d <= s) return static_cast<double>(k) * static_cast<double>(d) / 2.0;
+  const double ks = static_cast<double>(k) * static_cast<double>(s);
+  return ks / 2.0 * (harmonic(d) - harmonic(s) + 1.0);
+}
+
+double chi_square_uniform(std::span<const std::uint64_t> observed) noexcept {
+  if (observed.empty()) return 0.0;
+  double total = 0.0;
+  for (auto c : observed) total += static_cast<double>(c);
+  if (total == 0.0) return 0.0;
+  const double expected = total / static_cast<double>(observed.size());
+  double stat = 0.0;
+  for (auto c : observed) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double chi_square_critical(std::size_t dof, double alpha) noexcept {
+  if (dof == 0) return 0.0;
+  // Wilson-Hilferty: X ~ dof * (1 - 2/(9 dof) + z * sqrt(2/(9 dof)))^3.
+  // z is the upper-alpha standard-normal quantile via Acklam-style inverse.
+  const double p = 1.0 - alpha;
+  // Beasley-Springer-Moro inverse normal CDF approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  double z;
+  if (p < 0.02425) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    z = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 0.97575) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    z = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    z = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double k = static_cast<double>(dof);
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+double ks_statistic_uniform(std::vector<double> values) noexcept {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double cdf = values[i];  // U(0,1) CDF is identity.
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(cdf - lo), std::abs(hi - cdf)});
+  }
+  return d;
+}
+
+double ks_critical(std::size_t n, double alpha) noexcept {
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  const double c = alpha <= 0.01 ? 1.628 : (alpha <= 0.05 ? 1.358 : 1.224);
+  return c / std::sqrt(static_cast<double>(n));
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  RunningStat sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  if (sx.stddev() == 0.0 || sy.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  return cov / (sx.stddev() * sy.stddev());
+}
+
+double lls_slope(std::span<const double> x, std::span<const double> y) noexcept {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  RunningStat sx;
+  for (double v : x) sx.add(v);
+  if (sx.variance() == 0.0) return 0.0;
+  RunningStat sy;
+  for (double v : y) sy.add(v);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  return cov / sx.variance();
+}
+
+}  // namespace dds::util

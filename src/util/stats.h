@@ -1,0 +1,81 @@
+// Statistics toolkit used by experiments and property tests:
+// streaming moments, confidence intervals, harmonic numbers (the paper's
+// bounds are phrased in terms of H_n), chi-square and Kolmogorov-Smirnov
+// goodness-of-fit helpers for sample-uniformity testing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dds::util {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for n < 2).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean (1.96 * stderr). 0 for n < 2.
+  double ci95_halfwidth() const noexcept;
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// n-th harmonic number H_n = sum_{j=1..n} 1/j. Exact summation for small
+/// n, asymptotic expansion (ln n + gamma + 1/2n - ...) beyond 1e6.
+double harmonic(std::uint64_t n) noexcept;
+
+/// The paper's infinite-window upper bound on expected total messages:
+/// E[Y] <= 2ks + 2ks(H_d - H_s)  (Lemma 4), for d >= s.
+double infinite_window_upper_bound(std::uint64_t k, std::uint64_t s,
+                                   std::uint64_t d) noexcept;
+
+/// The paper's lower bound (Lemma 9): (ks/2)(H_d - H_s + 1).
+double infinite_window_lower_bound(std::uint64_t k, std::uint64_t s,
+                                   std::uint64_t d) noexcept;
+
+/// Chi-square statistic for observed counts against uniform expectation.
+/// Every bin's expected count is total/bins.
+double chi_square_uniform(std::span<const std::uint64_t> observed) noexcept;
+
+/// Upper-tail critical value of the chi-square distribution with `dof`
+/// degrees of freedom at significance alpha, via the Wilson-Hilferty
+/// normal approximation. Accurate to a few percent for dof >= 10, which is
+/// all the uniformity tests need.
+double chi_square_critical(std::size_t dof, double alpha) noexcept;
+
+/// One-sample Kolmogorov-Smirnov statistic against U(0,1).
+/// `values` need not be sorted; a sorted copy is made.
+double ks_statistic_uniform(std::vector<double> values) noexcept;
+
+/// Asymptotic critical value of the KS statistic at significance alpha:
+/// c(alpha)/sqrt(n), with c(0.05) ~ 1.358, c(0.01) ~ 1.628.
+double ks_critical(std::size_t n, double alpha) noexcept;
+
+/// Pearson correlation of two equally sized series (NaN-free; returns 0
+/// if either side is constant).
+double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Least-squares slope of y on x. Returns 0 if x is constant.
+double lls_slope(std::span<const double> x, std::span<const double> y) noexcept;
+
+}  // namespace dds::util

@@ -1,0 +1,112 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dds::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("Table: header must be non-empty");
+  }
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width " +
+                                std::to_string(row.size()) +
+                                " != header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::write_csv(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Table: cannot open " + path.string());
+  }
+  out << to_csv();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  os << "\n### " << title << "\n\n" << to_markdown() << '\n';
+}
+
+std::string fmt(double value, int digits) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  std::ostringstream os;
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string fmt(std::uint64_t value) { return std::to_string(value); }
+std::string fmt(std::int64_t value) { return std::to_string(value); }
+
+}  // namespace dds::util

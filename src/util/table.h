@@ -1,0 +1,49 @@
+// Tabular output for the bench harness: every experiment prints a
+// GitHub-style Markdown table to stdout (the "paper row" view) and can
+// mirror the same rows into a CSV file for plotting.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dds::util {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers
+/// format with sensible precision. Rows must match the header width.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  std::size_t columns() const noexcept { return header_.size(); }
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Appends a row; throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders as a GitHub Markdown table with aligned columns.
+  std::string to_markdown() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing comma/quote/NL).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`, creating parent directories as needed.
+  void write_csv(const std::filesystem::path& path) const;
+
+  /// Prints the Markdown rendering to `os` with a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (trailing zeros
+/// trimmed); integers print exactly.
+std::string fmt(double value, int digits = 6);
+std::string fmt(std::uint64_t value);
+std::string fmt(std::int64_t value);
+
+}  // namespace dds::util

@@ -1,0 +1,218 @@
+// Tests for the baseline protocols: Algorithm Broadcast, the
+// ship-everything centralized reference, and the DRS contrast sampler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/baseline_system.h"
+#include "core/system.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "util/stats.h"
+
+namespace dds::baseline {
+namespace {
+
+using stream::Element;
+
+std::vector<Element> sorted_elements(const core::BottomSSample& sample) {
+  auto v = sample.elements();
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ----------------------------------------------------------- broadcast --
+
+TEST(Broadcast, SampleMatchesProposedAlgorithm) {
+  // Same hash seed derivation => identical sampling decisions; only the
+  // message pattern differs.
+  core::SystemConfig config{6, 8, hash::HashKind::kMurmur2, 21};
+  core::InfiniteSystem proposed(config);
+  BroadcastSystem broadcast(config);
+
+  stream::UniformStream s1(4000, 900, 77), s2(4000, 900, 77);
+  stream::RandomPartitioner p1(s1, 6, 88), p2(s2, 6, 88);
+  proposed.run(p1);
+  broadcast.run(p2);
+
+  EXPECT_EQ(sorted_elements(proposed.coordinator().sample()),
+            sorted_elements(broadcast.coordinator().sample()));
+  EXPECT_EQ(proposed.coordinator().threshold(),
+            broadcast.coordinator().threshold());
+}
+
+TEST(Broadcast, BroadcastCountIsSitesTimesThresholdChanges) {
+  core::SystemConfig config{10, 5, hash::HashKind::kMurmur2, 22};
+  BroadcastSystem system(config);
+  stream::AllDistinctStream input(2000, 9);
+  stream::RandomPartitioner source(input, 10, 10);
+  system.run(source);
+  const auto& c = system.bus().counters();
+  const auto broadcasts = c.by_type[static_cast<std::size_t>(
+      sim::MsgType::kThresholdBroadcast)];
+  EXPECT_EQ(broadcasts % 10, 0u);  // k messages per change
+  EXPECT_GT(broadcasts, 0u);
+  EXPECT_EQ(c.total, c.site_to_coordinator + broadcasts);
+}
+
+TEST(Broadcast, CostsMoreThanProposedOnManySites) {
+  // Figure 5.4's headline: Broadcast sends far more messages at k = 100.
+  core::SystemConfig config{100, 20, hash::HashKind::kMurmur2, 23};
+  core::InfiniteSystem proposed(config);
+  BroadcastSystem broadcast(config);
+  stream::UniformStream s1(20000, 8000, 31), s2(20000, 8000, 31);
+  stream::RandomPartitioner p1(s1, 100, 32), p2(s2, 100, 32);
+  proposed.run(p1);
+  broadcast.run(p2);
+  EXPECT_GT(broadcast.bus().counters().total,
+            2 * proposed.bus().counters().total);
+}
+
+TEST(Broadcast, SitesNeverSendUselessReports) {
+  // With views always in sync, every report carries a hash strictly
+  // below the global threshold, so every report changes the sample
+  // while it is full.
+  core::SystemConfig config{4, 3, hash::HashKind::kMurmur2, 24};
+  BroadcastSystem system(config);
+  stream::AllDistinctStream input(500, 11);
+  stream::RoundRobinPartitioner source(input, 4);
+  system.run(source);
+  const auto& c = system.bus().counters();
+  const auto reports =
+      c.by_type[static_cast<std::size_t>(sim::MsgType::kReportElement)];
+  const auto broadcasts = c.by_type[static_cast<std::size_t>(
+      sim::MsgType::kThresholdBroadcast)];
+  // Every report after the fill phase triggers a broadcast round:
+  // changes = broadcasts / k; reports == changes (+ the <= s fill-phase
+  // reports that did not move u).
+  EXPECT_LE(reports - broadcasts / 4, 3u + 1u);
+}
+
+// --------------------------------------------------------- centralized --
+
+TEST(Centralized, MessageCostIsExactlyStreamLength) {
+  core::SystemConfig config{7, 10, hash::HashKind::kMurmur2, 25};
+  CentralizedSystem system(config);
+  stream::UniformStream input(3000, 500, 41);
+  stream::RandomPartitioner source(input, 7, 42);
+  system.run(source);
+  EXPECT_EQ(system.bus().counters().total, 3000u);
+  EXPECT_EQ(system.bus().counters().coordinator_to_site, 0u);
+}
+
+TEST(Centralized, SampleIsExactOracle) {
+  core::SystemConfig config{3, 6, hash::HashKind::kMurmur2, 26};
+  CentralizedSystem centralized(config);
+  core::InfiniteSystem proposed(config);
+  stream::UniformStream s1(2500, 400, 51), s2(2500, 400, 51);
+  stream::RandomPartitioner p1(s1, 3, 52), p2(s2, 3, 52);
+  centralized.run(p1);
+  proposed.run(p2);
+  // Both hold the bottom-s of the same hash function over the same
+  // distinct set.
+  EXPECT_EQ(sorted_elements(centralized.coordinator().sample()),
+            sorted_elements(proposed.coordinator().sample()));
+}
+
+TEST(Centralized, ProposedBeatsShipEverythingOnDuplicateHeavyStreams) {
+  core::SystemConfig config{5, 10, hash::HashKind::kMurmur2, 27};
+  core::InfiniteSystem proposed(config);
+  CentralizedSystem centralized(config);
+  // Zipf stream: many repeats.
+  stream::ZipfStream s1(20000, 2000, 1.1, 61), s2(20000, 2000, 1.1, 61);
+  stream::RandomPartitioner p1(s1, 5, 62), p2(s2, 5, 62);
+  proposed.run(p1);
+  centralized.run(p2);
+  EXPECT_LT(proposed.bus().counters().total,
+            centralized.bus().counters().total / 5);
+}
+
+// ----------------------------------------------------------------- drs --
+
+TEST(Drs, SampleSizeCapsAtS) {
+  core::SystemConfig config{4, 10, hash::HashKind::kMurmur2, 28};
+  DrsSystem system(config);
+  stream::UniformStream input(5000, 1000, 71);
+  stream::RandomPartitioner source(input, 4, 72);
+  system.run(source);
+  EXPECT_EQ(system.coordinator().sample().size(), 10u);
+  EXPECT_LT(system.coordinator().threshold(), hash::kHashMax);
+}
+
+TEST(Drs, FrequencyBiasUnlikeDds) {
+  // One heavy element (half of all occurrences) should appear in the
+  // DRS occurrence-sample in ~ every run, while DDS includes it with
+  // probability s/d only.
+  constexpr int kRuns = 60;
+  constexpr std::size_t kS = 5;
+  constexpr std::uint64_t kDistinct = 100;
+  int drs_hits = 0, dds_hits = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    core::SystemConfig config{3, kS, hash::HashKind::kMurmur2,
+                              static_cast<std::uint64_t>(run) * 31 + 5};
+    // Stream: element 1 repeated 99 times + elements 2..100 once each.
+    std::vector<Element> elements;
+    for (int i = 0; i < 99; ++i) elements.push_back(1);
+    for (Element e = 2; e <= kDistinct; ++e) elements.push_back(e);
+    {
+      DrsSystem drs(config);
+      stream::VectorStream replay(elements);
+      stream::RandomPartitioner src(replay, 3, run + 1);
+      drs.run(src);
+      const auto sample = drs.coordinator().sample();
+      drs_hits +=
+          std::count(sample.begin(), sample.end(), Element{1}) > 0 ? 1 : 0;
+    }
+    {
+      core::InfiniteSystem dds(config);
+      stream::VectorStream replay(elements);
+      stream::RandomPartitioner src(replay, 3, run + 1);
+      dds.run(src);
+      dds_hits += dds.coordinator().sample().contains(1) ? 1 : 0;
+    }
+  }
+  // DRS: P[heavy in sample] ~ 1 - prod(1 - 99/198...) >> 0.9.
+  EXPECT_GT(drs_hits, kRuns * 8 / 10);
+  // DDS: P = s/d = 0.05.
+  EXPECT_LT(dds_hits, kRuns * 3 / 10);
+}
+
+TEST(Drs, DuplicatesStillCostMessagesUnlikeDds) {
+  // The Chapter-1 contrast: for DRS every occurrence is a fresh draw, so
+  // duplicate-only streams keep generating traffic; for DDS they go
+  // quiet (except sample-member repeats).
+  core::SystemConfig config{4, 5, hash::HashKind::kMurmur2, 29};
+  DrsSystem drs(config);
+  core::InfiniteSystem dds(config);
+  // 200 distinct, then 5000 repeat occurrences of a tiny subset.
+  std::vector<Element> elements;
+  for (Element e = 1; e <= 200; ++e) elements.push_back(e);
+  for (int i = 0; i < 5000; ++i) elements.push_back(100 + (i % 3));
+  {
+    stream::VectorStream replay(elements);
+    stream::RandomPartitioner src(replay, 4, 81);
+    drs.run(src);
+  }
+  {
+    stream::VectorStream replay(elements);
+    stream::RandomPartitioner src(replay, 4, 81);
+    dds.run(src);
+  }
+  EXPECT_GT(drs.bus().counters().total, dds.bus().counters().total);
+}
+
+TEST(Drs, EveryReportGetsReply) {
+  core::SystemConfig config{5, 8, hash::HashKind::kMurmur2, 30};
+  DrsSystem system(config);
+  stream::UniformStream input(4000, 700, 91);
+  stream::RandomPartitioner source(input, 5, 92);
+  system.run(source);
+  const auto& c = system.bus().counters();
+  EXPECT_EQ(c.site_to_coordinator, c.coordinator_to_site);
+}
+
+}  // namespace
+}  // namespace dds::baseline

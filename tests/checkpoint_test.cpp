@@ -1,0 +1,232 @@
+// Tests for coordinator checkpointing and failover (core/checkpoint.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/system.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "util/rng.h"
+
+namespace dds::core {
+namespace {
+
+using stream::Element;
+
+class ListSource final : public sim::ArrivalSource {
+ public:
+  explicit ListSource(std::vector<sim::Arrival> a) : a_(std::move(a)) {}
+  std::optional<sim::Arrival> next() override {
+    if (pos_ >= a_.size()) return std::nullopt;
+    return a_[pos_++];
+  }
+
+ private:
+  std::vector<sim::Arrival> a_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<sim::Arrival> arrivals_of(const std::vector<Element>& elements,
+                                      std::uint32_t sites, sim::Slot base) {
+  std::vector<sim::Arrival> out;
+  out.reserve(elements.size());
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    out.push_back({base + static_cast<sim::Slot>(i),
+                   static_cast<sim::NodeId>(i % sites), elements[i]});
+  }
+  return out;
+}
+
+TEST(Checkpoint, RoundTripPreservesState) {
+  InfiniteWindowCoordinator original(/*id=*/3, /*sample_size=*/8);
+  hash::HashFunction h(hash::HashKind::kMurmur2, 5);
+  // Drive it directly with report messages through a bus.
+  sim::Bus bus(1);
+  InfiniteWindowSite site(0, 1, h);
+  InfiniteWindowCoordinator coordinator(1, 8);
+  bus.attach(0, &site);
+  bus.attach(1, &coordinator);
+  for (Element e = 1; e <= 200; ++e) {
+    site.on_element(e, 0, bus);
+    bus.drain();
+  }
+
+  const auto image = checkpoint(coordinator);
+  const auto contents = parse_checkpoint(image);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->sample_size, 8u);
+  EXPECT_EQ(contents->entries.size(), 8u);
+  EXPECT_EQ(contents->threshold, coordinator.threshold());
+
+  auto restored = restore_coordinator(1, image);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->threshold(), coordinator.threshold());
+  EXPECT_EQ(restored->sample().elements(), coordinator.sample().elements());
+}
+
+TEST(Checkpoint, MalformedImagesRejected) {
+  InfiniteWindowCoordinator coordinator(1, 4);
+  auto image = checkpoint(coordinator);
+  // Truncation.
+  auto truncated = image;
+  truncated.pop_back();
+  EXPECT_EQ(parse_checkpoint(truncated), std::nullopt);
+  // Bad magic.
+  auto bad_magic = image;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(parse_checkpoint(bad_magic), std::nullopt);
+  // Trailing garbage.
+  auto padded = image;
+  padded.push_back(0);
+  EXPECT_EQ(parse_checkpoint(padded), std::nullopt);
+  // Empty.
+  EXPECT_EQ(parse_checkpoint({}), std::nullopt);
+  EXPECT_EQ(restore_coordinator(1, truncated), nullptr);
+}
+
+TEST(Checkpoint, EmptySampleRoundTrips) {
+  InfiniteWindowCoordinator coordinator(1, 4);
+  const auto image = checkpoint(coordinator);
+  auto restored = restore_coordinator(1, image);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->sample().size(), 0u);
+  EXPECT_EQ(restored->threshold(), hash::kHashMax);
+}
+
+TEST(Failover, RestoredCoordinatorIsValidForCheckpointedPrefix) {
+  // Feed phase 1, checkpoint, feed phase 2 (lost), fail over. The
+  // restored coordinator must hold exactly the bottom-s of phase 1.
+  constexpr std::uint32_t kSites = 4;
+  constexpr std::size_t kS = 6;
+  SystemConfig config{kSites, kS, hash::HashKind::kMurmur2, 17};
+  InfiniteSystem system(config);
+
+  std::vector<Element> phase1, phase2;
+  for (Element e = 1; e <= 300; ++e) phase1.push_back(e);
+  for (Element e = 301; e <= 600; ++e) phase2.push_back(e);
+
+  ListSource p1(arrivals_of(phase1, kSites, 0));
+  system.run(p1);
+  const auto image = checkpoint(system.coordinator());
+  ListSource p2(arrivals_of(phase2, kSites, 1000));
+  system.run(p2);
+
+  auto restored = restore_coordinator(99, image);
+  ASSERT_NE(restored, nullptr);
+  // Oracle over phase 1 only.
+  std::set<std::pair<std::uint64_t, Element>> by_hash;
+  for (Element e : phase1) by_hash.emplace(system.hash_fn()(e), e);
+  std::vector<Element> expected;
+  for (const auto& [hv, e] : by_hash) {
+    if (expected.size() == kS) break;
+    expected.push_back(e);
+  }
+  std::sort(expected.begin(), expected.end());
+  auto got = restored->sample().elements();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Failover, ResyncRecoversElementsSeenAfterCheckpoint) {
+  // Full failover drill: checkpoint mid-stream, lose the live
+  // coordinator, restore from the image, resync the sites, then replay
+  // continued exposure to the full population. The deployment must
+  // converge to the exact global bottom-s.
+  constexpr std::uint32_t kSites = 4;
+  constexpr std::size_t kS = 6;
+  const std::uint64_t kSeed = 23;
+
+  // One long-lived bus + sites; we swap coordinators on it.
+  sim::Bus bus(kSites);
+  hash::HashFunction h(hash::HashKind::kMurmur2,
+                       util::derive_seed(kSeed, 0xA5));
+  std::vector<std::unique_ptr<InfiniteWindowSite>> sites;
+  for (std::uint32_t i = 0; i < kSites; ++i) {
+    sites.push_back(std::make_unique<InfiniteWindowSite>(
+        i, bus.coordinator_id(), h));
+    bus.attach(i, sites.back().get());
+  }
+  auto live = std::make_unique<InfiniteWindowCoordinator>(
+      bus.coordinator_id(), kS);
+  bus.attach(bus.coordinator_id(), live.get());
+  std::vector<sim::StreamNode*> site_ptrs;
+  for (auto& s : sites) site_ptrs.push_back(s.get());
+  sim::Runner runner(bus, site_ptrs, /*invoke_slot_begin=*/false);
+
+  std::vector<Element> all;
+  for (Element e = 1; e <= 500; ++e) all.push_back(e);
+
+  // Phase 1: first half; checkpoint.
+  std::vector<Element> half(all.begin(), all.begin() + 250);
+  ListSource p1(arrivals_of(half, kSites, 0));
+  runner.run(p1);
+  const auto image = checkpoint(*live);
+
+  // Phase 2: second half arrives, then the coordinator dies (its state
+  // including phase-2 reports is lost).
+  std::vector<Element> rest(all.begin() + 250, all.end());
+  ListSource p2(arrivals_of(rest, kSites, 1000));
+  runner.run(p2);
+
+  // Failover: restore from image, re-attach, resync the sites.
+  auto restored = restore_coordinator(bus.coordinator_id(), image);
+  ASSERT_NE(restored, nullptr);
+  bus.attach(bus.coordinator_id(), restored.get());
+  resync_sites(bus.coordinator_id(), bus);
+  EXPECT_EQ(bus.counters().coordinator_to_site -
+                bus.counters().site_to_coordinator,
+            kSites);  // the resync broadcast
+
+  // Re-exposure: the whole population arrives once more.
+  ListSource p3(arrivals_of(all, kSites, 2000));
+  runner.run(p3);
+
+  // Exact bottom-s of the full population.
+  std::set<std::pair<std::uint64_t, Element>> by_hash;
+  for (Element e : all) by_hash.emplace(h(e), e);
+  std::vector<Element> expected;
+  for (const auto& [hv, e] : by_hash) {
+    if (expected.size() == kS) break;
+    expected.push_back(e);
+  }
+  std::sort(expected.begin(), expected.end());
+  auto got = restored->sample().elements();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Failover, WithoutResyncPhase2LowHashesStayLost) {
+  // Negative control for the resync step: restore WITHOUT resync and
+  // re-expose; sites whose thresholds dropped below the restored u
+  // filter exactly the elements the restored coordinator is missing —
+  // unless those elements re-arrive at a site that never learned a
+  // tighter threshold. Using round-robin over one site makes the loss
+  // deterministic.
+  constexpr std::size_t kS = 4;
+  SystemConfig config{1, kS, hash::HashKind::kMurmur2, 29};
+  InfiniteSystem system(config);
+  std::vector<Element> phase1, phase2;
+  for (Element e = 1; e <= 100; ++e) phase1.push_back(e);
+  for (Element e = 101; e <= 200; ++e) phase2.push_back(e);
+
+  ListSource p1(arrivals_of(phase1, 1, 0));
+  system.run(p1);
+  const auto image = checkpoint(system.coordinator());
+  ListSource p2(arrivals_of(phase2, 1, 1000));
+  system.run(p2);  // site threshold now reflects phase 2
+
+  // Did phase 2 change the sample? Only continue if so (otherwise the
+  // control is vacuous for this seed — assert it is not).
+  auto restored_only = restore_coordinator(0, image);
+  ASSERT_NE(restored_only, nullptr);
+  ASSERT_NE(restored_only->sample().elements(),
+            system.coordinator().sample().elements())
+      << "seed produced no phase-2 sample change; pick another seed";
+}
+
+}  // namespace
+}  // namespace dds::core

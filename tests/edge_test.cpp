@@ -1,0 +1,224 @@
+// Boundary and degenerate-input tests across modules: the cases a
+// downstream user hits first when wiring the library into something
+// unusual.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/baseline_system.h"
+#include "core/system.h"
+#include "core/windowed_bottom_s.h"
+#include "query/estimators.h"
+#include "stream/churn.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "treap/s_dominance_set.h"
+#include "util/stats.h"
+
+namespace dds {
+namespace {
+
+using stream::Element;
+
+// ----------------------------------------------------------- streams --
+
+TEST(StreamEdge, ZeroLengthStreamsAreEmpty) {
+  stream::UniformStream u(0, 10, 1);
+  EXPECT_EQ(u.next(), std::nullopt);
+  stream::AllDistinctStream a(0, 1);
+  EXPECT_EQ(a.next(), std::nullopt);
+  stream::ZipfStream z(0, 10, 1.0, 1);
+  EXPECT_EQ(z.next(), std::nullopt);
+  stream::ChurnStream c(0, 0.5, 10, 1);
+  EXPECT_EQ(c.next(), std::nullopt);
+}
+
+TEST(StreamEdge, DomainOfOneEmitsOneIdentity) {
+  stream::UniformStream u(100, 1, 2);
+  std::unordered_set<Element> d;
+  while (auto e = u.next()) d.insert(*e);
+  EXPECT_EQ(d.size(), 1u);
+  stream::ZipfStream z(100, 1, 1.5, 3);
+  d.clear();
+  while (auto e = z.next()) d.insert(*e);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(StreamEdge, ZipfExtremeAlphas) {
+  // Very flat (alpha -> 0+) behaves like uniform; very steep
+  // concentrates on rank 1.
+  stream::ZipfStream flat(20000, 1000, 0.05, 4);
+  std::unordered_set<Element> d_flat;
+  for (int i = 0; i < 20000; ++i) d_flat.insert(*flat.next());
+  EXPECT_GT(d_flat.size(), 900u);
+
+  stream::ZipfStream steep(20000, 1000, 4.0, 5);
+  std::uint64_t rank_one = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (steep.next_rank() == 1) ++rank_one;
+  }
+  EXPECT_GT(rank_one, 18000u);  // zeta(4) ~ 1.0823 => P(1) ~ 92%
+}
+
+TEST(StreamEdge, ChurnRecencySmallerThanWorkingSet) {
+  // recency = 1: non-fresh draws always replay the latest identity.
+  stream::ChurnStream c(1000, 0.5, 1, 6);
+  std::unordered_set<Element> d;
+  while (auto e = c.next()) d.insert(*e);
+  EXPECT_GT(d.size(), 300u);  // ~ half fresh
+  EXPECT_LT(d.size(), 700u);
+}
+
+// --------------------------------------------------------- protocols --
+
+TEST(ProtocolEdge, SampleSizeOfOne) {
+  core::SystemConfig config{3, 1, hash::HashKind::kMurmur2, 7};
+  core::InfiniteSystem system(config);
+  std::vector<Element> elements;
+  for (Element e = 1; e <= 200; ++e) elements.push_back(e);
+  stream::VectorStream replay(elements);
+  stream::RoundRobinPartitioner source(replay, 3);
+  system.run(source);
+  ASSERT_EQ(system.coordinator().sample().size(), 1u);
+  // The single sample is the global min-hash element.
+  Element argmin = 1;
+  for (Element e = 1; e <= 200; ++e) {
+    if (system.hash_fn()(e) < system.hash_fn()(argmin)) argmin = e;
+  }
+  EXPECT_EQ(system.coordinator().sample().elements().front(), argmin);
+}
+
+TEST(ProtocolEdge, SampleLargerThanUniverse) {
+  core::SystemConfig config{2, 1000, hash::HashKind::kMurmur2, 8};
+  core::InfiniteSystem system(config);
+  std::vector<Element> elements{5, 6, 7, 5, 6, 7, 5};
+  stream::VectorStream replay(elements);
+  stream::RoundRobinPartitioner source(replay, 2);
+  system.run(source);
+  EXPECT_EQ(system.coordinator().sample().size(), 3u);
+  EXPECT_DOUBLE_EQ(query::estimate_distinct(system.coordinator().sample()),
+                   3.0);
+}
+
+TEST(ProtocolEdge, SingleSiteSingleElement) {
+  core::SystemConfig config{1, 4, hash::HashKind::kMurmur2, 9};
+  core::InfiniteSystem system(config);
+  std::vector<Element> elements(100, Element{42});
+  stream::VectorStream replay(elements);
+  stream::RoundRobinPartitioner source(replay, 1);
+  system.run(source);
+  EXPECT_EQ(system.coordinator().sample().elements(),
+            std::vector<Element>{42});
+  // First arrival: report + reply. Repeats: h(42) < u (=kHashMax, sample
+  // not full) — the pseudocode keeps reporting when the sample is not
+  // full, since u never tightened. Each costs a round trip.
+  EXPECT_EQ(system.bus().counters().total % 2, 0u);
+}
+
+TEST(ProtocolEdge, SuppressionStopsNotFullRepeats) {
+  // Same stream with suppression: exactly one round trip.
+  core::SystemConfig config{1, 4, hash::HashKind::kMurmur2, 9};
+  core::InfiniteSystem system(config, false, /*suppress_duplicates=*/true);
+  std::vector<Element> elements(100, Element{42});
+  stream::VectorStream replay(elements);
+  stream::RoundRobinPartitioner source(replay, 1);
+  system.run(source);
+  EXPECT_EQ(system.bus().counters().total, 2u);
+}
+
+TEST(ProtocolEdge, WindowOfOneSlotKeepsOnlyCurrentSlot) {
+  core::SlidingSystemConfig config;
+  config.num_sites = 1;
+  config.window = 1;
+  config.seed = 10;
+  core::SlidingSystem system(config);
+  class OneShot final : public sim::ArrivalSource {
+   public:
+    OneShot(sim::Slot t, Element e) : a_{t, 0, e} {}
+    std::optional<sim::Arrival> next() override {
+      if (done_) return std::nullopt;
+      done_ = true;
+      return a_;
+    }
+
+   private:
+    sim::Arrival a_;
+    bool done_ = false;
+  };
+  OneShot first(0, 11);
+  system.run(first);
+  EXPECT_TRUE(system.coordinator().copy(0).sample(0).has_value());
+  OneShot second(1, 12);
+  system.run(second);
+  const auto got = system.coordinator().copy(0).sample(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->element, 12u);  // 11 expired with the slot
+  system.runner().advance_to_slot(2);
+  EXPECT_FALSE(system.coordinator().copy(0).sample(2).has_value());
+}
+
+TEST(ProtocolEdge, WindowedBottomSWithSLargerThanWindowContent) {
+  core::WindowedBottomSSampler sampler(
+      50, 10, hash::HashFunction(hash::HashKind::kMurmur2, 11));
+  sampler.observe(1, 0);
+  sampler.observe(2, 0);
+  const auto got = sampler.sample(0);
+  EXPECT_EQ(got.size(), 2u);  // fewer than s in window: return them all
+}
+
+TEST(ProtocolEdge, BroadcastWithSingleSiteDegeneratesGracefully) {
+  core::SystemConfig config{1, 5, hash::HashKind::kMurmur2, 12};
+  baseline::BroadcastSystem system(config);
+  stream::AllDistinctStream input(300, 13);
+  stream::RoundRobinPartitioner source(input, 1);
+  system.run(source);
+  EXPECT_EQ(system.coordinator().sample().size(), 5u);
+  const auto& c = system.bus().counters();
+  // Broadcast to k=1 site == a reply; totals stay modest.
+  EXPECT_LT(c.total,
+            2.5 * util::infinite_window_upper_bound(1, 5, 300));
+}
+
+// --------------------------------------------------------- structures --
+
+TEST(StructureEdge, SDominanceBatchArrivalsSameSlot) {
+  // Multiple arrivals in one slot share the same expiry; ties must not
+  // break the staircase or dominance judgements.
+  treap::SDominanceSet set(2);
+  hash::HashFunction h(hash::HashKind::kMurmur2, 14);
+  for (Element e = 1; e <= 30; ++e) set.observe(e, h(e), 100);
+  EXPECT_TRUE(set.check_invariants());
+  // Same expiry => nothing dominates anything: all 30 retained.
+  EXPECT_EQ(set.size(), 30u);
+  // Next slot's arrivals prune everything except the bottom-2 plus
+  // themselves.
+  for (Element e = 31; e <= 32; ++e) set.observe(e, h(e), 101);
+  EXPECT_TRUE(set.check_invariants());
+  const auto bottom = set.bottom_s();
+  EXPECT_EQ(bottom.size(), 2u);
+}
+
+TEST(StructureEdge, DominanceSetSameElementSameSlotIdempotent) {
+  treap::DominanceSet set;
+  set.observe(1, 500, 10);
+  set.observe(1, 500, 10);
+  set.observe(1, 500, 10);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.check_invariants());
+}
+
+TEST(StructureEdge, EstimatorsOnSingletonSample) {
+  core::BottomSSample sample(1);
+  sample.offer(9, hash::kHashMax / 2);
+  // Full singleton sample: (s-1)/u = 0 — degenerate by design; the
+  // estimator needs s >= 2 to be meaningful, and reports 0 rather than
+  // nonsense.
+  EXPECT_DOUBLE_EQ(query::estimate_distinct(sample), 0.0);
+  EXPECT_DOUBLE_EQ(query::estimate_fraction_where(
+                       sample, [](Element) { return true; }),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,218 @@
+// Integration tests: whole-experiment shapes on scaled-down versions of
+// the paper's workloads — the qualitative claims of Chapter 5 must hold
+// on small configurations before the bench harness scales them up.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/baseline_system.h"
+#include "core/system.h"
+#include "query/estimators.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "stream/trace_synth.h"
+#include "util/stats.h"
+
+namespace dds {
+namespace {
+
+using core::InfiniteSystem;
+using core::SystemConfig;
+
+std::uint64_t run_infinite(std::uint32_t sites, std::size_t sample_size,
+                           stream::Distribution distribution,
+                           stream::ElementStream& input, std::uint64_t seed,
+                           double dominate_rate = 1.0) {
+  SystemConfig config{sites, sample_size, hash::HashKind::kMurmur2, seed};
+  InfiniteSystem system(config);
+  auto source = stream::make_partitioner(distribution, input, sites, seed + 1,
+                                         dominate_rate);
+  system.run(*source);
+  return system.bus().counters().total;
+}
+
+// Figure 5.1's shape: flooding costs much more than random/round-robin;
+// random and round-robin are nearly identical.
+TEST(Shapes, FloodingDominatesRandomAndRoundRobin) {
+  std::uint64_t flooding = 0, random = 0, rr = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    {
+      auto s = stream::make_trace(stream::Dataset::kEnron, 0.02, seed);
+      flooding += run_infinite(5, 10, stream::Distribution::kFlooding, *s, seed);
+    }
+    {
+      auto s = stream::make_trace(stream::Dataset::kEnron, 0.02, seed);
+      random += run_infinite(5, 10, stream::Distribution::kRandom, *s, seed);
+    }
+    {
+      auto s = stream::make_trace(stream::Dataset::kEnron, 0.02, seed);
+      rr += run_infinite(5, 10, stream::Distribution::kRoundRobin, *s, seed);
+    }
+  }
+  EXPECT_GT(flooding, 2 * random);
+  const double ratio = static_cast<double>(random) / static_cast<double>(rr);
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.18);
+}
+
+// Figure 5.2's shape: message count grows ~ linearly with s.
+TEST(Shapes, MessagesRoughlyLinearInSampleSize) {
+  std::vector<double> xs, ys;
+  for (std::size_t s : {5, 10, 20, 40}) {
+    auto input = stream::make_trace(stream::Dataset::kEnron, 0.02, 7);
+    xs.push_back(static_cast<double>(s));
+    ys.push_back(static_cast<double>(
+        run_infinite(5, s, stream::Distribution::kRandom, *input, 7)));
+  }
+  // Strong positive linear correlation.
+  EXPECT_GT(util::pearson(xs, ys), 0.98);
+  // And superlinear blowup must NOT occur: y(40)/y(5) well below 8^1.5.
+  EXPECT_LT(ys.back() / ys.front(), 12.0);
+}
+
+// Figure 5.3's shape: flooding grows linearly with k; random is almost
+// flat in k.
+TEST(Shapes, SiteScalingFloodingLinearRandomFlat) {
+  std::vector<double> ks, flood, random;
+  for (std::uint32_t k : {2, 4, 8, 16}) {
+    ks.push_back(k);
+    {
+      auto s = stream::make_trace(stream::Dataset::kEnron, 0.02, 9);
+      flood.push_back(static_cast<double>(
+          run_infinite(k, 10, stream::Distribution::kFlooding, *s, 9)));
+    }
+    {
+      auto s = stream::make_trace(stream::Dataset::kEnron, 0.02, 9);
+      random.push_back(static_cast<double>(
+          run_infinite(k, 10, stream::Distribution::kRandom, *s, 9)));
+    }
+  }
+  // Flooding: x8 sites => ~ x8 messages (allow 4x-12x).
+  const double flood_growth = flood.back() / flood.front();
+  EXPECT_GT(flood_growth, 4.0);
+  // Random: x8 sites => well under 3x messages.
+  const double random_growth = random.back() / random.front();
+  EXPECT_LT(random_growth, 3.0);
+}
+
+// Figure 5.6's shape: higher dominate rate => fewer messages.
+TEST(Shapes, DominateRateReducesMessages) {
+  auto messages_at = [](double rate) {
+    auto s = stream::make_trace(stream::Dataset::kEnron, 0.02, 11);
+    return run_infinite(10, 10, stream::Distribution::kDominate, *s, 11, rate);
+  };
+  const auto m1 = messages_at(1.0);
+  const auto m200 = messages_at(200.0);
+  EXPECT_GT(m1, m200);
+}
+
+// Chapter 1's DDS vs DRS contrast, in its robust form: on a suffix of
+// pure repeats, DDS (with duplicate suppression) goes quiet because
+// identity hashes never change, while DRS keeps drawing fresh tags per
+// occurrence and keeps reporting the lucky ones (~ s ln growth).
+TEST(Shapes, DdsQuietsDownOnDuplicatesDrsDoesNot) {
+  class ListSource final : public sim::ArrivalSource {
+   public:
+    explicit ListSource(std::vector<sim::Arrival> a) : a_(std::move(a)) {}
+    std::optional<sim::Arrival> next() override {
+      if (pos_ >= a_.size()) return std::nullopt;
+      return a_[pos_++];
+    }
+
+   private:
+    std::vector<sim::Arrival> a_;
+    std::size_t pos_ = 0;
+  };
+
+  SystemConfig config{5, 10, hash::HashKind::kMurmur2, 13};
+  core::InfiniteSystem dds(config, /*eager_threshold=*/false,
+                           /*suppress_duplicates=*/true);
+  baseline::DrsSystem drs(config);
+
+  util::Xoshiro256StarStar rng(14);
+  std::vector<sim::Arrival> phase1, phase2;
+  for (int i = 0; i < 500; ++i) {
+    phase1.push_back({i, static_cast<sim::NodeId>(rng.next_below(5)),
+                      static_cast<std::uint64_t>(i + 1)});
+  }
+  for (int i = 0; i < 20000; ++i) {
+    // Pure repeats of three existing elements.
+    phase2.push_back({500 + i, static_cast<sim::NodeId>(rng.next_below(5)),
+                      static_cast<std::uint64_t>(1 + (i % 3))});
+  }
+
+  std::uint64_t dds_delta = 0, drs_delta = 0;
+  {
+    ListSource p1(phase1);
+    dds.run(p1);
+    const auto before = dds.bus().counters().total;
+    ListSource p2(phase2);
+    dds.run(p2);
+    dds_delta = dds.bus().counters().total - before;
+  }
+  {
+    ListSource p1(phase1);
+    drs.run(p1);
+    const auto before = drs.bus().counters().total;
+    ListSource p2(phase2);
+    drs.run(p2);
+    drs_delta = drs.bus().counters().total - before;
+  }
+  EXPECT_GT(drs_delta, dds_delta);
+  // DDS: at most one membership-learning round-trip per (site, repeated
+  // element) pair.
+  EXPECT_LE(dds_delta, 2u * 5u * 3u);
+}
+
+// End-to-end determinism across the whole stack (generator ->
+// partitioner -> protocol): identical seeds give identical counters.
+TEST(EndToEnd, FullRunDeterminism) {
+  auto run_once = [](std::uint64_t seed) {
+    SystemConfig config{8, 16, hash::HashKind::kMurmur2, seed};
+    InfiniteSystem system(config);
+    auto s = stream::make_trace(stream::Dataset::kEnron, 0.02, seed + 1);
+    stream::RandomPartitioner src(*s, 8, seed + 2);
+    system.run(src);
+    return std::make_tuple(system.bus().counters().total,
+                           system.coordinator().threshold(),
+                           system.coordinator().sample().elements());
+  };
+  EXPECT_EQ(run_once(1001), run_once(1001));
+  EXPECT_NE(std::get<0>(run_once(1001)), std::get<0>(run_once(1002)));
+}
+
+// The distinct-count estimator built from the distributed sample tracks
+// the generator's true distinct count on both synthetic traces.
+TEST(EndToEnd, EstimatorTracksTraceCardinality) {
+  for (auto dataset : {stream::Dataset::kOc48, stream::Dataset::kEnron}) {
+    const double scale = dataset == stream::Dataset::kOc48 ? 0.002 : 0.05;
+    std::uint64_t true_distinct = 0;
+    {
+      auto s = stream::make_trace(dataset, scale, 17);
+      true_distinct = stream::measure(*s).distinct;
+    }
+    SystemConfig config{5, 256, hash::HashKind::kMurmur2, 18};
+    InfiniteSystem system(config);
+    auto s = stream::make_trace(dataset, scale, 17);
+    stream::RandomPartitioner src(*s, 5, 19);
+    system.run(src);
+    const double est = query::estimate_distinct(system.coordinator().sample());
+    EXPECT_NEAR(est, static_cast<double>(true_distinct),
+                0.25 * static_cast<double>(true_distinct))
+        << to_string(dataset);
+  }
+}
+
+// Bytes metric is consistent with the constant-size-message model.
+TEST(EndToEnd, BytesAreMessagesTimesWireSize) {
+  SystemConfig config{3, 5, hash::HashKind::kMurmur2, 23};
+  InfiniteSystem system(config);
+  stream::UniformStream input(1000, 300, 29);
+  stream::RandomPartitioner src(input, 3, 30);
+  system.run(src);
+  const auto& c = system.bus().counters();
+  EXPECT_EQ(c.bytes, c.total * sim::Message::wire_bytes());
+}
+
+}  // namespace
+}  // namespace dds

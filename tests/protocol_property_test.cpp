@@ -1,0 +1,314 @@
+// Property suites that sweep protocol-independent knobs: hash kinds,
+// sample container behaviour under fuzz, and the regression pin for the
+// Algorithm-2 threshold-update semantics (insert-then-discard).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bottom_s_sample.h"
+#include "core/sliding_coordinator.h"
+#include "core/system.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "util/stats.h"
+
+namespace dds::core {
+namespace {
+
+using stream::Element;
+
+// ------------------------------------------------ hash-kind sweeps ----
+
+class ProtocolUnderHash : public ::testing::TestWithParam<hash::HashKind> {};
+
+TEST_P(ProtocolUnderHash, InfiniteSampleEqualsOracle) {
+  SystemConfig config{6, 12, GetParam(), 71};
+  InfiniteSystem system(config);
+  stream::UniformStream for_oracle(4000, 900, 72);
+  const auto elements = stream::drain(for_oracle);
+  stream::VectorStream replay(elements);
+  stream::RandomPartitioner source(replay, 6, 73);
+  system.run(source);
+
+  std::set<std::pair<std::uint64_t, Element>> by_hash;
+  std::unordered_set<Element> seen;
+  for (Element e : elements) {
+    if (seen.insert(e).second) by_hash.emplace(system.hash_fn()(e), e);
+  }
+  std::vector<Element> expected;
+  for (const auto& [hv, e] : by_hash) {
+    if (expected.size() == 12) break;
+    expected.push_back(e);
+  }
+  std::sort(expected.begin(), expected.end());
+  auto got = system.coordinator().sample().elements();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << hash::to_string(GetParam());
+}
+
+TEST_P(ProtocolUnderHash, MessageBoundHoldsForEveryHash) {
+  SystemConfig config{6, 12, GetParam(), 74};
+  InfiniteSystem system(config);
+  stream::AllDistinctStream input(5000, 75);
+  stream::RandomPartitioner source(input, 6, 76);
+  system.run(source);
+  const double bound = util::infinite_window_upper_bound(6, 12, 5000);
+  EXPECT_LT(static_cast<double>(system.bus().counters().total), 2.0 * bound)
+      << hash::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHashes, ProtocolUnderHash,
+                         ::testing::Values(hash::HashKind::kMurmur2,
+                                           hash::HashKind::kMurmur3,
+                                           hash::HashKind::kSplitMix,
+                                           hash::HashKind::kTabulation),
+                         [](const auto& info) {
+                           return hash::to_string(info.param);
+                         });
+
+// ------------------------------- Algorithm 2 threshold regression -----
+
+TEST(ThresholdSemantics, RejectedReportsStillTightenU) {
+  // Craft reports so the first element has the SMALLEST hash: under the
+  // broken "update only on replacement" reading, u would stay at 1 and
+  // every subsequent distinct element would be accepted at the sites
+  // forever. Algorithm 2's insert-then-discard tightens u on the first
+  // accepted report after the sample fills.
+  SystemConfig config{1, 1, hash::HashKind::kMurmur2, 81};
+  InfiniteSystem system(config);
+  // Find an element whose hash is tiny, then feed it first.
+  const auto& h = system.hash_fn();
+  Element smallest = 1;
+  for (Element e = 1; e <= 3000; ++e) {
+    if (h(e) < h(smallest)) smallest = e;
+  }
+  std::vector<Element> elements{smallest};
+  for (Element e = 1; e <= 3000; ++e) {
+    if (e != smallest) elements.push_back(e);
+  }
+  stream::VectorStream replay(elements);
+  stream::RoundRobinPartitioner source(replay, 1);
+  system.run(source);
+  // The site reports the minimum (2 msgs), then the next distinct
+  // element (2 msgs) which tightens u; everything after is filtered.
+  EXPECT_LE(system.bus().counters().total, 8u);
+  EXPECT_LT(system.coordinator().threshold(), hash::kHashMax);
+}
+
+TEST(ThresholdSemantics, WithReplacementCostBoundedAcrossSeeds) {
+  // Regression for the 10x message storm: per copy, the cost must stay
+  // within a small factor of the single-sample analytic bound for every
+  // seed, not just on average.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SystemConfig config{5, 4, hash::HashKind::kMurmur2, seed * 997};
+    WithReplacementSystem system(config);
+    stream::UniformStream input(20000, 4000, seed + 3);
+    stream::RandomPartitioner source(input, 5, seed + 4);
+    system.run(source);
+    // 4 copies of the s = 1 sampler; bound per copy ~ 2k(1 + ln d).
+    const double per_copy = util::infinite_window_upper_bound(5, 1, 4000);
+    EXPECT_LT(static_cast<double>(system.bus().counters().total),
+              4.0 * per_copy * 2.5)
+        << "seed " << seed;
+  }
+}
+
+TEST(ThresholdSemantics, ThresholdIsSthSmallestReportedHash) {
+  // After the protocol quiesces, u must equal the s-th smallest hash of
+  // the distinct universe (every smaller hash was necessarily reported).
+  SystemConfig config{4, 6, hash::HashKind::kMurmur2, 83};
+  InfiniteSystem system(config);
+  std::vector<Element> elements;
+  for (Element e = 1; e <= 500; ++e) elements.push_back(e);
+  stream::VectorStream replay(elements);
+  stream::RoundRobinPartitioner source(replay, 4);
+  system.run(source);
+
+  std::vector<std::uint64_t> hashes;
+  for (Element e = 1; e <= 500; ++e) hashes.push_back(system.hash_fn()(e));
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(system.coordinator().threshold(), hashes[5]);  // 6th smallest
+}
+
+// ----------------------------------------- BottomSSample fuzzing ------
+
+TEST(BottomSSampleFuzz, AlwaysEqualsTrueBottomS) {
+  util::Xoshiro256StarStar rng(91);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t s = 1 + rng.next_below(20);
+    BottomSSample sample(s);
+    std::set<std::pair<std::uint64_t, Element>> truth;
+    std::unordered_set<Element> seen;
+    const int n = 1 + static_cast<int>(rng.next_below(400));
+    for (int i = 0; i < n; ++i) {
+      const Element e = 1 + rng.next_below(100);
+      const std::uint64_t h = util::mix64(e ^ (round * 1315423911ULL));
+      sample.offer(e, h);
+      if (seen.insert(e).second) truth.emplace(h, e);
+    }
+    std::vector<Element> expected;
+    for (const auto& [h, e] : truth) {
+      if (expected.size() == s) break;
+      expected.push_back(e);
+    }
+    std::sort(expected.begin(), expected.end());
+    auto got = sample.elements();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "round " << round << " s=" << s;
+    // Threshold consistency.
+    if (sample.full()) {
+      ASSERT_EQ(sample.threshold(), sample.max_hash());
+    } else {
+      ASSERT_EQ(sample.threshold(), hash::kHashMax);
+    }
+  }
+}
+
+// ------------------------------------ with-replacement uniformity -----
+
+TEST(WithReplacementUniformity, EachCopySamplesUniformly) {
+  // 25 distinct elements, single-copy inclusion must be ~ uniform over
+  // the domain (chi-square over argmin counts across seeds).
+  constexpr std::uint64_t kDistinct = 25;
+  constexpr int kRuns = 300;
+  std::vector<std::uint64_t> argmin_counts(kDistinct + 1, 0);
+  for (int run = 0; run < kRuns; ++run) {
+    SystemConfig config{2, 1, hash::HashKind::kMurmur2,
+                        static_cast<std::uint64_t>(run) * 6007 + 11};
+    WithReplacementSystem system(config);
+    std::vector<Element> elements;
+    for (Element e = 1; e <= kDistinct; ++e) elements.push_back(e);
+    stream::VectorStream replay(elements);
+    stream::RoundRobinPartitioner source(replay, 2);
+    system.run(source);
+    const auto sample = system.coordinator().sample();
+    ASSERT_EQ(sample.size(), 1u);
+    ++argmin_counts[sample[0]];
+  }
+  std::vector<std::uint64_t> counts(argmin_counts.begin() + 1,
+                                    argmin_counts.end());
+  EXPECT_LT(util::chi_square_uniform(counts),
+            util::chi_square_critical(kDistinct - 1, 0.001));
+}
+
+}  // namespace
+}  // namespace dds::core
+
+// NOTE: appended suite — sliding-window uniformity and routing edges.
+namespace dds::core {
+namespace {
+
+using stream::Element;
+
+TEST(SlidingUniformity, WindowSampleIsUniformOverDistinct) {
+  // Fixed arrival sequence; the hash seed varies per run. At the final
+  // slot the window holds exactly 24 distinct elements, and the sampled
+  // element must be uniform among them.
+  constexpr std::uint64_t kDistinct = 24;
+  constexpr int kRuns = 360;
+  std::vector<std::uint64_t> counts(kDistinct + 1, 0);
+  for (int run = 0; run < kRuns; ++run) {
+    SlidingSystemConfig config;
+    config.num_sites = 3;
+    config.window = 100;  // covers the whole stream
+    config.seed = static_cast<std::uint64_t>(run) * 2654435761ULL + 7;
+    SlidingSystem system(config);
+
+    class Fixed final : public sim::ArrivalSource {
+     public:
+      std::optional<sim::Arrival> next() override {
+        if (i_ >= 3 * kDistinct) return std::nullopt;
+        // Every element arrives three times, round-robin over sites.
+        const auto e = static_cast<Element>(1 + (i_ % kDistinct));
+        const auto site = static_cast<sim::NodeId>(i_ % 3);
+        const auto slot = static_cast<sim::Slot>(i_ / 4);
+        ++i_;
+        return sim::Arrival{slot, site, e};
+      }
+
+     private:
+      std::uint64_t i_ = 0;
+    };
+    Fixed src;
+    system.run(src);
+    const auto got =
+        system.coordinator().copy(0).sample(system.runner().current_slot());
+    ASSERT_TRUE(got.has_value());
+    ASSERT_GE(got->element, 1u);
+    ASSERT_LE(got->element, kDistinct);
+    ++counts[got->element];
+  }
+  std::vector<std::uint64_t> observed(counts.begin() + 1, counts.end());
+  EXPECT_LT(util::chi_square_uniform(observed),
+            util::chi_square_critical(kDistinct - 1, 0.001));
+}
+
+TEST(InstanceRouting, ForeignInstanceMessagesAreIgnored) {
+  // A site and coordinator on instance 0 must ignore instance-1 traffic.
+  sim::Bus bus(1);
+  hash::HashFunction h(hash::HashKind::kMurmur2, 3);
+  InfiniteWindowSite site(0, 1, h, /*instance=*/0);
+  InfiniteWindowCoordinator coordinator(1, 4, /*instance=*/0);
+  bus.attach(0, &site);
+  bus.attach(1, &coordinator);
+
+  // Legit traffic establishes a threshold.
+  for (Element e = 1; e <= 50; ++e) {
+    site.on_element(e, 0, bus);
+    bus.drain();
+  }
+  const auto u_before = site.local_threshold();
+  ASSERT_LT(u_before, hash::kHashMax);
+
+  // Foreign-instance reply must not move the site's threshold.
+  sim::Message foreign;
+  foreign.from = 1;
+  foreign.to = 0;
+  foreign.type = sim::MsgType::kThresholdReply;
+  foreign.instance = 1;
+  foreign.b = hash::kHashMax;
+  bus.send(foreign);
+  bus.drain();
+  EXPECT_EQ(site.local_threshold(), u_before);
+
+  // Foreign-instance report must not enter the coordinator's sample.
+  sim::Message report;
+  report.from = 0;
+  report.to = 1;
+  report.type = sim::MsgType::kReportElement;
+  report.instance = 1;
+  report.a = 999999;
+  report.b = 0;  // would win any sample
+  bus.send(report);
+  bus.drain();
+  EXPECT_FALSE(coordinator.sample().contains(999999));
+}
+
+TEST(InstanceRouting, SlidingForeignInstanceIgnored) {
+  sim::Bus bus(1);
+  SlidingWindowCoordinator coordinator(1, /*instance=*/0);
+  bus.attach(1, &coordinator);
+  class Dummy final : public sim::StreamNode {
+   public:
+    void on_element(std::uint64_t, sim::Slot, sim::Bus&) override {}
+    void on_message(const sim::Message&, sim::Bus&) override {}
+  } dummy;
+  bus.attach(0, &dummy);
+  sim::Message report;
+  report.from = 0;
+  report.to = 1;
+  report.type = sim::MsgType::kSlidingReport;
+  report.instance = 7;
+  report.a = 42;
+  report.b = 1;
+  report.c = 100;
+  bus.send(report);
+  bus.drain();
+  EXPECT_EQ(coordinator.raw_sample(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace dds::core

@@ -1,0 +1,131 @@
+// Tests for the query-time estimators over distinct samples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/bottom_s_sample.h"
+#include "core/system.h"
+#include "query/estimators.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "util/stats.h"
+
+namespace dds::query {
+namespace {
+
+using stream::Element;
+
+core::BottomSSample filled_sample(std::uint64_t distinct, std::size_t s,
+                                  std::uint64_t seed) {
+  core::BottomSSample sample(s);
+  hash::HashFunction h(hash::HashKind::kMurmur2, seed);
+  for (Element e = 1; e <= distinct; ++e) sample.offer(e, h(e));
+  return sample;
+}
+
+TEST(DistinctEstimate, ExactWhileNotFull) {
+  core::BottomSSample sample(100);
+  hash::HashFunction h(hash::HashKind::kMurmur2, 1);
+  for (Element e = 1; e <= 40; ++e) sample.offer(e, h(e));
+  EXPECT_DOUBLE_EQ(estimate_distinct(sample), 40.0);
+}
+
+TEST(DistinctEstimate, KmvAccuracyWithinTheory) {
+  // Relative error of (s-1)/u_s is ~ 1/sqrt(s-2); average over seeds and
+  // require 3 sigma.
+  constexpr std::size_t kS = 64;
+  constexpr std::uint64_t kD = 20000;
+  util::RunningStat rel_err;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto sample = filled_sample(kD, kS, seed);
+    const double est = estimate_distinct(sample);
+    rel_err.add((est - static_cast<double>(kD)) / static_cast<double>(kD));
+  }
+  const double sigma = distinct_relative_error(kS);  // ~ 0.127
+  EXPECT_LT(std::abs(rel_err.mean()), sigma);  // near-unbiased
+  EXPECT_LT(rel_err.stddev(), 2.0 * sigma);
+}
+
+TEST(DistinctEstimate, GrowsWithTrueCardinality) {
+  const double e1 = estimate_distinct(filled_sample(1000, 32, 7));
+  const double e2 = estimate_distinct(filled_sample(50000, 32, 7));
+  EXPECT_GT(e2, 10.0 * e1);
+}
+
+TEST(SubsetEstimate, ExactWhileNotFull) {
+  core::BottomSSample sample(100);
+  hash::HashFunction h(hash::HashKind::kMurmur2, 2);
+  for (Element e = 1; e <= 30; ++e) sample.offer(e, h(e));
+  const double evens =
+      estimate_distinct_where(sample, [](Element e) { return e % 2 == 0; });
+  EXPECT_DOUBLE_EQ(evens, 15.0);
+}
+
+TEST(SubsetEstimate, RecoversSubpopulationShare) {
+  // 25% of the domain satisfies the predicate; the estimator should land
+  // near 0.25 * d.
+  constexpr std::size_t kS = 128;
+  constexpr std::uint64_t kD = 40000;
+  util::RunningStat ests;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto sample = filled_sample(kD, kS, seed);
+    ests.add(estimate_distinct_where(sample,
+                                     [](Element e) { return e % 4 == 0; }));
+  }
+  EXPECT_NEAR(ests.mean(), 0.25 * kD, 0.25 * kD * 0.25);
+}
+
+TEST(FractionEstimate, MatchesPredicateDensity) {
+  constexpr std::size_t kS = 256;
+  util::RunningStat fracs;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto sample = filled_sample(30000, kS, seed);
+    fracs.add(
+        estimate_fraction_where(sample, [](Element e) { return e % 10 == 0; }));
+  }
+  EXPECT_NEAR(fracs.mean(), 0.10, 0.03);
+}
+
+TEST(FractionEstimate, EmptySampleIsZero) {
+  core::BottomSSample sample(8);
+  EXPECT_DOUBLE_EQ(
+      estimate_fraction_where(sample, [](Element) { return true; }), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_mean(sample, [](Element) { return 99.0; }), 0.0);
+}
+
+TEST(MeanEstimate, RecoversAttributeMean) {
+  // Attribute value(e) = e % 100: true mean over a large distinct domain
+  // is ~ 49.5.
+  constexpr std::size_t kS = 256;
+  util::RunningStat means;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto sample = filled_sample(30000, kS, seed);
+    means.add(estimate_mean(
+        sample, [](Element e) { return static_cast<double>(e % 100); }));
+  }
+  EXPECT_NEAR(means.mean(), 49.5, 5.0);
+}
+
+TEST(RelativeError, Monotone) {
+  EXPECT_GT(distinct_relative_error(16), distinct_relative_error(256));
+  EXPECT_DOUBLE_EQ(distinct_relative_error(2), 1.0);
+}
+
+TEST(EndToEnd, EstimateFromDistributedRun) {
+  // Run the actual protocol and estimate the distinct count of the
+  // stream from the coordinator's sample.
+  constexpr std::uint64_t kDomain = 5000;
+  core::SystemConfig config{5, 128, hash::HashKind::kMurmur2, 5};
+  core::InfiniteSystem system(config);
+  stream::UniformStream input(60000, kDomain, 123);
+  stream::RandomPartitioner source(input, 5, 124);
+  system.run(source);
+  // ~ every domain element appears at least once w.h.p. (60000 draws
+  // over 5000 ids), so d ~ 5000.
+  const double est = estimate_distinct(system.coordinator().sample());
+  EXPECT_NEAR(est, static_cast<double>(kDomain), 0.3 * kDomain);
+}
+
+}  // namespace
+}  // namespace dds::query

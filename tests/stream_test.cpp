@@ -1,0 +1,299 @@
+// Tests for workload generation: element streams, synthetic traces, and
+// the four distribution strategies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "stream/element.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "stream/trace_synth.h"
+#include "util/stats.h"
+
+namespace dds::stream {
+namespace {
+
+std::vector<sim::Arrival> drain_arrivals(sim::ArrivalSource& src) {
+  std::vector<sim::Arrival> out;
+  while (auto a = src.next()) out.push_back(*a);
+  return out;
+}
+
+// ---------------------------------------------------------- generators --
+
+TEST(PairKey, DistinctPairsDistinctKeys) {
+  std::unordered_set<Element> keys;
+  for (std::uint32_t s = 0; s < 50; ++s) {
+    for (std::uint32_t d = 0; d < 50; ++d) {
+      keys.insert(pair_key(s, d));
+    }
+  }
+  EXPECT_EQ(keys.size(), 2500u);
+  EXPECT_NE(pair_key(1, 2), pair_key(2, 1));  // direction matters
+}
+
+TEST(UniformStream, LengthAndDeterminism) {
+  UniformStream a(1000, 100, 42), b(1000, 100, 42), c(1000, 100, 43);
+  EXPECT_EQ(a.length(), 1000u);
+  const auto va = drain(a);
+  const auto vb = drain(b);
+  const auto vc = drain(c);
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+  EXPECT_EQ(va.size(), 1000u);
+}
+
+TEST(UniformStream, DomainSizeBoundsDistinct) {
+  UniformStream s(5000, 10, 7);
+  std::unordered_set<Element> distinct;
+  while (auto e = s.next()) distinct.insert(*e);
+  EXPECT_EQ(distinct.size(), 10u);  // all 10 identifiers hit w.h.p.
+}
+
+TEST(UniformStream, RejectsEmptyDomain) {
+  EXPECT_THROW(UniformStream(10, 0, 1), std::invalid_argument);
+}
+
+TEST(AllDistinctStream, EveryElementUnique) {
+  AllDistinctStream s(10000, 5);
+  std::unordered_set<Element> seen;
+  while (auto e = s.next()) {
+    EXPECT_TRUE(seen.insert(*e).second);
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(AllDistinctStream, SaltsProduceDisjointStreams) {
+  AllDistinctStream a(1000, 1), b(1000, 2);
+  std::unordered_set<Element> ea;
+  while (auto e = a.next()) ea.insert(*e);
+  std::size_t overlap = 0;
+  while (auto e = b.next()) overlap += ea.contains(*e) ? 1 : 0;
+  EXPECT_EQ(overlap, 0u);
+}
+
+TEST(ZipfStream, RanksWithinDomain) {
+  ZipfStream s(20000, 1000, 1.0, 11);
+  for (int i = 0; i < 20000; ++i) {
+    const auto r = s.next_rank();
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 1000u);
+  }
+}
+
+TEST(ZipfStream, RankOneIsMostFrequent) {
+  ZipfStream s(100000, 100, 1.2, 13);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[s.next_rank()];
+  int max_count = 0;
+  std::uint64_t argmax = 0;
+  for (const auto& [r, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      argmax = r;
+    }
+  }
+  EXPECT_EQ(argmax, 1u);
+  // Zipf(1.2): P(1)/P(2) = 2^1.2 ~ 2.30.
+  const double ratio = static_cast<double>(counts[1]) / counts[2];
+  EXPECT_NEAR(ratio, std::pow(2.0, 1.2), 0.25);
+}
+
+TEST(ZipfStream, FrequenciesMatchTheory) {
+  // Compare empirical rank frequencies against r^-alpha / H-normalizer.
+  constexpr double kAlpha = 1.0;
+  constexpr std::uint64_t kDomain = 50;
+  constexpr int kDraws = 200000;
+  ZipfStream s(kDraws, kDomain, kAlpha, 17);
+  std::vector<int> counts(kDomain + 1, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[s.next_rank()];
+  double norm = 0;
+  for (std::uint64_t r = 1; r <= kDomain; ++r) norm += std::pow(r, -kAlpha);
+  for (std::uint64_t r : {1ULL, 2ULL, 5ULL, 10ULL, 25ULL, 50ULL}) {
+    const double expected = std::pow(static_cast<double>(r), -kAlpha) / norm;
+    const double observed = counts[r] / static_cast<double>(kDraws);
+    EXPECT_NEAR(observed, expected, 0.15 * expected + 0.001) << "rank " << r;
+  }
+}
+
+TEST(ZipfStream, AlphaControlsSkew) {
+  // Higher alpha => fewer distinct values drawn.
+  auto distinct_count = [](double alpha) {
+    ZipfStream s(50000, 100000, alpha, 19);
+    std::unordered_set<Element> d;
+    while (auto e = s.next()) d.insert(*e);
+    return d.size();
+  };
+  EXPECT_GT(distinct_count(0.5), distinct_count(1.5));
+}
+
+TEST(ZipfStream, InvalidParamsThrow) {
+  EXPECT_THROW(ZipfStream(10, 0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(ZipfStream(10, 10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(ZipfStream(10, 10, -1.0, 1), std::invalid_argument);
+}
+
+TEST(VectorStream, Replays) {
+  VectorStream s({5, 6, 7});
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_EQ(drain(s), (std::vector<Element>{5, 6, 7}));
+  EXPECT_EQ(s.next(), std::nullopt);
+}
+
+// -------------------------------------------------------- trace synth --
+
+TEST(TraceSynth, SpecsMatchTable51) {
+  const auto& oc48 = trace_spec(Dataset::kOc48);
+  EXPECT_EQ(oc48.paper_elements, 42'268'510u);
+  EXPECT_EQ(oc48.paper_distinct, 4'337'768u);
+  const auto& enron = trace_spec(Dataset::kEnron);
+  EXPECT_EQ(enron.paper_elements, 1'557'491u);
+  EXPECT_EQ(enron.paper_distinct, 374'330u);
+}
+
+TEST(TraceSynth, ScaleControlsLength) {
+  auto s = make_trace(Dataset::kEnron, 0.01, 3);
+  EXPECT_NEAR(static_cast<double>(s->length()), 0.01 * 1'557'491, 1.0);
+  EXPECT_THROW(make_trace(Dataset::kEnron, 0.0, 3), std::invalid_argument);
+  EXPECT_THROW(make_trace(Dataset::kEnron, 1.5, 3), std::invalid_argument);
+}
+
+TEST(TraceSynth, MeasureCountsDistinct) {
+  VectorStream s({1, 1, 2, 3, 3, 3});
+  const auto stats = measure(s);
+  EXPECT_EQ(stats.elements, 6u);
+  EXPECT_EQ(stats.distinct, 3u);
+}
+
+TEST(TraceSynth, EnronSmallScaleHasPlausibleDuplicateRate) {
+  // At 5% scale the stream should still exhibit heavy duplication:
+  // distinct/elements well below 1.
+  auto s = make_trace(Dataset::kEnron, 0.05, 21);
+  const auto stats = measure(*s);
+  EXPECT_EQ(stats.elements, 77'875u);
+  EXPECT_LT(stats.distinct, stats.elements / 2);
+  EXPECT_GT(stats.distinct, stats.elements / 20);
+}
+
+TEST(TraceSynth, ParseRoundTrip) {
+  EXPECT_EQ(parse_dataset("oc48"), Dataset::kOc48);
+  EXPECT_EQ(parse_dataset("enron"), Dataset::kEnron);
+  EXPECT_EQ(to_string(Dataset::kOc48), "oc48");
+  EXPECT_THROW(parse_dataset("nope"), std::invalid_argument);
+}
+
+// -------------------------------------------------------- partitioners --
+
+TEST(Flooding, EveryElementToEverySite) {
+  VectorStream s({10, 20, 30});
+  FloodingPartitioner part(s, 4);
+  const auto arrivals = drain_arrivals(part);
+  ASSERT_EQ(arrivals.size(), 12u);
+  for (int e = 0; e < 3; ++e) {
+    for (int i = 0; i < 4; ++i) {
+      const auto& a = arrivals[e * 4 + i];
+      EXPECT_EQ(a.element, static_cast<Element>((e + 1) * 10));
+      EXPECT_EQ(a.site, static_cast<sim::NodeId>(i));
+      EXPECT_EQ(a.slot, e);
+    }
+  }
+}
+
+TEST(RoundRobin, CyclesThroughSites) {
+  VectorStream s({1, 2, 3, 4, 5, 6});
+  RoundRobinPartitioner part(s, 3);
+  const auto arrivals = drain_arrivals(part);
+  ASSERT_EQ(arrivals.size(), 6u);
+  EXPECT_EQ(arrivals[0].site, 0u);
+  EXPECT_EQ(arrivals[1].site, 1u);
+  EXPECT_EQ(arrivals[2].site, 2u);
+  EXPECT_EQ(arrivals[3].site, 0u);
+}
+
+TEST(RandomPartitioner, RoughlyBalanced) {
+  UniformStream s(30000, 1000000, 5);
+  RandomPartitioner part(s, 5, 77);
+  std::vector<std::uint64_t> per_site(5, 0);
+  while (auto a = part.next()) ++per_site[a->site];
+  EXPECT_LT(util::chi_square_uniform(per_site),
+            util::chi_square_critical(4, 0.001));
+}
+
+TEST(RandomPartitioner, DeterministicUnderSeed) {
+  UniformStream s1(100, 50, 5), s2(100, 50, 5);
+  RandomPartitioner p1(s1, 4, 9), p2(s2, 4, 9);
+  while (true) {
+    auto a1 = p1.next();
+    auto a2 = p2.next();
+    ASSERT_EQ(a1.has_value(), a2.has_value());
+    if (!a1) break;
+    EXPECT_EQ(a1->site, a2->site);
+    EXPECT_EQ(a1->element, a2->element);
+  }
+}
+
+TEST(Dominate, RateSkewsTowardSiteZero) {
+  constexpr double kRate = 50.0;
+  constexpr std::uint32_t kSites = 10;
+  UniformStream s(50000, 1000000, 5);
+  DominatePartitioner part(s, kSites, kRate, 31);
+  std::vector<double> per_site(kSites, 0);
+  while (auto a = part.next()) ++per_site[a->site];
+  // P[site 0] = rate / (rate + k - 1).
+  const double expected0 = 50000 * kRate / (kRate + kSites - 1);
+  EXPECT_NEAR(per_site[0], expected0, expected0 * 0.05);
+  // Others roughly equal.
+  for (std::uint32_t i = 2; i < kSites; ++i) {
+    EXPECT_NEAR(per_site[i], per_site[1], per_site[1] * 0.3 + 20);
+  }
+}
+
+TEST(Dominate, RateOneIsUniform) {
+  UniformStream s(30000, 1000000, 5);
+  DominatePartitioner part(s, 6, 1.0, 37);
+  std::vector<std::uint64_t> per_site(6, 0);
+  while (auto a = part.next()) ++per_site[a->site];
+  EXPECT_LT(util::chi_square_uniform(per_site),
+            util::chi_square_critical(5, 0.001));
+}
+
+TEST(Dominate, InvalidRateThrows) {
+  VectorStream s({1});
+  EXPECT_THROW(DominatePartitioner(s, 3, 0.5, 1), std::invalid_argument);
+}
+
+TEST(SlottedFeeder, FixedElementsPerSlot) {
+  UniformStream s(100, 1000, 5);
+  SlottedFeeder feeder(s, 4, 5, 41);
+  std::map<sim::Slot, int> per_slot;
+  while (auto a = feeder.next()) {
+    ++per_slot[a->slot];
+    EXPECT_LT(a->site, 4u);
+  }
+  ASSERT_EQ(per_slot.size(), 20u);  // 100 elements / 5 per slot
+  for (const auto& [slot, n] : per_slot) EXPECT_EQ(n, 5);
+  // Slots are consecutive from 0.
+  EXPECT_EQ(per_slot.begin()->first, 0);
+  EXPECT_EQ(std::prev(per_slot.end())->first, 19);
+}
+
+TEST(Factory, BuildsEveryKind) {
+  for (const char* name : {"flooding", "random", "round-robin", "dominate"}) {
+    VectorStream s({1, 2, 3});
+    auto part = make_partitioner(parse_distribution(name), s, 3, 1, 2.0);
+    ASSERT_NE(part, nullptr) << name;
+    EXPECT_TRUE(part->next().has_value()) << name;
+  }
+}
+
+TEST(Distribution, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_distribution("multicast"), std::invalid_argument);
+  EXPECT_EQ(parse_distribution("roundrobin"), Distribution::kRoundRobin);
+}
+
+}  // namespace
+}  // namespace dds::stream

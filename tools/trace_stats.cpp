@@ -1,0 +1,63 @@
+// trace_stats — inspect a trace file (one element per line; decimal ids
+// or arbitrary tokens) the way Table 5.1 describes a dataset: element
+// count, distinct count, duplication ratio, and the head of the
+// frequency distribution. Useful before replaying a real trace through
+// the samplers with stream::FileStream.
+//
+//   ./build/tools/trace_stats --file my_trace.txt [--top 10]
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/file_stream.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  cli.flag("file", "trace file: one element per line", "");
+  cli.flag("top", "how many top frequencies to print", "10");
+  if (!cli.parse(argc, argv)) return 1;
+  const std::string path = cli.get("file");
+  if (path.empty()) {
+    std::fprintf(stderr, "--file is required\n");
+    return 1;
+  }
+
+  stream::FileStream trace(path);
+  std::unordered_map<stream::Element, std::uint64_t> freq;
+  std::uint64_t total = 0;
+  {
+    stream::FileStream again(path);
+    while (auto e = again.next()) {
+      ++freq[*e];
+      ++total;
+    }
+  }
+  std::printf("file:      %s\n", path.c_str());
+  std::printf("elements:  %llu (%llu numeric lines, %llu token lines)\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(trace.numeric_lines()),
+              static_cast<unsigned long long>(trace.token_lines()));
+  std::printf("distinct:  %zu\n", freq.size());
+  if (!freq.empty()) {
+    std::printf("dup ratio: %.3f elements per distinct\n",
+                static_cast<double>(total) / static_cast<double>(freq.size()));
+  }
+
+  std::vector<std::pair<std::uint64_t, stream::Element>> by_count;
+  by_count.reserve(freq.size());
+  for (const auto& [e, c] : freq) by_count.emplace_back(c, e);
+  std::sort(by_count.rbegin(), by_count.rend());
+  const auto top = std::min<std::size_t>(cli.get_uint("top"), by_count.size());
+  std::printf("top %zu frequencies:\n", top);
+  for (std::size_t i = 0; i < top; ++i) {
+    std::printf("  #%zu: element %llu x %llu (%.2f%%)\n", i + 1,
+                static_cast<unsigned long long>(by_count[i].second),
+                static_cast<unsigned long long>(by_count[i].first),
+                100.0 * static_cast<double>(by_count[i].first) /
+                    static_cast<double>(total));
+  }
+  return 0;
+}
