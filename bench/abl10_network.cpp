@@ -1,0 +1,281 @@
+// Ablation A10 — protocol cost and sample correctness vs network
+// conditions.
+//
+// The paper's cost model assumes a zero-delay lossless wire; this
+// ablation measures what its protocols actually pay — and whether their
+// samples stay correct — when the wire has latency, loss, or batching.
+//
+//  * Latency sweep: threshold replies arrive late, so sites keep
+//    reporting against stale thresholds; message cost rises with RTT
+//    while the sample stays exact (reports are merely delayed).
+//  * Drop sweep: with retransmission the sample stays exact and the
+//    retries show up as wire overhead; without it, lost reports
+//    permanently degrade sample correctness.
+//  * Batching sweep: coalescing site->coordinator reports trades
+//    staleness for wire cost; wire messages and bytes fall while the
+//    final sample is unchanged (every report still arrives).
+//
+// Sample correctness for the infinite protocol is exact-overlap with
+// the true bottom-s (by the system's own hash) of the distinct elements
+// of the stream. For the sliding protocol it is element recall against
+// a zero-delay run with identical seeds.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "net/sim_network.h"
+
+namespace {
+
+using namespace dds;
+
+struct WireCost {
+  double wire_msgs = 0;
+  double wire_bytes = 0;
+  double logical_msgs = 0;
+  double drops = 0;
+};
+
+WireCost wire_cost(net::Transport& transport) {
+  WireCost out;
+  out.wire_msgs = static_cast<double>(transport.counters().total);
+  out.wire_bytes = static_cast<double>(transport.counters().bytes);
+  out.logical_msgs = out.wire_msgs;
+  if (const auto* sim = dynamic_cast<const net::SimNetwork*>(&transport)) {
+    out.logical_msgs = static_cast<double>(sim->logical_counters().total);
+    out.drops = static_cast<double>(sim->stats().drops);
+  }
+  return out;
+}
+
+/// True bottom-s of the distinct elements of a (re-createable) stream,
+/// under the deployed hash function.
+std::vector<stream::Element> ground_truth_bottom_s(
+    const hash::HashFunction& h, std::uint64_t n, std::uint64_t domain,
+    double alpha, std::uint64_t stream_seed, std::size_t s) {
+  stream::ZipfStream input(n, domain, alpha, stream_seed);
+  std::unordered_set<stream::Element> distinct;
+  while (auto e = input.next()) distinct.insert(*e);
+  std::vector<stream::Element> all(distinct.begin(), distinct.end());
+  std::sort(all.begin(), all.end(), [&h](stream::Element a, stream::Element b) {
+    return h(a) < h(b);
+  });
+  if (all.size() > s) all.resize(s);
+  return all;
+}
+
+double overlap_fraction(std::vector<stream::Element> got,
+                        std::vector<stream::Element> want) {
+  if (want.empty()) return 1.0;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  std::vector<stream::Element> both;
+  std::set_intersection(got.begin(), got.end(), want.begin(), want.end(),
+                        std::back_inserter(both));
+  return static_cast<double>(both.size()) / static_cast<double>(want.size());
+}
+
+struct InfiniteResult {
+  WireCost cost;
+  double overlap = 0;
+};
+
+InfiniteResult run_infinite(std::uint32_t sites, std::size_t s,
+                            std::uint64_t n, std::uint64_t domain,
+                            const bench::CommonArgs& args, std::uint64_t seed,
+                            const net::NetworkConfig& network) {
+  core::SystemConfig config{sites, s, args.hash_kind, seed, network};
+  core::InfiniteSystem system(config, /*eager_threshold=*/false,
+                              args.suppress_duplicates);
+  constexpr double kAlpha = 1.05;
+  stream::ZipfStream input(n, domain, kAlpha, seed + 1);
+  auto source = stream::make_partitioner(stream::Distribution::kRandom, input,
+                                         sites, seed + 2, 1.0);
+  system.run(*source);
+  InfiniteResult out;
+  out.cost = wire_cost(system.bus());
+  out.overlap = overlap_fraction(
+      system.coordinator().sample().elements(),
+      ground_truth_bottom_s(system.hash_fn(), n, domain, kAlpha, seed + 1, s));
+  return out;
+}
+
+std::vector<stream::Element> run_sliding_sample(
+    std::uint32_t sites, sim::Slot window, std::uint64_t slots,
+    std::uint32_t per_slot, const bench::CommonArgs& args, std::uint64_t seed,
+    const net::NetworkConfig& network, WireCost* cost = nullptr) {
+  core::SlidingSystemConfig config;
+  config.num_sites = sites;
+  config.window = window;
+  config.sample_size = 4;
+  config.hash_kind = args.hash_kind;
+  config.seed = seed;
+  config.network = network;
+  core::SlidingSystem system(config);
+  stream::ZipfStream input(slots * per_slot, slots * per_slot / 2, 1.0,
+                           seed + 1);
+  stream::SlottedFeeder source(input, sites, per_slot, seed + 2);
+  system.run(source);
+  if (cost != nullptr) *cost = wire_cost(system.bus());
+  return system.coordinator().sample(system.runner().current_slot());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sites", "number of sites k", "8");
+  cli.flag("sample-size", "sample size s", "32");
+  cli.flag("n", "infinite-window stream length", "50000");
+  cli.flag("domain", "element domain size", "5000");
+  cli.flag("latencies", "comma-separated one-way latencies (slots)",
+           "0,1,2,5,10");
+  cli.flag("drops", "comma-separated drop percentages", "0,1,5,10,30");
+  cli.flag("batches", "comma-separated batch flush intervals (slots)",
+           "0,1,2,5,10");
+  cli.flag("window", "sliding-window size (slots)", "100");
+  cli.flag("slots", "sliding-window slots to simulate", "2000");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto k = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const auto n = cli.get_uint("n");
+  const auto domain = cli.get_uint("domain");
+  const auto latencies = cli.get_uint_list("latencies");
+  const auto drops = cli.get_uint_list("drops");
+  const auto batches = cli.get_uint_list("batches");
+  const auto window = static_cast<sim::Slot>(cli.get_uint("window"));
+  const auto slots = cli.get_uint("slots");
+  bench::banner("Ablation A10: cost & correctness vs network conditions",
+                args);
+
+  // ---------------------------------------------------- latency sweep --
+  {
+    util::Table table({"latency (slots)", "messages", "ci95", "bytes",
+                       "sample overlap"});
+    for (std::size_t pi = 0; pi < latencies.size(); ++pi) {
+      util::RunningStat msgs, bytes, overlap;
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        net::NetworkConfig network;
+        network.kind = net::TransportKind::kSimNetwork;
+        network.link.latency = static_cast<double>(latencies[pi]);
+        network.link.jitter = network.link.latency / 2.0;
+        network.seed = bench::run_seed(args, 100 + pi, run);
+        const auto r = run_infinite(k, s, n, domain, args,
+                                    bench::run_seed(args, pi, run), network);
+        msgs.add(r.cost.wire_msgs);
+        bytes.add(r.cost.wire_bytes);
+        overlap.add(r.overlap);
+      }
+      table.add_row({util::fmt(latencies[pi]), util::fmt(msgs.mean(), 6),
+                     util::fmt(msgs.ci95_halfwidth(), 3),
+                     util::fmt(bytes.mean(), 7), util::fmt(overlap.mean(), 4)});
+    }
+    bench::emit(table, "A10a: infinite protocol vs one-way latency (jitter "
+                "= latency/2)",
+                "abl10_network_latency.csv", args);
+  }
+
+  // ------------------------------------------------------- drop sweep --
+  {
+    util::Table table({"drop %", "msgs (rtx)", "overlap (rtx)",
+                       "msgs (lossy)", "overlap (lossy)"});
+    for (std::size_t pi = 0; pi < drops.size(); ++pi) {
+      util::RunningStat rtx_msgs, rtx_overlap, lossy_msgs, lossy_overlap;
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        const auto seed = bench::run_seed(args, 200 + pi, run);
+        net::NetworkConfig network;
+        network.kind = net::TransportKind::kSimNetwork;
+        network.link.latency = 1.0;
+        network.link.drop_rate = static_cast<double>(drops[pi]) / 100.0;
+        network.seed = seed + 7;
+
+        network.link.retransmit = true;
+        auto r = run_infinite(k, s, n, domain, args, seed, network);
+        rtx_msgs.add(r.cost.wire_msgs);
+        rtx_overlap.add(r.overlap);
+
+        network.link.retransmit = false;
+        r = run_infinite(k, s, n, domain, args, seed, network);
+        lossy_msgs.add(r.cost.wire_msgs);
+        lossy_overlap.add(r.overlap);
+      }
+      table.add_row({util::fmt(drops[pi]), util::fmt(rtx_msgs.mean(), 6),
+                     util::fmt(rtx_overlap.mean(), 4),
+                     util::fmt(lossy_msgs.mean(), 6),
+                     util::fmt(lossy_overlap.mean(), 4)});
+    }
+    bench::emit(table,
+                "A10b: infinite protocol vs drop rate, with and without "
+                "retransmission (latency 1)",
+                "abl10_network_drops.csv", args);
+  }
+
+  // -------------------------------------------------- batching sweep --
+  {
+    util::Table table({"flush interval", "logical msgs", "wire msgs",
+                       "wire bytes", "byte saving %", "overlap"});
+    double base_bytes = 0;
+    for (std::size_t pi = 0; pi < batches.size(); ++pi) {
+      util::RunningStat logical, wire, bytes, overlap;
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        net::NetworkConfig network;
+        network.kind = net::TransportKind::kSimNetwork;
+        network.batch_interval = static_cast<sim::Slot>(batches[pi]);
+        network.seed = bench::run_seed(args, 300 + pi, run);
+        const auto r = run_infinite(k, s, n, domain, args,
+                                    bench::run_seed(args, pi, run), network);
+        logical.add(r.cost.logical_msgs);
+        wire.add(r.cost.wire_msgs);
+        bytes.add(r.cost.wire_bytes);
+        overlap.add(r.overlap);
+      }
+      if (pi == 0) base_bytes = bytes.mean();
+      const double saving =
+          base_bytes > 0 ? 100.0 * (1.0 - bytes.mean() / base_bytes) : 0.0;
+      table.add_row({util::fmt(batches[pi]), util::fmt(logical.mean(), 6),
+                     util::fmt(wire.mean(), 6), util::fmt(bytes.mean(), 7),
+                     util::fmt(saving, 3), util::fmt(overlap.mean(), 4)});
+    }
+    bench::emit(table,
+                "A10c: infinite protocol vs site->coordinator batch "
+                "interval (zero latency)",
+                "abl10_network_batching.csv", args);
+  }
+
+  // ----------------------------------------------------- sliding sweep --
+  {
+    util::Table table({"latency", "drop %", "wire msgs", "recall vs ideal"});
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> grid = {
+        {0, 0}, {1, 0}, {5, 0}, {1, 10}, {5, 10}, {5, 30}, {5, 60}};
+    for (std::size_t pi = 0; pi < grid.size(); ++pi) {
+      util::RunningStat msgs, recall;
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        const auto seed = bench::run_seed(args, 400 + pi, run);
+        net::NetworkConfig ideal;  // zero-delay reference, same seeds
+        const auto want = run_sliding_sample(k, window, slots, 5, args, seed,
+                                             ideal);
+        net::NetworkConfig network;
+        network.kind = net::TransportKind::kSimNetwork;
+        network.link.latency = static_cast<double>(grid[pi].first);
+        network.link.drop_rate = static_cast<double>(grid[pi].second) / 100.0;
+        network.link.retransmit = false;
+        network.seed = seed + 7;
+        WireCost cost;
+        const auto got = run_sliding_sample(k, window, slots, 5, args, seed,
+                                            network, &cost);
+        msgs.add(cost.wire_msgs);
+        recall.add(overlap_fraction(got, want));
+      }
+      table.add_row({util::fmt(grid[pi].first), util::fmt(grid[pi].second),
+                     util::fmt(msgs.mean(), 6), util::fmt(recall.mean(), 4)});
+    }
+    bench::emit(table,
+                "A10d: sliding protocol under latency/loss (no retransmit), "
+                "recall vs a zero-delay run",
+                "abl10_network_sliding.csv", args);
+  }
+  return 0;
+}

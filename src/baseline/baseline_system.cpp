@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/factory.h"
 #include "util/rng.h"
 
 namespace dds::baseline {
@@ -21,73 +22,73 @@ std::vector<sim::StreamNode*> as_stream_nodes(
 
 BroadcastSystem::BroadcastSystem(const core::SystemConfig& config,
                                  bool suppress_duplicates)
-    : bus_(config.num_sites),
+    : transport_(net::make_transport(config.num_sites, config.network)),
       // Same seed derivation as InfiniteSystem so head-to-head runs use
       // the identical hash function.
       hash_fn_(config.hash_kind, util::derive_seed(config.seed, 0xA5)) {
   coordinator_ = std::make_unique<BroadcastCoordinator>(
-      bus_.coordinator_id(), config.sample_size, config.num_sites);
-  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+      transport_->coordinator_id(), config.sample_size, config.num_sites);
+  transport_->attach(transport_->coordinator_id(), coordinator_.get());
   sites_.reserve(config.num_sites);
   for (std::uint32_t i = 0; i < config.num_sites; ++i) {
     sites_.push_back(std::make_unique<BroadcastSite>(
-        i, bus_.coordinator_id(), hash_fn_, suppress_duplicates));
-    bus_.attach(i, sites_.back().get());
+        i, transport_->coordinator_id(), hash_fn_, suppress_duplicates));
+    transport_->attach(i, sites_.back().get());
   }
-  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+  runner_ = std::make_unique<sim::Runner>(*transport_, as_stream_nodes(sites_),
                                           /*invoke_slot_begin=*/false);
 }
 
 CentralizedSystem::CentralizedSystem(const core::SystemConfig& config)
-    : bus_(config.num_sites),
+    : transport_(net::make_transport(config.num_sites, config.network)),
       hash_fn_(config.hash_kind, util::derive_seed(config.seed, 0xA5)) {
   coordinator_ = std::make_unique<CentralizedCoordinator>(
-      bus_.coordinator_id(), config.sample_size);
-  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+      transport_->coordinator_id(), config.sample_size);
+  transport_->attach(transport_->coordinator_id(), coordinator_.get());
   sites_.reserve(config.num_sites);
   for (std::uint32_t i = 0; i < config.num_sites; ++i) {
     sites_.push_back(std::make_unique<ForwardingSite>(
-        i, bus_.coordinator_id(), hash_fn_));
-    bus_.attach(i, sites_.back().get());
+        i, transport_->coordinator_id(), hash_fn_));
+    transport_->attach(i, sites_.back().get());
   }
-  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+  runner_ = std::make_unique<sim::Runner>(*transport_, as_stream_nodes(sites_),
                                           /*invoke_slot_begin=*/false);
 }
 
 DrsSystem::DrsSystem(const core::SystemConfig& config)
-    : bus_(config.num_sites) {
-  coordinator_ = std::make_unique<DrsCoordinator>(bus_.coordinator_id(),
+    : transport_(net::make_transport(config.num_sites, config.network)) {
+  coordinator_ = std::make_unique<DrsCoordinator>(transport_->coordinator_id(),
                                                   config.sample_size);
-  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  transport_->attach(transport_->coordinator_id(), coordinator_.get());
   sites_.reserve(config.num_sites);
   for (std::uint32_t i = 0; i < config.num_sites; ++i) {
     sites_.push_back(std::make_unique<DrsSite>(
-        i, bus_.coordinator_id(), util::derive_seed(config.seed, 0xE00 + i)));
-    bus_.attach(i, sites_.back().get());
+        i, transport_->coordinator_id(), util::derive_seed(config.seed, 0xE00 + i)));
+    transport_->attach(i, sites_.back().get());
   }
-  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+  runner_ = std::make_unique<sim::Runner>(*transport_, as_stream_nodes(sites_),
                                           /*invoke_slot_begin=*/false);
 }
 
 FullSyncSlidingSystem::FullSyncSlidingSystem(
     const core::SlidingSystemConfig& config)
-    : bus_(config.num_sites),
+    : transport_(net::make_transport(config.num_sites, config.network)),
       // Match SlidingSystem's hash: family member 0 with the same seed
       // derivation, so the two protocols sample identical elements.
       hash_fn_(hash::HashFamily(config.hash_kind,
                                 util::derive_seed(config.seed, 0xC7))
                    .at(0)) {
   coordinator_ = std::make_unique<FullSyncSlidingCoordinator>(
-      bus_.coordinator_id(), config.num_sites);
-  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+      transport_->coordinator_id(), config.num_sites);
+  transport_->attach(transport_->coordinator_id(), coordinator_.get());
   sites_.reserve(config.num_sites);
   for (std::uint32_t i = 0; i < config.num_sites; ++i) {
     sites_.push_back(std::make_unique<FullSyncSlidingSite>(
-        i, bus_.coordinator_id(), config.window, hash_fn_,
+        i, transport_->coordinator_id(), config.window, hash_fn_,
         util::derive_seed(config.seed, 0xF00 + i)));
-    bus_.attach(i, sites_.back().get());
+    transport_->attach(i, sites_.back().get());
   }
-  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+  runner_ = std::make_unique<sim::Runner>(*transport_, as_stream_nodes(sites_),
                                           /*invoke_slot_begin=*/true);
 }
 
@@ -105,23 +106,23 @@ std::size_t FullSyncSlidingSystem::max_site_state() const noexcept {
 
 BottomSSlidingSystem::BottomSSlidingSystem(
     const core::SlidingSystemConfig& config)
-    : bus_(config.num_sites),
+    : transport_(net::make_transport(config.num_sites, config.network)),
       // Family member 0 with SlidingSystem's derivation: head-to-head
       // runs against the parallel-copies scheme share instance 0's hash.
       hash_fn_(hash::HashFamily(config.hash_kind,
                                 util::derive_seed(config.seed, 0xC7))
                    .at(0)) {
   coordinator_ = std::make_unique<BottomSSlidingCoordinator>(
-      bus_.coordinator_id(), config.sample_size);
-  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+      transport_->coordinator_id(), config.sample_size);
+  transport_->attach(transport_->coordinator_id(), coordinator_.get());
   sites_.reserve(config.num_sites);
   for (std::uint32_t i = 0; i < config.num_sites; ++i) {
     sites_.push_back(std::make_unique<BottomSSlidingSite>(
-        i, bus_.coordinator_id(), config.sample_size, config.window,
+        i, transport_->coordinator_id(), config.sample_size, config.window,
         hash_fn_));
-    bus_.attach(i, sites_.back().get());
+    transport_->attach(i, sites_.back().get());
   }
-  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+  runner_ = std::make_unique<sim::Runner>(*transport_, as_stream_nodes(sites_),
                                           /*invoke_slot_begin=*/true);
 }
 

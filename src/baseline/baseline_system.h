@@ -22,7 +22,7 @@ class BroadcastSystem {
   explicit BroadcastSystem(const core::SystemConfig& config,
                            bool suppress_duplicates = false);
 
-  sim::Bus& bus() noexcept { return bus_; }
+  net::Transport& bus() noexcept { return *transport_; }
   sim::Runner& runner() noexcept { return *runner_; }
   const BroadcastCoordinator& coordinator() const noexcept {
     return *coordinator_;
@@ -30,7 +30,7 @@ class BroadcastSystem {
   std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
 
  private:
-  sim::Bus bus_;
+  std::unique_ptr<net::Transport> transport_;
   hash::HashFunction hash_fn_;
   std::vector<std::unique_ptr<BroadcastSite>> sites_;
   std::unique_ptr<BroadcastCoordinator> coordinator_;
@@ -42,7 +42,7 @@ class CentralizedSystem {
  public:
   explicit CentralizedSystem(const core::SystemConfig& config);
 
-  sim::Bus& bus() noexcept { return bus_; }
+  net::Transport& bus() noexcept { return *transport_; }
   sim::Runner& runner() noexcept { return *runner_; }
   const CentralizedCoordinator& coordinator() const noexcept {
     return *coordinator_;
@@ -50,7 +50,7 @@ class CentralizedSystem {
   std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
 
  private:
-  sim::Bus bus_;
+  std::unique_ptr<net::Transport> transport_;
   hash::HashFunction hash_fn_;
   std::vector<std::unique_ptr<ForwardingSite>> sites_;
   std::unique_ptr<CentralizedCoordinator> coordinator_;
@@ -62,13 +62,13 @@ class DrsSystem {
  public:
   explicit DrsSystem(const core::SystemConfig& config);
 
-  sim::Bus& bus() noexcept { return bus_; }
+  net::Transport& bus() noexcept { return *transport_; }
   sim::Runner& runner() noexcept { return *runner_; }
   const DrsCoordinator& coordinator() const noexcept { return *coordinator_; }
   std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
 
  private:
-  sim::Bus bus_;
+  std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<DrsSite>> sites_;
   std::unique_ptr<DrsCoordinator> coordinator_;
   std::unique_ptr<sim::Runner> runner_;
@@ -79,7 +79,7 @@ class FullSyncSlidingSystem {
  public:
   explicit FullSyncSlidingSystem(const core::SlidingSystemConfig& config);
 
-  sim::Bus& bus() noexcept { return bus_; }
+  net::Transport& bus() noexcept { return *transport_; }
   sim::Runner& runner() noexcept { return *runner_; }
   const FullSyncSlidingCoordinator& coordinator() const noexcept {
     return *coordinator_;
@@ -90,7 +90,7 @@ class FullSyncSlidingSystem {
   std::size_t max_site_state() const noexcept;
 
  private:
-  sim::Bus bus_;
+  std::unique_ptr<net::Transport> transport_;
   hash::HashFunction hash_fn_;
   std::vector<std::unique_ptr<FullSyncSlidingSite>> sites_;
   std::unique_ptr<FullSyncSlidingCoordinator> coordinator_;
@@ -102,7 +102,7 @@ class BottomSSlidingSystem {
  public:
   explicit BottomSSlidingSystem(const core::SlidingSystemConfig& config);
 
-  sim::Bus& bus() noexcept { return bus_; }
+  net::Transport& bus() noexcept { return *transport_; }
   sim::Runner& runner() noexcept { return *runner_; }
   const BottomSSlidingCoordinator& coordinator() const noexcept {
     return *coordinator_;
@@ -114,7 +114,7 @@ class BottomSSlidingSystem {
   std::size_t max_site_state() const noexcept;
 
  private:
-  sim::Bus bus_;
+  std::unique_ptr<net::Transport> transport_;
   hash::HashFunction hash_fn_;
   std::vector<std::unique_ptr<BottomSSlidingSite>> sites_;
   std::unique_ptr<BottomSSlidingCoordinator> coordinator_;

@@ -11,7 +11,7 @@ BroadcastSite::BroadcastSite(sim::NodeId id, sim::NodeId coordinator,
       suppress_duplicates_(suppress_duplicates) {}
 
 void BroadcastSite::on_element(stream::Element element, sim::Slot /*t*/,
-                               sim::Bus& bus) {
+                               net::Transport& bus) {
   if (suppress_duplicates_ && reported_.contains(element)) return;
   const std::uint64_t hv = hash_fn_(element);
   if (hv < u_local_) {
@@ -26,7 +26,7 @@ void BroadcastSite::on_element(stream::Element element, sim::Slot /*t*/,
   }
 }
 
-void BroadcastSite::on_message(const sim::Message& msg, sim::Bus& /*bus*/) {
+void BroadcastSite::on_message(const sim::Message& msg, net::Transport& /*bus*/) {
   if (msg.type == sim::MsgType::kThresholdBroadcast) {
     u_local_ = msg.b;
   }
@@ -37,7 +37,7 @@ BroadcastCoordinator::BroadcastCoordinator(sim::NodeId id,
                                            std::uint32_t num_sites)
     : id_(id), num_sites_(num_sites), sample_(sample_size) {}
 
-void BroadcastCoordinator::on_message(const sim::Message& msg, sim::Bus& bus) {
+void BroadcastCoordinator::on_message(const sim::Message& msg, net::Transport& bus) {
   if (msg.type != sim::MsgType::kReportElement) return;
   if (msg.b >= u_) return;  // cannot happen when views are in sync
   const auto outcome = sample_.offer(msg.a, msg.b);

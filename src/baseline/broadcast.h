@@ -15,7 +15,7 @@
 
 #include "core/bottom_s_sample.h"
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 #include "stream/element.h"
 
@@ -32,8 +32,8 @@ class BroadcastSite final : public sim::StreamNode {
   BroadcastSite(sim::NodeId id, sim::NodeId coordinator,
                 hash::HashFunction hash_fn, bool suppress_duplicates = false);
 
-  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override {
     return 1 + reported_.size();
   }
@@ -54,7 +54,7 @@ class BroadcastCoordinator final : public sim::Node {
   BroadcastCoordinator(sim::NodeId id, std::size_t sample_size,
                        std::uint32_t num_sites);
 
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override { return sample_.size(); }
 
   const core::BottomSSample& sample() const noexcept { return sample_; }

@@ -7,7 +7,7 @@ ForwardingSite::ForwardingSite(sim::NodeId id, sim::NodeId coordinator,
     : id_(id), coordinator_(coordinator), hash_fn_(std::move(hash_fn)) {}
 
 void ForwardingSite::on_element(stream::Element element, sim::Slot /*t*/,
-                                sim::Bus& bus) {
+                                net::Transport& bus) {
   sim::Message msg;
   msg.from = id_;
   msg.to = coordinator_;
@@ -22,7 +22,7 @@ CentralizedCoordinator::CentralizedCoordinator(sim::NodeId /*id*/,
     : sample_(sample_size) {}
 
 void CentralizedCoordinator::on_message(const sim::Message& msg,
-                                        sim::Bus& /*bus*/) {
+                                        net::Transport& /*bus*/) {
   if (msg.type != sim::MsgType::kReportElement) return;
   sample_.offer(msg.a, msg.b);
 }

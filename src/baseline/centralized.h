@@ -11,7 +11,7 @@
 
 #include "core/bottom_s_sample.h"
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 #include "stream/element.h"
 
@@ -22,8 +22,8 @@ class ForwardingSite final : public sim::StreamNode {
   ForwardingSite(sim::NodeId id, sim::NodeId coordinator,
                  hash::HashFunction hash_fn);
 
-  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
-  void on_message(const sim::Message& /*msg*/, sim::Bus& /*bus*/) override {}
+  void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_message(const sim::Message& /*msg*/, net::Transport& /*bus*/) override {}
 
  private:
   sim::NodeId id_;
@@ -35,7 +35,7 @@ class CentralizedCoordinator final : public sim::Node {
  public:
   CentralizedCoordinator(sim::NodeId id, std::size_t sample_size);
 
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override { return sample_.size(); }
 
   const core::BottomSSample& sample() const noexcept { return sample_; }

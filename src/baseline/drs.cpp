@@ -6,7 +6,7 @@ DrsSite::DrsSite(sim::NodeId id, sim::NodeId coordinator, std::uint64_t seed)
     : id_(id), coordinator_(coordinator), rng_(seed) {}
 
 void DrsSite::on_element(stream::Element element, sim::Slot /*t*/,
-                         sim::Bus& bus) {
+                         net::Transport& bus) {
   // Fresh tag per OCCURRENCE — the defining difference from DDS, whose
   // "tag" is h(element) and therefore identical across repeats.
   const std::uint64_t tag = rng_.next();
@@ -21,14 +21,14 @@ void DrsSite::on_element(stream::Element element, sim::Slot /*t*/,
   }
 }
 
-void DrsSite::on_message(const sim::Message& msg, sim::Bus& /*bus*/) {
+void DrsSite::on_message(const sim::Message& msg, net::Transport& /*bus*/) {
   if (msg.type == sim::MsgType::kDrsReply) u_local_ = msg.b;
 }
 
 DrsCoordinator::DrsCoordinator(sim::NodeId id, std::size_t sample_size)
     : id_(id), capacity_(sample_size) {}
 
-void DrsCoordinator::on_message(const sim::Message& msg, sim::Bus& bus) {
+void DrsCoordinator::on_message(const sim::Message& msg, net::Transport& bus) {
   if (msg.type != sim::MsgType::kDrsReport) return;
   if (msg.b < u_) {
     by_tag_.emplace(msg.b, msg.a);

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "core/bottom_s_sample.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 #include "stream/element.h"
 #include "util/rng.h"
@@ -34,8 +34,8 @@ class DrsSite final : public sim::StreamNode {
  public:
   DrsSite(sim::NodeId id, sim::NodeId coordinator, std::uint64_t seed);
 
-  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override { return 1; }
 
  private:
@@ -49,7 +49,7 @@ class DrsCoordinator final : public sim::Node {
  public:
   DrsCoordinator(sim::NodeId id, std::size_t sample_size);
 
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override { return by_tag_.size(); }
 
   /// Uniform random sample of the multiset of occurrences; element

@@ -12,17 +12,17 @@ BottomSSlidingSite::BottomSSlidingSite(sim::NodeId id, sim::NodeId coordinator,
       coordinator_(coordinator),
       sampler_(sample_size, window, std::move(hash_fn)) {}
 
-void BottomSSlidingSite::on_slot_begin(sim::Slot t, sim::Bus& bus) {
+void BottomSSlidingSite::on_slot_begin(sim::Slot t, net::Transport& bus) {
   sync(t, bus);
 }
 
 void BottomSSlidingSite::on_element(stream::Element element, sim::Slot t,
-                                    sim::Bus& bus) {
+                                    net::Transport& bus) {
   sampler_.observe(element, t);
   sync(t, bus);
 }
 
-void BottomSSlidingSite::sync(sim::Slot now, sim::Bus& bus) {
+void BottomSSlidingSite::sync(sim::Slot now, net::Transport& bus) {
   const auto bottom = sampler_.sample(now);
   // Drop shipped-records for tuples that left the local bottom-s; the
   // coordinator's copies age out on their own.
@@ -50,7 +50,7 @@ BottomSSlidingCoordinator::BottomSSlidingCoordinator(sim::NodeId /*id*/,
     : sample_size_(sample_size) {}
 
 void BottomSSlidingCoordinator::on_message(const sim::Message& msg,
-                                           sim::Bus& bus) {
+                                           net::Transport& bus) {
   if (msg.type != sim::MsgType::kSlidingReport) return;
   const treap::Candidate incoming{msg.a, msg.b,
                                   static_cast<sim::Slot>(msg.c)};

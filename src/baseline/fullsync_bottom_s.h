@@ -21,7 +21,7 @@
 
 #include "core/windowed_bottom_s.h"
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 
 namespace dds::baseline {
@@ -32,9 +32,9 @@ class BottomSSlidingSite final : public sim::StreamNode {
                      std::size_t sample_size, sim::Slot window,
                      hash::HashFunction hash_fn);
 
-  void on_slot_begin(sim::Slot t, sim::Bus& bus) override;
-  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
-  void on_message(const sim::Message& /*msg*/, sim::Bus& /*bus*/) override {}
+  void on_slot_begin(sim::Slot t, net::Transport& bus) override;
+  void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_message(const sim::Message& /*msg*/, net::Transport& /*bus*/) override {}
 
   std::size_t state_size() const noexcept override {
     return sampler_.state_size();
@@ -43,7 +43,7 @@ class BottomSSlidingSite final : public sim::StreamNode {
  private:
   /// Ships every tuple of the current local bottom-s the coordinator
   /// has not seen at its current expiry.
-  void sync(sim::Slot now, sim::Bus& bus);
+  void sync(sim::Slot now, net::Transport& bus);
 
   sim::NodeId id_;
   sim::NodeId coordinator_;
@@ -56,7 +56,7 @@ class BottomSSlidingCoordinator final : public sim::Node {
  public:
   BottomSSlidingCoordinator(sim::NodeId id, std::size_t sample_size);
 
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override { return pool_.size(); }
 
   /// Exact window bottom-s at slot `now`, hash-ascending.

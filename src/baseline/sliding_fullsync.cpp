@@ -13,18 +13,18 @@ FullSyncSlidingSite::FullSyncSlidingSite(sim::NodeId id,
       hash_fn_(std::move(hash_fn)),
       candidates_(seed) {}
 
-void FullSyncSlidingSite::on_slot_begin(sim::Slot t, sim::Bus& bus) {
+void FullSyncSlidingSite::on_slot_begin(sim::Slot t, net::Transport& bus) {
   candidates_.expire(t);
   report_if_changed(bus);
 }
 
 void FullSyncSlidingSite::on_element(stream::Element element, sim::Slot t,
-                                     sim::Bus& bus) {
+                                     net::Transport& bus) {
   candidates_.observe(element, hash_fn_(element), t + window_);
   report_if_changed(bus);
 }
 
-void FullSyncSlidingSite::report_if_changed(sim::Bus& bus) {
+void FullSyncSlidingSite::report_if_changed(net::Transport& bus) {
   const auto current = candidates_.min_hash();
   const bool valid = current.has_value();
   if (valid == reported_valid_ &&
@@ -54,7 +54,7 @@ FullSyncSlidingCoordinator::FullSyncSlidingCoordinator(sim::NodeId /*id*/,
     : per_site_(num_sites) {}
 
 void FullSyncSlidingCoordinator::on_message(const sim::Message& msg,
-                                            sim::Bus& /*bus*/) {
+                                            net::Transport& /*bus*/) {
   if (msg.type != sim::MsgType::kSlidingReport) return;
   if (msg.from >= per_site_.size()) return;
   PerSite& slot = per_site_[msg.from];

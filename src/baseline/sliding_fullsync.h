@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 #include "stream/element.h"
 #include "treap/dominance_set.h"
@@ -33,9 +33,9 @@ class FullSyncSlidingSite final : public sim::StreamNode {
                       sim::Slot window, hash::HashFunction hash_fn,
                       std::uint64_t seed);
 
-  void on_slot_begin(sim::Slot t, sim::Bus& bus) override;
-  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
-  void on_message(const sim::Message& /*msg*/, sim::Bus& /*bus*/) override {}
+  void on_slot_begin(sim::Slot t, net::Transport& bus) override;
+  void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_message(const sim::Message& /*msg*/, net::Transport& /*bus*/) override {}
 
   std::size_t state_size() const noexcept override {
     return candidates_.size();
@@ -44,7 +44,7 @@ class FullSyncSlidingSite final : public sim::StreamNode {
  private:
   /// Ships the local minimum if it changed since the last report. A
   /// cleared site (no candidates) reports the kHashMax sentinel once.
-  void report_if_changed(sim::Bus& bus);
+  void report_if_changed(net::Transport& bus);
 
   sim::NodeId id_;
   sim::NodeId coordinator_;
@@ -59,7 +59,7 @@ class FullSyncSlidingCoordinator final : public sim::Node {
  public:
   FullSyncSlidingCoordinator(sim::NodeId id, std::uint32_t num_sites);
 
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override;
 
   /// Exact window sample at slot `now`: the minimum-hash element among

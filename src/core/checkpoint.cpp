@@ -82,7 +82,7 @@ std::unique_ptr<InfiniteWindowCoordinator> restore_coordinator(
   return coordinator;
 }
 
-void resync_sites(sim::NodeId coordinator_id, sim::Bus& bus,
+void resync_sites(sim::NodeId coordinator_id, net::Transport& bus,
                   std::uint32_t instance) {
   for (std::uint32_t i = 0; i < bus.num_sites(); ++i) {
     sim::Message msg;

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "core/infinite_coordinator.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 
 namespace dds::core {
 
@@ -55,7 +55,7 @@ std::unique_ptr<InfiniteWindowCoordinator> restore_coordinator(
 /// Broadcasts a threshold reset (u_i <- 1) from the coordinator to all
 /// k sites — the post-failover resynchronization step. Costs exactly k
 /// messages.
-void resync_sites(sim::NodeId coordinator_id, sim::Bus& bus,
+void resync_sites(sim::NodeId coordinator_id, net::Transport& bus,
                   std::uint32_t instance = 0);
 
 }  // namespace dds::core

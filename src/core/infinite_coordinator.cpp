@@ -20,7 +20,7 @@ void InfiniteWindowCoordinator::restore(
 }
 
 void InfiniteWindowCoordinator::on_message(const sim::Message& msg,
-                                           sim::Bus& bus) {
+                                           net::Transport& bus) {
   if (msg.type != sim::MsgType::kReportElement || msg.instance != instance_) {
     return;
   }

@@ -21,7 +21,7 @@
 
 #include "core/bottom_s_sample.h"
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 
 namespace dds::core {
@@ -32,7 +32,7 @@ class InfiniteWindowCoordinator final : public sim::Node {
                             std::uint32_t instance = 0,
                             bool eager_threshold = false);
 
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
 
   /// O(s) state: the sample.
   std::size_t state_size() const noexcept override { return sample_.size(); }

@@ -13,7 +13,7 @@ InfiniteWindowSite::InfiniteWindowSite(sim::NodeId id, sim::NodeId coordinator,
       suppress_duplicates_(suppress_duplicates) {}
 
 void InfiniteWindowSite::on_element(stream::Element element, sim::Slot /*t*/,
-                                    sim::Bus& bus) {
+                                    net::Transport& bus) {
   if (suppress_duplicates_ && known_sampled_.contains(element)) return;
   const std::uint64_t hv = hash_fn_(element);
   if (hv < u_local_) {
@@ -29,7 +29,7 @@ void InfiniteWindowSite::on_element(stream::Element element, sim::Slot /*t*/,
   }
 }
 
-void InfiniteWindowSite::on_message(const sim::Message& msg, sim::Bus& /*bus*/) {
+void InfiniteWindowSite::on_message(const sim::Message& msg, net::Transport& /*bus*/) {
   if (msg.type == sim::MsgType::kThresholdReply ||
       msg.type == sim::MsgType::kThresholdBroadcast) {
     if (msg.instance == instance_) {

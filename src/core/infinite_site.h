@@ -29,7 +29,7 @@
 #include <unordered_set>
 
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 #include "stream/element.h"
 
@@ -44,8 +44,8 @@ class InfiniteWindowSite final : public sim::StreamNode {
                      hash::HashFunction hash_fn, std::uint32_t instance = 0,
                      bool suppress_duplicates = false);
 
-  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
 
   /// O(1) state (plus the suppression set when enabled).
   std::size_t state_size() const noexcept override {

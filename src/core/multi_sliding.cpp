@@ -17,16 +17,16 @@ MultiSlidingSite::MultiSlidingSite(sim::NodeId id, sim::NodeId coordinator,
   }
 }
 
-void MultiSlidingSite::on_slot_begin(sim::Slot t, sim::Bus& bus) {
+void MultiSlidingSite::on_slot_begin(sim::Slot t, net::Transport& bus) {
   for (auto& copy : copies_) copy.on_slot_begin(t, bus);
 }
 
 void MultiSlidingSite::on_element(stream::Element element, sim::Slot t,
-                                  sim::Bus& bus) {
+                                  net::Transport& bus) {
   for (auto& copy : copies_) copy.on_element(element, t, bus);
 }
 
-void MultiSlidingSite::on_message(const sim::Message& msg, sim::Bus& bus) {
+void MultiSlidingSite::on_message(const sim::Message& msg, net::Transport& bus) {
   if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
 }
 
@@ -45,7 +45,7 @@ MultiSlidingCoordinator::MultiSlidingCoordinator(sim::NodeId id,
 }
 
 void MultiSlidingCoordinator::on_message(const sim::Message& msg,
-                                         sim::Bus& bus) {
+                                         net::Transport& bus) {
   if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
 }
 

@@ -21,9 +21,9 @@ class MultiSlidingSite final : public sim::StreamNode {
                    const hash::HashFamily& family, std::size_t sample_size,
                    std::uint64_t seed);
 
-  void on_slot_begin(sim::Slot t, sim::Bus& bus) override;
-  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_slot_begin(sim::Slot t, net::Transport& bus) override;
+  void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
 
   /// Total candidate tuples across the s copies.
   std::size_t state_size() const noexcept override;
@@ -38,7 +38,7 @@ class MultiSlidingCoordinator final : public sim::Node {
  public:
   MultiSlidingCoordinator(sim::NodeId id, std::size_t sample_size);
 
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override;
 
   /// The with-replacement window sample at slot `now` (one element per

@@ -7,7 +7,7 @@ SlidingWindowCoordinator::SlidingWindowCoordinator(sim::NodeId id,
     : id_(id), instance_(instance) {}
 
 void SlidingWindowCoordinator::on_message(const sim::Message& msg,
-                                          sim::Bus& bus) {
+                                          net::Transport& bus) {
   if (msg.type != sim::MsgType::kSlidingReport || msg.instance != instance_) {
     return;
   }

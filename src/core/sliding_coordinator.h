@@ -27,7 +27,7 @@
 #include <optional>
 
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 #include "stream/element.h"
 #include "treap/dominance_set.h"
@@ -38,7 +38,7 @@ class SlidingWindowCoordinator final : public sim::Node {
  public:
   explicit SlidingWindowCoordinator(sim::NodeId id, std::uint32_t instance = 0);
 
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
 
   std::size_t state_size() const noexcept override { return has_ ? 1 : 0; }
 

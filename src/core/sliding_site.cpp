@@ -14,7 +14,7 @@ SlidingWindowSite::SlidingWindowSite(sim::NodeId id, sim::NodeId coordinator,
       instance_(instance),
       candidates_(seed) {}
 
-void SlidingWindowSite::on_slot_begin(sim::Slot t, sim::Bus& bus) {
+void SlidingWindowSite::on_slot_begin(sim::Slot t, net::Transport& bus) {
   candidates_.expire(t);
   if (has_view_ && view_expiry_ <= t) {
     // Lines 21-25: the sample view expired; fall back to the local
@@ -32,7 +32,7 @@ void SlidingWindowSite::on_slot_begin(sim::Slot t, sim::Bus& bus) {
 }
 
 void SlidingWindowSite::on_element(stream::Element element, sim::Slot t,
-                                   sim::Bus& bus) {
+                                   net::Transport& bus) {
   const std::uint64_t hv = hash_fn_(element);
   const sim::Slot expiry = t + window_;
   candidates_.observe(element, hv, expiry);
@@ -41,7 +41,7 @@ void SlidingWindowSite::on_element(stream::Element element, sim::Slot t,
   }
 }
 
-void SlidingWindowSite::on_message(const sim::Message& msg, sim::Bus& /*bus*/) {
+void SlidingWindowSite::on_message(const sim::Message& msg, net::Transport& /*bus*/) {
   if (msg.type != sim::MsgType::kSlidingReply || msg.instance != instance_) {
     return;
   }
@@ -55,7 +55,7 @@ void SlidingWindowSite::on_message(const sim::Message& msg, sim::Bus& /*bus*/) {
 }
 
 void SlidingWindowSite::offer(stream::Element element, std::uint64_t hash,
-                              sim::Slot expiry, sim::Bus& bus) {
+                              sim::Slot expiry, net::Transport& bus) {
   sim::Message msg;
   msg.from = id_;
   msg.to = coordinator_;

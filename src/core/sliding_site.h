@@ -25,7 +25,7 @@
 #include <optional>
 
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 #include "stream/element.h"
 #include "treap/dominance_set.h"
@@ -38,9 +38,9 @@ class SlidingWindowSite final : public sim::StreamNode {
                     hash::HashFunction hash_fn, std::uint64_t seed,
                     std::uint32_t instance = 0);
 
-  void on_slot_begin(sim::Slot t, sim::Bus& bus) override;
-  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_slot_begin(sim::Slot t, net::Transport& bus) override;
+  void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
 
   /// The paper's per-site memory metric: |T_i| (Figures 5.7 / 5.9).
   std::size_t state_size() const noexcept override {
@@ -54,7 +54,7 @@ class SlidingWindowSite final : public sim::StreamNode {
 
  private:
   void offer(stream::Element element, std::uint64_t hash, sim::Slot expiry,
-             sim::Bus& bus);
+             net::Transport& bus);
 
   sim::NodeId id_;
   sim::NodeId coordinator_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/factory.h"
 #include "util/rng.h"
 
 namespace dds::core {
@@ -21,53 +22,53 @@ std::vector<sim::StreamNode*> as_stream_nodes(
 
 InfiniteSystem::InfiniteSystem(const SystemConfig& config, bool eager_threshold,
                                bool suppress_duplicates)
-    : bus_(config.num_sites),
+    : transport_(net::make_transport(config.num_sites, config.network)),
       hash_fn_(config.hash_kind, util::derive_seed(config.seed, 0xA5)) {
   coordinator_ = std::make_unique<InfiniteWindowCoordinator>(
-      bus_.coordinator_id(), config.sample_size, /*instance=*/0,
+      transport_->coordinator_id(), config.sample_size, /*instance=*/0,
       eager_threshold);
-  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+  transport_->attach(transport_->coordinator_id(), coordinator_.get());
   sites_.reserve(config.num_sites);
   for (std::uint32_t i = 0; i < config.num_sites; ++i) {
     sites_.push_back(std::make_unique<InfiniteWindowSite>(
-        i, bus_.coordinator_id(), hash_fn_, /*instance=*/0,
+        i, transport_->coordinator_id(), hash_fn_, /*instance=*/0,
         suppress_duplicates));
-    bus_.attach(i, sites_.back().get());
+    transport_->attach(i, sites_.back().get());
   }
-  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+  runner_ = std::make_unique<sim::Runner>(*transport_, as_stream_nodes(sites_),
                                           /*invoke_slot_begin=*/false);
 }
 
 WithReplacementSystem::WithReplacementSystem(const SystemConfig& config)
-    : bus_(config.num_sites),
+    : transport_(net::make_transport(config.num_sites, config.network)),
       family_(config.hash_kind, util::derive_seed(config.seed, 0xB6)) {
   coordinator_ = std::make_unique<WithReplacementCoordinator>(
-      bus_.coordinator_id(), family_, config.sample_size);
-  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+      transport_->coordinator_id(), family_, config.sample_size);
+  transport_->attach(transport_->coordinator_id(), coordinator_.get());
   sites_.reserve(config.num_sites);
   for (std::uint32_t i = 0; i < config.num_sites; ++i) {
     sites_.push_back(std::make_unique<WithReplacementSite>(
-        i, bus_.coordinator_id(), family_, config.sample_size));
-    bus_.attach(i, sites_.back().get());
+        i, transport_->coordinator_id(), family_, config.sample_size));
+    transport_->attach(i, sites_.back().get());
   }
-  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+  runner_ = std::make_unique<sim::Runner>(*transport_, as_stream_nodes(sites_),
                                           /*invoke_slot_begin=*/false);
 }
 
 SlidingSystem::SlidingSystem(const SlidingSystemConfig& config)
-    : bus_(config.num_sites),
+    : transport_(net::make_transport(config.num_sites, config.network)),
       family_(config.hash_kind, util::derive_seed(config.seed, 0xC7)) {
   coordinator_ = std::make_unique<MultiSlidingCoordinator>(
-      bus_.coordinator_id(), config.sample_size);
-  bus_.attach(bus_.coordinator_id(), coordinator_.get());
+      transport_->coordinator_id(), config.sample_size);
+  transport_->attach(transport_->coordinator_id(), coordinator_.get());
   sites_.reserve(config.num_sites);
   for (std::uint32_t i = 0; i < config.num_sites; ++i) {
     sites_.push_back(std::make_unique<MultiSlidingSite>(
-        i, bus_.coordinator_id(), config.window, family_, config.sample_size,
+        i, transport_->coordinator_id(), config.window, family_, config.sample_size,
         util::derive_seed(config.seed, 0xD800ULL + i)));
-    bus_.attach(i, sites_.back().get());
+    transport_->attach(i, sites_.back().get());
   }
-  runner_ = std::make_unique<sim::Runner>(bus_, as_stream_nodes(sites_),
+  runner_ = std::make_unique<sim::Runner>(*transport_, as_stream_nodes(sites_),
                                           /*invoke_slot_begin=*/true);
 }
 

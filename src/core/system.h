@@ -12,7 +12,8 @@
 #include "core/multi_sliding.h"
 #include "core/with_replacement.h"
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/config.h"
+#include "net/transport.h"
 #include "sim/runner.h"
 
 namespace dds::core {
@@ -23,6 +24,10 @@ struct SystemConfig {
   std::size_t sample_size = 10;
   hash::HashKind hash_kind = hash::HashKind::kMurmur2;
   std::uint64_t seed = 1;
+  /// Wire model. Defaults to the paper's idealized network, served by
+  /// the legacy zero-delay sim::Bus; any nontrivial setting deploys on
+  /// the event-driven net::SimNetwork.
+  net::NetworkConfig network;
 };
 
 /// Infinite-window deployment of Algorithms 1 & 2 (sampling without
@@ -35,7 +40,7 @@ class InfiniteSystem {
                           bool eager_threshold = false,
                           bool suppress_duplicates = false);
 
-  sim::Bus& bus() noexcept { return bus_; }
+  net::Transport& bus() noexcept { return *transport_; }
   sim::Runner& runner() noexcept { return *runner_; }
   const InfiniteWindowCoordinator& coordinator() const noexcept {
     return *coordinator_;
@@ -48,7 +53,7 @@ class InfiniteSystem {
   std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
 
  private:
-  sim::Bus bus_;
+  std::unique_ptr<net::Transport> transport_;
   hash::HashFunction hash_fn_;
   std::vector<std::unique_ptr<InfiniteWindowSite>> sites_;
   std::unique_ptr<InfiniteWindowCoordinator> coordinator_;
@@ -61,7 +66,7 @@ class WithReplacementSystem {
  public:
   explicit WithReplacementSystem(const SystemConfig& config);
 
-  sim::Bus& bus() noexcept { return bus_; }
+  net::Transport& bus() noexcept { return *transport_; }
   sim::Runner& runner() noexcept { return *runner_; }
   const WithReplacementCoordinator& coordinator() const noexcept {
     return *coordinator_;
@@ -71,7 +76,7 @@ class WithReplacementSystem {
   std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
 
  private:
-  sim::Bus bus_;
+  std::unique_ptr<net::Transport> transport_;
   hash::HashFamily family_;
   std::vector<std::unique_ptr<WithReplacementSite>> sites_;
   std::unique_ptr<WithReplacementCoordinator> coordinator_;
@@ -86,19 +91,21 @@ struct SlidingSystemConfig {
   std::size_t sample_size = 1;
   hash::HashKind hash_kind = hash::HashKind::kMurmur2;
   std::uint64_t seed = 1;
+  /// Wire model (see SystemConfig::network).
+  net::NetworkConfig network;
 };
 
 class SlidingSystem {
  public:
   explicit SlidingSystem(const SlidingSystemConfig& config);
 
-  sim::Bus& bus() noexcept { return bus_; }
+  net::Transport& bus() noexcept { return *transport_; }
   sim::Runner& runner() noexcept { return *runner_; }
   const MultiSlidingCoordinator& coordinator() const noexcept {
     return *coordinator_;
   }
   const MultiSlidingSite& site(std::size_t i) const { return *sites_[i]; }
-  std::uint32_t num_sites() const noexcept { return bus_.num_sites(); }
+  std::uint32_t num_sites() const noexcept { return transport_->num_sites(); }
   const hash::HashFamily& family() const noexcept { return family_; }
 
   std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
@@ -109,7 +116,7 @@ class SlidingSystem {
   std::size_t max_site_state() const noexcept;
 
  private:
-  sim::Bus bus_;
+  std::unique_ptr<net::Transport> transport_;
   hash::HashFamily family_;
   std::vector<std::unique_ptr<MultiSlidingSite>> sites_;
   std::unique_ptr<MultiSlidingCoordinator> coordinator_;

@@ -14,11 +14,11 @@ WithReplacementSite::WithReplacementSite(sim::NodeId id,
 }
 
 void WithReplacementSite::on_element(stream::Element element, sim::Slot t,
-                                     sim::Bus& bus) {
+                                     net::Transport& bus) {
   for (auto& copy : copies_) copy.on_element(element, t, bus);
 }
 
-void WithReplacementSite::on_message(const sim::Message& msg, sim::Bus& bus) {
+void WithReplacementSite::on_message(const sim::Message& msg, net::Transport& bus) {
   if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
 }
 
@@ -33,7 +33,7 @@ WithReplacementCoordinator::WithReplacementCoordinator(
 }
 
 void WithReplacementCoordinator::on_message(const sim::Message& msg,
-                                            sim::Bus& bus) {
+                                            net::Transport& bus) {
   if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
 }
 

@@ -14,7 +14,7 @@
 #include "core/infinite_coordinator.h"
 #include "core/infinite_site.h"
 #include "hash/hash_function.h"
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 
 namespace dds::core {
@@ -24,8 +24,8 @@ class WithReplacementSite final : public sim::StreamNode {
   WithReplacementSite(sim::NodeId id, sim::NodeId coordinator,
                       const hash::HashFamily& family, std::size_t sample_size);
 
-  void on_element(stream::Element element, sim::Slot t, sim::Bus& bus) override;
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override { return copies_.size(); }
 
  private:
@@ -37,7 +37,7 @@ class WithReplacementCoordinator final : public sim::Node {
   WithReplacementCoordinator(sim::NodeId id, const hash::HashFamily& family,
                              std::size_t sample_size);
 
-  void on_message(const sim::Message& msg, sim::Bus& bus) override;
+  void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override;
 
   /// The with-replacement sample: copy j's current element, for every

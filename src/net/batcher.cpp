@@ -1,0 +1,50 @@
+#include "net/batcher.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dds::net {
+
+Batcher::Batcher(std::uint32_t num_sites, sim::Slot interval,
+                 std::size_t max_msgs)
+    : interval_(interval),
+      max_msgs_(max_msgs == 0 ? 1 : max_msgs),
+      buffers_(num_sites) {}
+
+bool Batcher::add(const sim::Message& msg, sim::Slot now) {
+  if (msg.from >= buffers_.size()) {
+    throw std::out_of_range("Batcher::add: not a site message");
+  }
+  Buffer& buf = buffers_[msg.from];
+  if (buf.msgs.empty()) buf.first_slot = now;
+  buf.msgs.push_back(msg);
+  return buf.msgs.size() >= max_msgs_;
+}
+
+Batch Batcher::take_site(sim::NodeId site) {
+  Buffer& buf = buffers_[site];
+  Batch out{site, std::move(buf.msgs)};
+  buf.msgs.clear();
+  return out;
+}
+
+std::vector<Batch> Batcher::take_due(sim::Slot now) {
+  std::vector<Batch> out;
+  for (sim::NodeId site = 0; site < buffers_.size(); ++site) {
+    const Buffer& buf = buffers_[site];
+    if (!buf.msgs.empty() && buf.first_slot + interval_ <= now) {
+      out.push_back(take_site(site));
+    }
+  }
+  return out;
+}
+
+std::vector<Batch> Batcher::take_all() {
+  std::vector<Batch> out;
+  for (sim::NodeId site = 0; site < buffers_.size(); ++site) {
+    if (!buffers_[site].msgs.empty()) out.push_back(take_site(site));
+  }
+  return out;
+}
+
+}  // namespace dds::net

@@ -1,0 +1,64 @@
+// Network condition knobs for a simulated deployment.
+//
+// The defaults describe the paper's idealized wire — zero delay, no
+// loss, no batching — so every existing experiment keeps its exact
+// semantics (and, via the transport factory, keeps running on the legacy
+// zero-delay sim::Bus). Turning any knob switches the deployment onto
+// the event-driven net::SimNetwork.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/message.h"
+
+namespace dds::net {
+
+/// Per-link wire model parameters. Delays are measured in slots (the
+/// simulation's time unit) and may be fractional.
+struct LinkConfig {
+  double latency = 0.0;        ///< fixed one-way delay
+  double jitter = 0.0;         ///< + uniform in [0, jitter]
+  double jitter_stddev = 0.0;  ///< + gaussian with this stddev (clamped >= 0)
+  double drop_rate = 0.0;      ///< Bernoulli loss probability per transmission
+  bool retransmit = true;      ///< reliable link: dropped messages retry
+  double retransmit_timeout = 1.0;  ///< delay before a retry is attempted
+  int max_attempts = 16;            ///< total transmissions before giving up
+  double reorder_rate = 0.0;   ///< chance a message is held back extra
+  double reorder_extra = 1.0;  ///< held-back messages wait + uniform [0, extra]
+
+  bool delays_or_drops() const noexcept {
+    return latency > 0.0 || jitter > 0.0 || jitter_stddev > 0.0 ||
+           drop_rate > 0.0 || reorder_rate > 0.0;
+  }
+};
+
+/// Which transport the factory should build.
+enum class TransportKind : std::uint8_t {
+  kAuto,        ///< legacy Bus when the config is trivial, else SimNetwork
+  kBus,         ///< force the zero-delay synchronous bus
+  kSimNetwork,  ///< force the event-driven simulator (any config)
+};
+
+/// Deployment-level network configuration: the default link model, the
+/// site->coordinator batching policy, and the scheduler seed.
+struct NetworkConfig {
+  TransportKind kind = TransportKind::kAuto;
+  LinkConfig link;  ///< applied to every link unless overridden per-pair
+
+  /// Batching of site->coordinator traffic: 0 disables; otherwise a
+  /// site's reports are coalesced and flushed at most `batch_interval`
+  /// slots after the first buffered message (or sooner on size).
+  sim::Slot batch_interval = 0;
+  std::size_t batch_max_msgs = 64;  ///< flush early at this batch size
+
+  std::uint64_t seed = 1;  ///< scheduler/link randomness; protocols have own
+
+  /// True when the config describes the paper's idealized wire, i.e. the
+  /// zero-delay Bus implements it exactly.
+  bool trivial() const noexcept {
+    return !link.delays_or_drops() && batch_interval == 0;
+  }
+};
+
+}  // namespace dds::net

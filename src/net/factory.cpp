@@ -1,0 +1,17 @@
+#include "net/factory.h"
+
+#include "net/sim_network.h"
+#include "sim/bus.h"
+
+namespace dds::net {
+
+std::unique_ptr<Transport> make_transport(std::uint32_t num_sites,
+                                          const NetworkConfig& config) {
+  const bool use_bus =
+      config.kind == TransportKind::kBus ||
+      (config.kind == TransportKind::kAuto && config.trivial());
+  if (use_bus) return std::make_unique<sim::Bus>(num_sites);
+  return std::make_unique<SimNetwork>(num_sites, config);
+}
+
+}  // namespace dds::net

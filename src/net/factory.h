@@ -1,0 +1,19 @@
+// Transport factory used by the deployment facades.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/config.h"
+#include "net/transport.h"
+
+namespace dds::net {
+
+/// Builds the transport a NetworkConfig asks for. With kind = kAuto a
+/// trivial config (zero delay, lossless, unbatched) gets the legacy
+/// zero-delay sim::Bus — the paper's wire, and the cheapest path — and
+/// anything else gets a SimNetwork.
+std::unique_ptr<Transport> make_transport(std::uint32_t num_sites,
+                                          const NetworkConfig& config);
+
+}  // namespace dds::net

@@ -1,0 +1,66 @@
+#include "net/link_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dds::net {
+
+LinkFate FixedLatencyLink::transmit(const sim::Message& /*msg*/,
+                                    util::Xoshiro256StarStar& /*rng*/) {
+  return {false, latency_};
+}
+
+LinkFate UniformJitterLink::transmit(const sim::Message& /*msg*/,
+                                     util::Xoshiro256StarStar& rng) {
+  return {false, latency_ + rng.next_double() * width_};
+}
+
+LinkFate NormalJitterLink::transmit(const sim::Message& /*msg*/,
+                                    util::Xoshiro256StarStar& rng) {
+  // Box-Muller; one variate per call keeps the RNG stream simple and
+  // deterministic (no cached second variate across transports).
+  const double u1 = std::max(rng.next_double(), 1e-12);
+  const double u2 = rng.next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return {false, std::max(0.0, latency_ + stddev_ * z)};
+}
+
+LinkFate DropLink::transmit(const sim::Message& msg,
+                            util::Xoshiro256StarStar& rng) {
+  LinkFate fate = inner_->transmit(msg, rng);
+  if (rng.next_bernoulli(drop_rate_)) fate.dropped = true;
+  return fate;
+}
+
+LinkFate ReorderLink::transmit(const sim::Message& msg,
+                               util::Xoshiro256StarStar& rng) {
+  LinkFate fate = inner_->transmit(msg, rng);
+  if (rng.next_bernoulli(rate_)) {
+    fate.delay += rng.next_double() * extra_;
+  }
+  return fate;
+}
+
+std::unique_ptr<LinkModel> make_link_model(const LinkConfig& config) {
+  std::unique_ptr<LinkModel> model;
+  if (config.jitter_stddev > 0.0) {
+    model = std::make_unique<NormalJitterLink>(config.latency,
+                                               config.jitter_stddev);
+  } else if (config.jitter > 0.0) {
+    model = std::make_unique<UniformJitterLink>(config.latency, config.jitter);
+  } else {
+    model = std::make_unique<FixedLatencyLink>(config.latency);
+  }
+  if (config.reorder_rate > 0.0) {
+    model = std::make_unique<ReorderLink>(config.reorder_rate,
+                                          config.reorder_extra,
+                                          std::move(model));
+  }
+  if (config.drop_rate > 0.0) {
+    model = std::make_unique<DropLink>(config.drop_rate, std::move(model));
+  }
+  return model;
+}
+
+}  // namespace dds::net

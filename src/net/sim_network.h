@@ -1,0 +1,126 @@
+// Event-driven network simulator.
+//
+// Generalizes the zero-delay sim::Bus: every transmission is scheduled
+// on a priority queue keyed by delivery time (ties broken by send order,
+// so a zero-delay configuration reproduces the Bus's FIFO semantics
+// bit-for-bit). Per-link LinkModels decide flight time and loss;
+// dropped transmissions optionally retransmit after a timeout; outbound
+// site->coordinator reports can be coalesced by a Batcher.
+//
+// Time: the Runner advances the integer slot clock (set_now); the
+// network keeps a fractional virtual clock that tracks the slot clock
+// and the timestamps of processed events, so cascaded replies are sent
+// at the moment their trigger arrived. drain() delivers everything due
+// at the current slot; finish() runs the queue dry at end of stream.
+//
+// Determinism: all randomness (jitter, loss, reordering) comes from one
+// generator seeded by NetworkConfig::seed, so a run is a pure function
+// of (arrival sequence, protocol seeds, network seed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "net/batcher.h"
+#include "net/config.h"
+#include "net/link_model.h"
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace dds::net {
+
+/// Wire-level pathology and batching statistics (beyond BusCounters).
+struct NetStats {
+  std::uint64_t transmissions = 0;     ///< wire units put on a link
+  std::uint64_t drops = 0;             ///< transmissions lost in flight
+  std::uint64_t retransmissions = 0;   ///< retries scheduled after a drop
+  std::uint64_t lost_messages = 0;     ///< logical msgs abandoned for good
+  std::uint64_t batches_flushed = 0;   ///< batcher flushes (any size)
+  std::uint64_t batched_messages = 0;  ///< logical msgs that rode a batch
+};
+
+class SimNetwork final : public Transport {
+ public:
+  SimNetwork(std::uint32_t num_sites, const NetworkConfig& config);
+
+  void send(const sim::Message& msg) override;
+  void drain() override;
+  void finish() override;
+
+  /// Overrides the wire model of the directed link from -> to. Links
+  /// without an override use the model NetworkConfig::link describes.
+  /// Retransmission policy (timeout, attempt cap) stays global.
+  void set_link_model(sim::NodeId from, sim::NodeId to,
+                      std::unique_ptr<LinkModel> model);
+
+  /// Protocol-level counters: one count per send(), regardless of
+  /// batching or retransmission. counters() is the wire-level view;
+  /// (logical - wire) is the batching saving, (wire - logical) the
+  /// retransmission overhead.
+  const BusCounters& logical_counters() const noexcept { return logical_; }
+
+  const NetStats& stats() const noexcept { return net_stats_; }
+
+  const NetworkConfig& config() const noexcept { return config_; }
+
+  /// Fractional virtual clock (== slot clock unless finish() ran past
+  /// it or events carried fractional delays).
+  double virtual_time() const noexcept { return vtime_; }
+
+  /// Scheduled wire units not yet delivered (in flight or awaiting
+  /// retransmission); excludes batched messages still buffering.
+  std::size_t in_flight() const noexcept { return queue_.size(); }
+
+ protected:
+  void on_clock_advance(sim::Slot now) override;
+
+ private:
+  /// One wire unit: a single message or a coalesced batch.
+  struct WireUnit {
+    std::vector<sim::Message> msgs;  // non-empty; in send order
+    bool batched = false;
+  };
+
+  enum class EventKind : std::uint8_t { kTransmit, kDeliver };
+
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break at equal times
+    EventKind kind = EventKind::kDeliver;
+    int attempt = 1;
+    WireUnit unit;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule(double time, EventKind kind, WireUnit unit, int attempt);
+  /// Puts a wire unit on its link at time `at`: rolls the link model,
+  /// counts the attempt, and schedules delivery or a retry.
+  void transmit(WireUnit unit, double at, int attempt);
+  void deliver_unit(const WireUnit& unit);
+  void flush_batches(std::vector<Batch> batches);
+  void run_due(double horizon);
+  LinkModel& link_for(sim::NodeId from, sim::NodeId to);
+
+  NetworkConfig config_;
+  util::Xoshiro256StarStar rng_;
+  std::unique_ptr<LinkModel> default_link_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<LinkModel>> link_overrides_;
+  Batcher batcher_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+  double vtime_ = 0.0;
+  bool draining_ = false;
+  BusCounters logical_;
+  NetStats net_stats_;
+};
+
+}  // namespace dds::net

@@ -1,0 +1,71 @@
+#include "net/transport.h"
+
+#include <stdexcept>
+
+#include "sim/node.h"
+
+namespace dds::net {
+
+BusCounters BusCounters::operator-(const BusCounters& rhs) const noexcept {
+  BusCounters out;
+  out.total = total - rhs.total;
+  out.site_to_coordinator = site_to_coordinator - rhs.site_to_coordinator;
+  out.coordinator_to_site = coordinator_to_site - rhs.coordinator_to_site;
+  out.bytes = bytes - rhs.bytes;
+  for (std::size_t i = 0; i < by_type.size(); ++i) {
+    out.by_type[i] = by_type[i] - rhs.by_type[i];
+  }
+  return out;
+}
+
+Transport::Transport(std::uint32_t num_sites)
+    : num_sites_(num_sites),
+      nodes_(num_sites + 1, nullptr),
+      sent_by_(num_sites + 1, 0),
+      received_by_(num_sites + 1, 0) {}
+
+void Transport::attach(sim::NodeId id, sim::Node* node) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Transport::attach: node id out of range");
+  }
+  nodes_[id] = node;
+}
+
+void Transport::check_endpoints(const sim::Message& msg) const {
+  if (msg.from >= nodes_.size() || msg.to >= nodes_.size()) {
+    throw std::out_of_range("Transport::send: bad endpoint");
+  }
+}
+
+void Transport::note_send(const sim::Message& msg) {
+  ++sent_by_[msg.from];
+  wire_.by_type[static_cast<std::size_t>(msg.type)] += 1;
+  if (tap_) tap_(msg);
+}
+
+void Transport::count_wire(const sim::Message& msg, std::uint64_t bytes) {
+  wire_.add_transmission(msg, bytes, coordinator_id());
+}
+
+void Transport::deliver(const sim::Message& msg) {
+  ++received_by_[msg.to];
+  sim::Node* node = nodes_[msg.to];
+  if (node == nullptr) {
+    throw std::logic_error("Transport::deliver: message to unattached node");
+  }
+  node->on_message(msg, *this);
+}
+
+std::uint64_t Transport::sent_by(sim::NodeId id) const {
+  if (id >= sent_by_.size()) throw std::out_of_range("Transport::sent_by");
+  return sent_by_[id];
+}
+
+std::uint64_t Transport::received_by(sim::NodeId id) const {
+  if (id >= received_by_.size()) {
+    throw std::out_of_range("Transport::received_by");
+  }
+  return received_by_[id];
+}
+
+}  // namespace dds::net

@@ -1,0 +1,144 @@
+// The transport abstraction every site<->coordinator message crosses.
+//
+// Extracted from sim::Bus so the deployment facades can swap the wire
+// model without the protocols noticing: the zero-delay synchronous Bus
+// (the paper's cost model) and the event-driven net::SimNetwork (latency,
+// jitter, loss, batching) both implement this interface.
+//
+// The transport is also the audit point: every message is counted here
+// (total, per type, per direction, per node), so the paper's cost metric
+// — message count — is measured at the wire rather than tallied inside
+// the algorithms. Counter semantics: `counters()` reports *wire-level*
+// cost (a coalesced batch counts once; a retransmission counts again),
+// which for the zero-delay Bus coincides with one count per send().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace dds::sim {
+class Node;
+}  // namespace dds::sim
+
+namespace dds::net {
+
+/// Counter snapshot; subtraction gives per-interval deltas.
+///
+/// `total`, the direction counters, and `bytes` count wire-level
+/// transmissions; `by_type` counts logical protocol messages (so a batch
+/// carrying three reports bumps total once and by_type three times).
+/// On the zero-delay Bus the two views are identical.
+struct BusCounters {
+  std::uint64_t total = 0;
+  std::uint64_t site_to_coordinator = 0;
+  std::uint64_t coordinator_to_site = 0;
+  std::uint64_t bytes = 0;
+  std::array<std::uint64_t, sim::kNumMsgTypes> by_type{};
+
+  /// Counts one transmission of `bytes` in msg's direction (by_type is
+  /// the caller's business — batch carriers count their entries there).
+  void add_transmission(const sim::Message& msg, std::uint64_t bytes,
+                        sim::NodeId coordinator_id) noexcept {
+    ++total;
+    this->bytes += bytes;
+    if (msg.from == coordinator_id) {
+      ++coordinator_to_site;
+    } else {
+      ++site_to_coordinator;
+    }
+  }
+
+  BusCounters operator-(const BusCounters& rhs) const noexcept;
+};
+
+/// Abstract wire. Owns the audit counters and the node attachment table;
+/// concrete transports decide when (and whether) a sent message arrives.
+class Transport {
+ public:
+  /// A transport for `num_sites` sites (ids 0..num_sites-1) plus a
+  /// coordinator (id = num_sites). Nodes are attached afterwards.
+  explicit Transport(std::uint32_t num_sites);
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  sim::NodeId coordinator_id() const noexcept { return num_sites_; }
+  std::uint32_t num_sites() const noexcept { return num_sites_; }
+
+  /// Current slot, maintained by the Runner. The paper's model has all
+  /// nodes time-synchronized (Chapter 2), so the coordinator may read
+  /// the clock directly (Algorithm 4 tests "t* < t").
+  void set_now(sim::Slot now) {
+    now_ = now;
+    on_clock_advance(now);
+  }
+  sim::Slot now() const noexcept { return now_; }
+
+  /// Attaches the handler for node `id`. The transport does not own
+  /// nodes.
+  void attach(sim::NodeId id, sim::Node* node);
+
+  /// Accepts a message for (eventual) delivery and counts it.
+  virtual void send(const sim::Message& msg) = 0;
+
+  /// Delivers every message due at the current time, including messages
+  /// sent during delivery that are themselves immediately due.
+  virtual void drain() = 0;
+
+  /// Delivers everything still in flight (flushing batches and advancing
+  /// virtual time past the last scheduled event). The Runner calls this
+  /// once the arrival stream ends. Zero-delay transports have nothing in
+  /// flight beyond the current drain.
+  virtual void finish() { drain(); }
+
+  /// Wire-level cost counters (see BusCounters for semantics).
+  const BusCounters& counters() const noexcept { return wire_; }
+
+  /// Messages sent by node `id` (either direction counts at the sender).
+  std::uint64_t sent_by(sim::NodeId id) const;
+  /// Messages delivered to node `id`.
+  std::uint64_t received_by(sim::NodeId id) const;
+
+  /// Optional tap invoked for every logical send (determinism tests
+  /// record traces through this).
+  void set_tap(std::function<void(const sim::Message&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+ protected:
+  /// Hook invoked whenever the Runner advances the slot clock.
+  virtual void on_clock_advance(sim::Slot now) { (void)now; }
+
+  /// Validates endpoints; throws std::out_of_range like the legacy Bus.
+  void check_endpoints(const sim::Message& msg) const;
+
+  /// Sender-side bookkeeping for one logical send: sent_by, tap, and the
+  /// per-type counter.
+  void note_send(const sim::Message& msg);
+
+  /// Counts one wire transmission of `bytes` on-wire size in msg's
+  /// direction (`msg` may be a batch carrier; per-type counts are logical
+  /// and happen in note_send).
+  void count_wire(const sim::Message& msg, std::uint64_t bytes);
+
+  /// Receiver-side bookkeeping + dispatch. Throws std::logic_error if the
+  /// destination was never attached.
+  void deliver(const sim::Message& msg);
+
+  BusCounters wire_;
+
+ private:
+  std::uint32_t num_sites_;
+  std::vector<sim::Node*> nodes_;
+  std::vector<std::uint64_t> sent_by_;
+  std::vector<std::uint64_t> received_by_;
+  std::function<void(const sim::Message&)> tap_;
+  sim::Slot now_ = 0;
+};
+
+}  // namespace dds::net

@@ -1,76 +1,28 @@
 #include "sim/bus.h"
 
-#include <stdexcept>
-
 namespace dds::sim {
 
-BusCounters BusCounters::operator-(const BusCounters& rhs) const noexcept {
-  BusCounters out;
-  out.total = total - rhs.total;
-  out.site_to_coordinator = site_to_coordinator - rhs.site_to_coordinator;
-  out.coordinator_to_site = coordinator_to_site - rhs.coordinator_to_site;
-  out.bytes = bytes - rhs.bytes;
-  for (std::size_t i = 0; i < by_type.size(); ++i) {
-    out.by_type[i] = by_type[i] - rhs.by_type[i];
-  }
-  return out;
-}
-
-Bus::Bus(std::uint32_t num_sites)
-    : num_sites_(num_sites),
-      nodes_(num_sites + 1, nullptr),
-      sent_by_(num_sites + 1, 0),
-      received_by_(num_sites + 1, 0) {}
-
-void Bus::attach(NodeId id, Node* node) {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Bus::attach: node id out of range");
-  }
-  nodes_[id] = node;
-}
-
 void Bus::send(const Message& msg) {
-  if (msg.from >= nodes_.size() || msg.to >= nodes_.size()) {
-    throw std::out_of_range("Bus::send: bad endpoint");
-  }
-  ++counters_.total;
-  counters_.bytes += Message::wire_bytes();
-  counters_.by_type[static_cast<std::size_t>(msg.type)] += 1;
-  if (msg.from == coordinator_id()) {
-    ++counters_.coordinator_to_site;
-  } else {
-    ++counters_.site_to_coordinator;
-  }
-  ++sent_by_[msg.from];
-  if (tap_) tap_(msg);
+  check_endpoints(msg);
+  note_send(msg);
+  count_wire(msg, Message::wire_bytes());
   queue_.push_back(msg);
 }
 
 void Bus::drain() {
   if (draining_) return;  // re-entrant drain: outer loop finishes the queue
   draining_ = true;
-  while (!queue_.empty()) {
-    const Message msg = queue_.front();
-    queue_.pop_front();
-    ++received_by_[msg.to];
-    Node* node = nodes_[msg.to];
-    if (node == nullptr) {
-      draining_ = false;
-      throw std::logic_error("Bus::drain: message to unattached node");
+  try {
+    while (!queue_.empty()) {
+      const Message msg = queue_.front();
+      queue_.pop_front();
+      deliver(msg);
     }
-    node->on_message(msg, *this);
+  } catch (...) {
+    draining_ = false;
+    throw;
   }
   draining_ = false;
-}
-
-std::uint64_t Bus::sent_by(NodeId id) const {
-  if (id >= sent_by_.size()) throw std::out_of_range("Bus::sent_by");
-  return sent_by_[id];
-}
-
-std::uint64_t Bus::received_by(NodeId id) const {
-  if (id >= received_by_.size()) throw std::out_of_range("Bus::received_by");
-  return received_by_[id];
 }
 
 }  // namespace dds::sim

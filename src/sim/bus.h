@@ -1,86 +1,43 @@
-// The audited message bus.
+// The zero-delay synchronous message bus.
 //
-// All site<->coordinator communication flows through Bus::send, which
-// counts every message (total, per type, per direction, per node) and
-// then delivers it. Experiments read the paper's cost metric — message
-// count — from these counters, so the reported numbers are measured at
-// the transport layer rather than tallied inside the algorithms.
-//
-// Delivery is queued FIFO and drained to quiescence after every external
-// event, which models the paper's zero-delay synchronous network while
-// keeping ordering deterministic and call stacks shallow.
+// The default net::Transport implementation: delivery is queued FIFO and
+// drained to quiescence after every external event, which models the
+// paper's zero-delay synchronous network while keeping ordering
+// deterministic and call stacks shallow. All counting (the paper's cost
+// metric is message count) lives in the Transport base, measured at the
+// transport layer rather than tallied inside the algorithms. For
+// realistic wires (latency, jitter, loss, batching) see
+// net::SimNetwork.
 #pragma once
 
-#include <array>
-#include <cstdint>
 #include <deque>
-#include <functional>
-#include <vector>
 
+#include "net/transport.h"
 #include "sim/message.h"
 #include "sim/node.h"
 
 namespace dds::sim {
 
-/// Counter snapshot; subtraction gives per-interval deltas.
-struct BusCounters {
-  std::uint64_t total = 0;
-  std::uint64_t site_to_coordinator = 0;
-  std::uint64_t coordinator_to_site = 0;
-  std::uint64_t bytes = 0;
-  std::array<std::uint64_t, kNumMsgTypes> by_type{};
+/// The counters kept their historical home in this namespace; the struct
+/// itself moved to the transport layer.
+using BusCounters = net::BusCounters;
 
-  BusCounters operator-(const BusCounters& rhs) const noexcept;
-};
-
-class Bus {
+class Bus final : public net::Transport {
  public:
   /// Creates a bus for `num_sites` sites (ids 0..num_sites-1) plus a
   /// coordinator (id = num_sites). Nodes are attached afterwards.
-  explicit Bus(std::uint32_t num_sites);
+  explicit Bus(std::uint32_t num_sites) : Transport(num_sites) {}
 
-  NodeId coordinator_id() const noexcept { return num_sites_; }
-  std::uint32_t num_sites() const noexcept { return num_sites_; }
-
-  /// Current slot, maintained by the Runner. The paper's model has all
-  /// nodes time-synchronized (Chapter 2), so the coordinator may read
-  /// the clock directly (Algorithm 4 tests "t* < t").
-  void set_now(Slot now) noexcept { now_ = now; }
-  Slot now() const noexcept { return now_; }
-
-  /// Attaches the handler for node `id`. The bus does not own nodes.
-  void attach(NodeId id, Node* node);
-
-  /// Queues a message for delivery and counts it.
-  void send(const Message& msg);
+  /// Queues a message for immediate delivery and counts it.
+  void send(const Message& msg) override;
 
   /// Delivers queued messages (FIFO) until the queue is empty. Messages
   /// sent during delivery are processed in the same drain.
-  void drain();
-
-  const BusCounters& counters() const noexcept { return counters_; }
-
-  /// Messages sent by node `id` (either direction counts at the sender).
-  std::uint64_t sent_by(NodeId id) const;
-  /// Messages delivered to node `id`.
-  std::uint64_t received_by(NodeId id) const;
-
-  /// Optional tap invoked for every sent message (determinism tests
-  /// record traces through this).
-  void set_tap(std::function<void(const Message&)> tap) {
-    tap_ = std::move(tap);
-  }
+  void drain() override;
 
  private:
-  std::uint32_t num_sites_;
-  std::vector<Node*> nodes_;
   std::deque<Message> queue_;
-  BusCounters counters_;
-  std::vector<std::uint64_t> sent_by_;
-  std::vector<std::uint64_t> received_by_;
-  std::function<void(const Message&)> tap_;
   bool draining_ = false;
-  Slot now_ = 0;
 };
 
 }  // namespace dds::sim

@@ -6,17 +6,19 @@
 
 #include "sim/message.h"
 
+namespace dds::net {
+class Transport;
+}  // namespace dds::net
+
 namespace dds::sim {
 
-class Bus;
-
-/// Anything attached to the Bus: protocol sites and coordinators.
+/// Anything attached to a transport: protocol sites and coordinators.
 class Node {
  public:
   virtual ~Node() = default;
 
-  /// Handles a delivered message. May send further messages via `bus`.
-  virtual void on_message(const Message& msg, Bus& bus) = 0;
+  /// Handles a delivered message. May send further messages via `net`.
+  virtual void on_message(const Message& msg, net::Transport& net) = 0;
 
   /// Number of stream-element records currently held (the paper's
   /// per-site "memory consumption", Figures 5.7 / 5.9). Constant-state
@@ -28,14 +30,15 @@ class Node {
 class StreamNode : public Node {
  public:
   /// Called by the runner for every element delivered to this site in
-  /// slot `t`. May send messages via `bus`.
-  virtual void on_element(std::uint64_t element, Slot t, Bus& bus) = 0;
+  /// slot `t`. May send messages via `net`.
+  virtual void on_element(std::uint64_t element, Slot t,
+                          net::Transport& net) = 0;
 
   /// Called once per slot before any arrivals of slot `t` are delivered
   /// (sliding-window sites run their expiry logic here). Default: no-op.
-  virtual void on_slot_begin(Slot t, Bus& bus) {
+  virtual void on_slot_begin(Slot t, net::Transport& net) {
     (void)t;
-    (void)bus;
+    (void)net;
   }
 };
 

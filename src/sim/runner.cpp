@@ -4,12 +4,12 @@
 
 namespace dds::sim {
 
-Runner::Runner(Bus& bus, std::vector<StreamNode*> sites,
+Runner::Runner(net::Transport& net, std::vector<StreamNode*> sites,
                bool invoke_slot_begin)
-    : bus_(bus), sites_(std::move(sites)),
+    : net_(net), sites_(std::move(sites)),
       invoke_slot_begin_(invoke_slot_begin) {
-  if (sites_.size() != bus_.num_sites()) {
-    throw std::invalid_argument("Runner: site count mismatch with bus");
+  if (sites_.size() != net_.num_sites()) {
+    throw std::invalid_argument("Runner: site count mismatch with transport");
   }
 }
 
@@ -22,15 +22,21 @@ void Runner::set_observer(std::uint64_t observe_every,
 void Runner::begin_slots_through(Slot slot) {
   if (!invoke_slot_begin_) {
     current_slot_ = slot;
-    bus_.set_now(current_slot_);
+    net_.set_now(current_slot_);
+    // In-flight traffic due by this slot lands before the next arrival.
+    net_.drain();
     return;
   }
   while (current_slot_ < slot) {
     ++current_slot_;
-    bus_.set_now(current_slot_);
+    net_.set_now(current_slot_);
+    // Traffic due at the slot boundary is delivered before any site runs
+    // its expiry logic for the slot (a no-op on the zero-delay Bus,
+    // whose queue is always empty here).
+    net_.drain();
     for (auto* site : sites_) {
-      site->on_slot_begin(current_slot_, bus_);
-      bus_.drain();
+      site->on_slot_begin(current_slot_, net_);
+      net_.drain();
     }
   }
 }
@@ -44,13 +50,16 @@ std::uint64_t Runner::run(ArrivalSource& source) {
       throw std::out_of_range("Runner: arrival for unknown site");
     }
     begin_slots_through(arrival->slot);
-    sites_[arrival->site]->on_element(arrival->element, arrival->slot, bus_);
-    bus_.drain();
+    sites_[arrival->site]->on_element(arrival->element, arrival->slot, net_);
+    net_.drain();
     ++processed_;
     if (observe_every_ != 0 && observer_ && processed_ % observe_every_ == 0) {
       observer_(Progress{processed_, current_slot_, false});
     }
   }
+  // Let delayed / batched traffic land before the final snapshot (a
+  // plain drain on the zero-delay Bus).
+  net_.finish();
   if (observer_) {
     observer_(Progress{processed_, current_slot_, true});
   }

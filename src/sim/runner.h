@@ -1,6 +1,10 @@
 // Drives a simulation: feeds an arrival sequence to the sites, advances
-// the slot clock, and drains the bus to quiescence after every event —
-// the synchronous zero-delay execution model of the paper.
+// the slot clock, and delivers transport traffic interleaved with the
+// arrivals. On the zero-delay Bus this is the synchronous execution
+// model of the paper (drain to quiescence after every event); on a
+// net::SimNetwork the same loop becomes an event-driven clock advance —
+// each slot boundary releases the traffic due by then, and finish()
+// runs the queue dry after the stream ends.
 #pragma once
 
 #include <cstdint>
@@ -8,7 +12,7 @@
 #include <optional>
 #include <vector>
 
-#include "sim/bus.h"
+#include "net/transport.h"
 #include "sim/node.h"
 
 namespace dds::sim {
@@ -44,7 +48,8 @@ class Runner {
   /// set, every site receives on_slot_begin for every slot in order (the
   /// sliding-window protocols need this for expiry processing); leave it
   /// off for infinite-window runs where slots carry no semantics.
-  Runner(Bus& bus, std::vector<StreamNode*> sites, bool invoke_slot_begin);
+  Runner(net::Transport& net, std::vector<StreamNode*> sites,
+         bool invoke_slot_begin);
 
   /// Observer invoked every `observe_every` arrivals and once at the end
   /// (with final_snapshot=true). observe_every == 0 disables periodic
@@ -52,7 +57,8 @@ class Runner {
   void set_observer(std::uint64_t observe_every,
                     std::function<void(const Progress&)> observer);
 
-  /// Runs the whole source. Returns the number of arrivals processed.
+  /// Runs the whole source, then lets the transport finish in-flight
+  /// deliveries. Returns the number of arrivals processed.
   std::uint64_t run(ArrivalSource& source);
 
   /// Advances slot processing through `slot` without arrivals (used to
@@ -64,7 +70,7 @@ class Runner {
  private:
   void begin_slots_through(Slot slot);
 
-  Bus& bus_;
+  net::Transport& net_;
   std::vector<StreamNode*> sites_;
   bool invoke_slot_begin_;
   Slot current_slot_ = -1;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "sim/bus.h"
 #include "core/system.h"
 #include "stream/generators.h"
 #include "stream/partitioner.h"

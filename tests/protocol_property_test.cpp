@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/bottom_s_sample.h"
+#include "sim/bus.h"
 #include "core/sliding_coordinator.h"
 #include "core/system.h"
 #include "stream/generators.h"
@@ -293,8 +294,8 @@ TEST(InstanceRouting, SlidingForeignInstanceIgnored) {
   bus.attach(1, &coordinator);
   class Dummy final : public sim::StreamNode {
    public:
-    void on_element(std::uint64_t, sim::Slot, sim::Bus&) override {}
-    void on_message(const sim::Message&, sim::Bus&) override {}
+    void on_element(std::uint64_t, sim::Slot, net::Transport&) override {}
+    void on_message(const sim::Message&, net::Transport&) override {}
   } dummy;
   bus.attach(0, &dummy);
   sim::Message report;

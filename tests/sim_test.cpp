@@ -19,7 +19,7 @@ class Recorder final : public Node {
  public:
   explicit Recorder(NodeId id, bool reply = false) : id_(id), reply_(reply) {}
 
-  void on_message(const Message& msg, Bus& bus) override {
+  void on_message(const Message& msg, net::Transport& bus) override {
     received.push_back(msg);
     if (reply_ && msg.from != id_) {
       Message r;
@@ -43,7 +43,7 @@ class SinkSite final : public StreamNode {
   SinkSite(NodeId id, NodeId coord, bool send_on_element)
       : id_(id), coord_(coord), send_(send_on_element) {}
 
-  void on_element(std::uint64_t element, Slot t, Bus& bus) override {
+  void on_element(std::uint64_t element, Slot t, net::Transport& bus) override {
     elements.push_back(element);
     slots.push_back(t);
     if (send_) {
@@ -56,11 +56,11 @@ class SinkSite final : public StreamNode {
     }
   }
 
-  void on_slot_begin(Slot t, Bus& /*bus*/) override {
+  void on_slot_begin(Slot t, net::Transport& /*bus*/) override {
     slot_begins.push_back(t);
   }
 
-  void on_message(const Message& msg, Bus& /*bus*/) override {
+  void on_message(const Message& msg, net::Transport& /*bus*/) override {
     received.push_back(msg);
   }
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify + a smoke run of the network ablation.
+#
+#   tools/ci.sh [build-dir]
+#
+# Mirrors the checks CI runs: configure, build, ctest, then exercise the
+# event-driven transport end-to-end with tiny parameters.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j
+ctest --test-dir "$build" --output-on-failure -j
+
+# Smoke: the network ablation and the lossy-network walkthrough must run
+# end-to-end and emit their tables.
+"$build/abl10_network" --runs 1 --n 4000 --domain 800 --slots 150 \
+  --latencies 0,2 --drops 0,10 --batches 0,5 \
+  --outdir "$build/bench_results"
+"$build/lossy_network" >/dev/null
+
+echo "ci: OK"
