@@ -1,9 +1,15 @@
 // Ablation A4 (google-benchmark) — treap-backed dominance set vs the
-// naive O(n^2) reference, across workload sizes. Justifies the paper's
-// choice of a treap (Seidel-Aragon) for T_i: the structure stays tiny in
-// expectation (H_M tuples) but individual operations must stay cheap
-// even through bursts.
+// naive O(n^2) reference and a std::map-backed variant, across workload
+// sizes. Justifies the paper's choice of a treap (Seidel-Aragon) for
+// T_i: the structure stays tiny in expectation (H_M tuples) but
+// individual operations must stay cheap even through bursts, and the
+// pooled treap's bulk split/merge prunes beat per-node map erases.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
 
 #include "hash/hash_function.h"
 #include "treap/dominance_set.h"
@@ -14,6 +20,71 @@ namespace {
 
 using dds::hash::HashFunction;
 using dds::hash::HashKind;
+
+/// DominanceSet semantics on top of std::map — the obvious std-library
+/// substrate one would reach for instead of a treap. Bulk prunes become
+/// iterator-range erases (one rebalance + node free per victim).
+class MapDominanceSet {
+ public:
+  void observe(std::uint64_t element, std::uint64_t hash,
+               dds::sim::Slot expiry) {
+    auto it = index_.find(element);
+    if (it != index_.end()) {
+      if (it->second.expiry >= expiry) return;
+      tree_.erase(it->second);
+      index_.erase(it);
+    }
+    prune_dominated_by(hash, expiry);
+    const Key key{expiry, hash, element};
+    tree_.emplace(key, 0);
+    index_.emplace(element, key);
+  }
+
+  void expire(dds::sim::Slot now) {
+    auto it = tree_.begin();
+    while (it != tree_.end() && it->first.expiry <= now) {
+      index_.erase(it->first.element);
+      it = tree_.erase(it);
+    }
+  }
+
+  std::optional<dds::treap::Candidate> min_hash() const {
+    if (tree_.empty()) return std::nullopt;
+    const Key& k = tree_.begin()->first;
+    return dds::treap::Candidate{k.element, k.hash, k.expiry};
+  }
+
+  std::size_t size() const noexcept { return tree_.size(); }
+
+ private:
+  struct Key {
+    dds::sim::Slot expiry;
+    std::uint64_t hash;
+    std::uint64_t element;
+    friend bool operator<(const Key& a, const Key& b) noexcept {
+      if (a.expiry != b.expiry) return a.expiry < b.expiry;
+      if (a.hash != b.hash) return a.hash < b.hash;
+      return a.element < b.element;
+    }
+  };
+
+  void prune_dominated_by(std::uint64_t hash, dds::sim::Slot expiry) {
+    // Victims (expiry' < expiry, hash' > hash) form a suffix of the
+    // keys below (expiry, 0, 0) by the staircase invariant.
+    auto end = tree_.lower_bound(Key{expiry, 0, 0});
+    auto begin = end;
+    while (begin != tree_.begin() && std::prev(begin)->first.hash > hash) {
+      --begin;
+    }
+    for (auto it = begin; it != end; ++it) {
+      index_.erase(it->first.element);
+    }
+    tree_.erase(begin, end);
+  }
+
+  std::map<Key, char> tree_;
+  std::unordered_map<std::uint64_t, Key> index_;
+};
 
 /// Drives `set` through `slots` slots of a sliding-window workload.
 template <typename Set>
@@ -51,6 +122,16 @@ void BM_DominanceSetNaive(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000 * 3);
 }
 
+void BM_DominanceSetStdMap(benchmark::State& state) {
+  const auto domain = static_cast<std::uint64_t>(state.range(0));
+  const auto window = state.range(1);
+  for (auto _ : state) {
+    MapDominanceSet set;
+    drive(set, 2000, domain, window, 7);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 * 3);
+}
+
 }  // namespace
 
 BENCHMARK(BM_DominanceSetTreap)
@@ -58,6 +139,10 @@ BENCHMARK(BM_DominanceSetTreap)
     ->Args({10000, 500})
     ->Args({1000000, 5000});
 BENCHMARK(BM_DominanceSetNaive)
+    ->Args({100, 50})
+    ->Args({10000, 500})
+    ->Args({1000000, 5000});
+BENCHMARK(BM_DominanceSetStdMap)
     ->Args({100, 50})
     ->Args({10000, 500})
     ->Args({1000000, 5000});

@@ -42,6 +42,9 @@ struct CommonArgs {
   std::uint64_t runs = 5;
   std::uint64_t seed = 1;
   std::string outdir = "bench_results";
+  /// Mirror every emitted table to <outdir>/<name>.json as well as CSV,
+  /// so CI can archive a machine-readable perf trajectory.
+  bool json = false;
   hash::HashKind hash_kind = hash::HashKind::kMurmur2;
 
   /// Stream scale for a dataset: paper scale under --full, otherwise a
@@ -62,6 +65,7 @@ inline void register_common(util::Cli& cli) {
   cli.flag("runs", "independent runs per data point", "5");
   cli.flag("seed", "master seed", "1");
   cli.flag("outdir", "CSV output directory", "bench_results");
+  cli.boolean("json", "also write each table as <outdir>/<name>.json");
   cli.flag("hash", "hash function: murmur2|murmur3|splitmix|tabulation",
            "murmur2");
 }
@@ -73,16 +77,25 @@ inline CommonArgs read_common(const util::Cli& cli) {
   args.runs = cli.get_uint("runs");
   args.seed = cli.get_uint("seed");
   args.outdir = cli.get("outdir");
+  args.json = cli.get_bool("json");
   args.hash_kind = hash::parse_hash_kind(cli.get("hash"));
   return args;
 }
 
-/// Prints a table and writes its CSV twin.
+/// Prints a table and writes its CSV twin (plus a JSON twin under
+/// --json, for the machine-read perf trajectory).
 inline void emit(const util::Table& table, const std::string& title,
                  const std::string& csv_name, const CommonArgs& args) {
   table.print(std::cout, title);
   table.write_csv(std::filesystem::path(args.outdir) / csv_name);
   std::cout << "(csv: " << args.outdir << "/" << csv_name << ")\n";
+  if (args.json) {
+    std::filesystem::path json_name(csv_name);
+    json_name.replace_extension(".json");
+    table.write_json(std::filesystem::path(args.outdir) / json_name);
+    std::cout << "(json: " << args.outdir << "/" << json_name.string()
+              << ")\n";
+  }
 }
 
 /// Seed for run r of sweep point p — decorrelated across everything.

@@ -1,13 +1,19 @@
 // Micro-benchmarks (google-benchmark) for the substrates on the
 // per-element hot path: hash evaluation, bottom-s sample offers, site
-// element processing, and treap updates.
+// element processing, and treap updates. The treap benches compare the
+// pooled index-based implementation (treap/treap.h) against the seed's
+// unique_ptr implementation (reference_treap.h) and std::map.
 #include <benchmark/benchmark.h>
+
+#include <map>
 
 #include "core/bottom_s_sample.h"
 #include "core/system.h"
 #include "hash/hash_function.h"
+#include "reference_treap.h"
 #include "stream/generators.h"
 #include "stream/partitioner.h"
+#include "treap/dominance_set.h"
 #include "treap/treap.h"
 #include "util/rng.h"
 
@@ -73,8 +79,11 @@ void BM_InfiniteSystemElement(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
-void BM_TreapInsertErase(benchmark::State& state) {
-  treap::Treap<std::uint64_t, std::uint64_t> t(11);
+/// Steady-state insert/erase churn around a resident set of n keys.
+/// Shared driver so pooled treap / seed treap / std::map run the exact
+/// same key sequence.
+template <typename SetLike>
+void treap_churn(benchmark::State& state, SetLike& t) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   for (std::uint64_t i = 0; i < n; ++i) t.insert(i * 2, i);
   util::Xoshiro256StarStar rng(12);
@@ -84,6 +93,53 @@ void BM_TreapInsertErase(benchmark::State& state) {
     t.erase(key);
   }
   state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_TreapInsertErase(benchmark::State& state) {
+  treap::Treap<std::uint64_t, std::uint64_t> t(11);
+  treap_churn(state, t);
+}
+
+void BM_TreapInsertEraseSeed(benchmark::State& state) {
+  bench::seed::ReferenceTreap<std::uint64_t, std::uint64_t> t(11);
+  treap_churn(state, t);
+}
+
+void BM_StdMapInsertErase(benchmark::State& state) {
+  // std::map with the treap driver's interface.
+  struct MapAdapter {
+    std::map<std::uint64_t, std::uint64_t> m;
+    bool insert(std::uint64_t k, std::uint64_t v) {
+      return m.emplace(k, v).second;
+    }
+    bool erase(std::uint64_t k) { return m.erase(k) > 0; }
+  } t;
+  treap_churn(state, t);
+}
+
+/// The dominance-set hot path end to end: expire + observe + min_hash
+/// per slot, i.e. what every sliding-window site pays per arrival.
+void BM_DominanceSetSlot(benchmark::State& state) {
+  const auto domain = static_cast<std::uint64_t>(state.range(0));
+  const std::int64_t window = state.range(1);
+  treap::DominanceSet set(42);
+  hash::HashFunction h(hash::HashKind::kMurmur2, 7);
+  util::Xoshiro256StarStar rng(13);
+  std::int64_t t = 0;
+  // Warm up to steady state so the pool's freelist is the common path.
+  for (; t < window; ++t) {
+    set.expire(t);
+    const std::uint64_t e = 1 + rng.next_below(domain);
+    set.observe(e, h(e), t + window);
+  }
+  for (auto _ : state) {
+    ++t;
+    set.expire(t);
+    const std::uint64_t e = 1 + rng.next_below(domain);
+    set.observe(e, h(e), t + window);
+    benchmark::DoNotOptimize(set.min_hash());
+  }
+  state.SetItemsProcessed(state.iterations());
 }
 
 void BM_ZipfDraw(benchmark::State& state) {
@@ -100,6 +156,9 @@ BENCHMARK(BM_Hash)->DenseRange(0, 3);
 BENCHMARK(BM_BottomSOffer)->Arg(10)->Arg(100)->Arg(1000);
 BENCHMARK(BM_InfiniteSystemElement)->Arg(5)->Arg(100);
 BENCHMARK(BM_TreapInsertErase)->Arg(64)->Arg(4096)->Arg(262144);
+BENCHMARK(BM_TreapInsertEraseSeed)->Arg(64)->Arg(4096)->Arg(262144);
+BENCHMARK(BM_StdMapInsertErase)->Arg(64)->Arg(4096)->Arg(262144);
+BENCHMARK(BM_DominanceSetSlot)->Args({1000, 100})->Args({1000000, 10000});
 BENCHMARK(BM_ZipfDraw);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Bench-only snapshot of the pre-pool treap implementation (owning
+// unique_ptr nodes, recursive split/merge/erase, one malloc per
+// insert). Kept verbatim so micro_substrates / abl4 can quote
+// pooled-vs-seed numbers; NOT part of the library — production code
+// uses treap/treap.h.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace dds::bench::seed {
+
+/// The seed's pointer-based treap: one heap allocation per insert,
+/// recursive structural operations.
+template <typename K, typename V, typename Compare = std::less<K>>
+class ReferenceTreap {
+ public:
+  explicit ReferenceTreap(std::uint64_t seed = 0x7265617021ULL) : rng_(seed) {}
+
+  std::size_t size() const noexcept { return size_of(root_.get()); }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  bool insert(const K& key, const V& value) {
+    if (contains(key)) return false;
+    auto node = std::make_unique<Node>(key, value, rng_.next());
+    auto [left, right] = split(std::move(root_), key);
+    root_ = merge(merge(std::move(left), std::move(node)), std::move(right));
+    return true;
+  }
+
+  bool erase(const K& key) {
+    bool removed = false;
+    root_ = erase_rec(std::move(root_), key, removed);
+    return removed;
+  }
+
+  bool contains(const K& key) const {
+    const Node* cur = root_.get();
+    while (cur != nullptr) {
+      if (cmp_(key, cur->key)) {
+        cur = cur->left.get();
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right.get();
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<std::pair<K, V>> front() const {
+    const Node* cur = root_.get();
+    if (cur == nullptr) return std::nullopt;
+    while (cur->left) cur = cur->left.get();
+    return std::make_pair(cur->key, cur->value);
+  }
+
+  template <typename Pred, typename Sink>
+  void remove_prefix_while(Pred pred, Sink sink) {
+    auto [taken, rest] = split_prefix(std::move(root_), pred);
+    root_ = std::move(rest);
+    drain_in_order(std::move(taken), sink);
+  }
+
+ private:
+  struct Node {
+    Node(const K& k, const V& v, std::uint64_t prio)
+        : key(k), value(v), priority(prio) {}
+    K key;
+    V value;
+    std::uint64_t priority;
+    std::size_t size = 1;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+  using NodePtr = std::unique_ptr<Node>;
+
+  static std::size_t size_of(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->size;
+  }
+
+  static void update(Node* n) noexcept {
+    if (n != nullptr) {
+      n->size = 1 + size_of(n->left.get()) + size_of(n->right.get());
+    }
+  }
+
+  std::pair<NodePtr, NodePtr> split(NodePtr node, const K& key) {
+    if (node == nullptr) return {nullptr, nullptr};
+    if (cmp_(node->key, key)) {
+      auto [mid, right] = split(std::move(node->right), key);
+      node->right = std::move(mid);
+      update(node.get());
+      return {std::move(node), std::move(right)};
+    }
+    auto [left, mid] = split(std::move(node->left), key);
+    node->left = std::move(mid);
+    update(node.get());
+    return {std::move(left), std::move(node)};
+  }
+
+  template <typename Pred>
+  std::pair<NodePtr, NodePtr> split_prefix(NodePtr node, Pred pred) {
+    if (node == nullptr) return {nullptr, nullptr};
+    if (pred(node->key, node->value)) {
+      auto [taken, rest] = split_prefix(std::move(node->right), pred);
+      node->right = std::move(taken);
+      update(node.get());
+      return {std::move(node), std::move(rest)};
+    }
+    auto [taken, rest] = split_prefix(std::move(node->left), pred);
+    node->left = std::move(rest);
+    update(node.get());
+    return {std::move(taken), std::move(node)};
+  }
+
+  NodePtr merge(NodePtr a, NodePtr b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (a->priority >= b->priority) {
+      a->right = merge(std::move(a->right), std::move(b));
+      update(a.get());
+      return a;
+    }
+    b->left = merge(std::move(a), std::move(b->left));
+    update(b.get());
+    return b;
+  }
+
+  NodePtr erase_rec(NodePtr node, const K& key, bool& removed) {
+    if (node == nullptr) return nullptr;
+    if (cmp_(key, node->key)) {
+      node->left = erase_rec(std::move(node->left), key, removed);
+    } else if (cmp_(node->key, key)) {
+      node->right = erase_rec(std::move(node->right), key, removed);
+    } else {
+      removed = true;
+      return merge(std::move(node->left), std::move(node->right));
+    }
+    update(node.get());
+    return node;
+  }
+
+  template <typename Sink>
+  static void drain_in_order(NodePtr node, Sink& sink) {
+    if (node == nullptr) return;
+    drain_in_order(std::move(node->left), sink);
+    sink(node->key, node->value);
+    drain_in_order(std::move(node->right), sink);
+  }
+
+  NodePtr root_;
+  util::Xoshiro256StarStar rng_;
+  Compare cmp_{};
+};
+
+}  // namespace dds::bench::seed

@@ -26,16 +26,16 @@ const util::RunningStat& Series::stat_at(double x) const {
   return it->second;
 }
 
-Series& SeriesBundle::series(const std::string& name) {
+Series& SeriesBundle::series(std::string_view name) {
   auto it = series_.find(name);
   if (it == series_.end()) {
-    order_.push_back(name);
-    return series_[name];
+    order_.emplace_back(name);
+    it = series_.emplace(std::string(name), Series{}).first;
   }
   return it->second;
 }
 
-const Series* SeriesBundle::find(const std::string& name) const {
+const Series* SeriesBundle::find(std::string_view name) const {
   auto it = series_.find(name);
   return it == series_.end() ? nullptr : &it->second;
 }

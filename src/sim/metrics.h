@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/stats.h"
@@ -36,8 +38,10 @@ class SeriesBundle {
  public:
   explicit SeriesBundle(std::string x_label) : x_label_(std::move(x_label)) {}
 
-  Series& series(const std::string& name);
-  const Series* find(const std::string& name) const;
+  /// Heterogeneous lookup: recording into an existing series from a
+  /// string literal / string_view allocates nothing.
+  Series& series(std::string_view name);
+  const Series* find(std::string_view name) const;
 
   /// Builds a table: x | <name> mean | <name> ci95 | ...
   /// Series order follows first insertion.
@@ -46,7 +50,7 @@ class SeriesBundle {
  private:
   std::string x_label_;
   std::vector<std::string> order_;
-  std::map<std::string, Series> series_;
+  std::map<std::string, Series, std::less<>> series_;
 };
 
 }  // namespace dds::sim

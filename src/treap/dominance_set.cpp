@@ -24,6 +24,7 @@ void DominanceSet::observe(std::uint64_t element, std::uint64_t hash,
   const Key key{expiry, hash, element};
   tree_.insert(key, 0);
   index_.emplace(element, key);
+  invalidate_front();
 }
 
 void DominanceSet::insert(std::uint64_t element, std::uint64_t hash,
@@ -39,18 +40,28 @@ void DominanceSet::insert(std::uint64_t element, std::uint64_t hash,
   const Key key{expiry, hash, element};
   tree_.insert(key, 0);
   index_.emplace(element, key);
+  invalidate_front();
 }
 
 void DominanceSet::expire(sim::Slot now) {
   tree_.remove_prefix_while(
       [now](const Key& k, char) { return k.expiry <= now; },
-      [this](const Key& k, char) { index_.erase(k.element); });
+      [this](const Key& k, char) {
+        index_.erase(k.element);
+        invalidate_front();
+      });
 }
 
 std::optional<Candidate> DominanceSet::min_hash() const {
-  if (tree_.empty()) return std::nullopt;
-  const auto [key, _] = tree_.front();
-  return Candidate{key.element, key.hash, key.expiry};
+  if (!front_fresh_) {
+    front_cache_.reset();
+    if (const auto f = tree_.front()) {
+      front_cache_ = Candidate{f->first.element, f->first.hash,
+                               f->first.expiry};
+    }
+    front_fresh_ = true;
+  }
+  return front_cache_;
 }
 
 std::vector<Candidate> DominanceSet::snapshot() const {
@@ -84,18 +95,31 @@ bool DominanceSet::check_invariants() const {
     prev = cur;
     have_prev = true;
   });
+  // The cached front must agree with the tree (min_hash() refreshes a
+  // stale cache, so this catches missed invalidations only).
+  const auto cached = min_hash();
+  const auto f = tree_.front();
+  if (cached.has_value() != f.has_value()) return false;
+  if (cached && (cached->element != f->first.element ||
+                 cached->hash != f->first.hash ||
+                 cached->expiry != f->first.expiry)) {
+    return false;
+  }
   return ok;
 }
 
 void DominanceSet::prune_dominated_by(std::uint64_t hash, sim::Slot expiry) {
   // Dominated tuples have expiry' < expiry and hash' > hash. Tuples with
   // expiry' < expiry are exactly the keys below (expiry, 0, 0); by the
-  // staircase those among them with hash' > hash form a suffix.
-  auto lower = tree_.split_off_lower(Key{expiry, kU64Min, kU64Min});
-  lower.remove_suffix_while(
+  // staircase those among them with hash' > hash form a suffix, which
+  // the fused treap operation detaches without leaving the node pool.
+  tree_.remove_suffix_of_lower_while(
+      Key{expiry, kU64Min, kU64Min},
       [hash](const Key& k, char) { return k.hash > hash; },
-      [this](const Key& k, char) { index_.erase(k.element); });
-  tree_.absorb_lower(std::move(lower));
+      [this](const Key& k, char) {
+        index_.erase(k.element);
+        invalidate_front();
+      });
 }
 
 bool DominanceSet::is_dominated(std::uint64_t hash, sim::Slot expiry) const {
@@ -111,6 +135,7 @@ void DominanceSet::erase_key(const Key& key) {
   const bool removed = tree_.erase(key);
   assert(removed);
   (void)removed;
+  invalidate_front();
 }
 
 }  // namespace dds::treap

@@ -54,6 +54,8 @@ class DominanceSet {
 
   /// The candidate with the smallest hash, or nullopt if empty. By the
   /// staircase invariant this is also the earliest-expiring tuple.
+  /// Cached: O(1) until the next mutation (this is the query every
+  /// slot asks, once per site).
   std::optional<Candidate> min_hash() const;
 
   std::size_t size() const noexcept { return tree_.size(); }
@@ -95,8 +97,15 @@ class DominanceSet {
 
   void erase_key(const Key& key);
 
+  void invalidate_front() noexcept { front_fresh_ = false; }
+
   Treap<Key, char> tree_;  // payload lives in the key; value unused
   std::unordered_map<std::uint64_t, Key> index_;  // element -> its key
+
+  // Lazily cached front (minimum-hash) candidate; refreshed on demand,
+  // dropped by any mutation.
+  mutable std::optional<Candidate> front_cache_;
+  mutable bool front_fresh_ = false;
 };
 
 }  // namespace dds::treap

@@ -3,11 +3,24 @@
 // candidate set T_i (Chapter 4). Keys are BST-ordered; heap priorities
 // drawn from a per-tree PRNG keep the expected depth logarithmic.
 //
-// Beyond the textbook operations this treap supports the two bulk
-// operations the dominance set needs, both via split/merge:
+// Storage layout: nodes live in one contiguous pool (std::vector) and
+// children are 32-bit indices, not owning pointers. Erased slots are
+// chained on an intrusive freelist (through the `left` field) and
+// recycled in O(1), so steady-state insert/erase cycles perform zero
+// heap allocations and traversals walk a compact array instead of
+// chasing malloc'd nodes. All structural operations (split, merge,
+// erase, drain) are iterative — no recursion, so adversarial shapes
+// cannot overflow the call stack — using a scratch index stack that is
+// reused across calls.
+//
+// Beyond the textbook operations this treap supports the bulk
+// operations the dominance set needs, all via split/merge:
 //   * remove-prefix-while(pred): detach the maximal prefix (in key order)
 //     whose elements satisfy a *prefix-monotone* predicate;
-//   * remove-suffix-while(pred): symmetric, for dominance pruning.
+//   * remove-suffix-while(pred): symmetric, for dominance pruning;
+//   * remove-suffix-of-lower-while(bound, pred): the fused form of
+//     split_off_lower + remove_suffix_while + absorb_lower, entirely
+//     inside one pool (the dominance-pruning hot path).
 #pragma once
 
 #include <algorithm>
@@ -15,293 +28,531 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "util/rng.h"
 
 namespace dds::treap {
 
 /// Ordered map on unique keys with expected O(log n) updates.
-/// K must be strictly ordered by Compare; V is arbitrary payload.
+/// K must be strictly ordered by Compare; both K and V must be
+/// copy-assignable (slots are recycled in place). Capacity is bounded
+/// by ~4 billion live nodes (32-bit indices).
 template <typename K, typename V, typename Compare = std::less<K>>
 class Treap {
  public:
   explicit Treap(std::uint64_t seed = 0x7265617021ULL) : rng_(seed) {}
 
-  std::size_t size() const noexcept { return size_of(root_.get()); }
-  bool empty() const noexcept { return root_ == nullptr; }
+  std::size_t size() const noexcept { return size_of(root_); }
+  bool empty() const noexcept { return root_ == kNil; }
 
-  /// Inserts key->value. Returns false (and leaves the tree unchanged)
-  /// if the key is already present.
+  /// Pre-sizes the node pool (optional; the pool also grows on demand).
+  void reserve(std::size_t n) { pool_.reserve(n); }
+
+  /// Slots currently held by the pool, live + free. Test hook for the
+  /// zero-allocation steady state: insert/erase cycles must not grow it.
+  std::size_t pool_slots() const noexcept { return pool_.size(); }
+
+  /// Inserts key->value. Returns false (and leaves the key set
+  /// unchanged) if the key is already present. Single root-to-leaf
+  /// traversal: descend while ancestors out-prioritize the new node,
+  /// then split only the subtree below the insertion point — the
+  /// existence check rides along the same pass.
   bool insert(const K& key, const V& value) {
-    if (contains(key)) return false;
-    auto node = std::make_unique<Node>(key, value, rng_.next());
-    auto [left, right] = split(std::move(root_), key);
-    root_ = merge(merge(std::move(left), std::move(node)), std::move(right));
+    const std::uint64_t prio = rng_.next();
+    path_.clear();
+    std::uint32_t parent = kNil;
+    bool went_left = false;
+    std::uint32_t node = root_;
+    while (node != kNil && pool_[node].priority >= prio) {
+      Node& n = pool_[node];
+      if (cmp_(key, n.key)) {
+        path_.push_back(node);
+        parent = node;
+        went_left = true;
+        node = n.left;
+      } else if (cmp_(n.key, key)) {
+        path_.push_back(node);
+        parent = node;
+        went_left = false;
+        node = n.right;
+      } else {
+        return false;  // present above the insertion point; untouched
+      }
+    }
+    bool found = false;
+    auto [lo, hi] = split(node, key, &found);
+    std::uint32_t replacement;
+    if (found) {
+      replacement = merge(lo, hi);  // same keys, still a valid treap
+    } else {
+      replacement = acquire(key, value, prio);
+      Node& f = pool_[replacement];
+      f.left = lo;
+      f.right = hi;
+      f.size = 1 + size_of(lo) + size_of(hi);
+    }
+    if (parent == kNil) {
+      root_ = replacement;
+    } else if (went_left) {
+      pool_[parent].left = replacement;
+    } else {
+      pool_[parent].right = replacement;
+    }
+    if (found) return false;
+    for (std::uint32_t idx : path_) ++pool_[idx].size;
     return true;
   }
 
   /// Removes a key. Returns false if absent.
   bool erase(const K& key) {
-    bool removed = false;
-    root_ = erase_rec(std::move(root_), key, removed);
-    return removed;
-  }
-
-  bool contains(const K& key) const {
-    const Node* cur = root_.get();
-    while (cur != nullptr) {
-      if (cmp_(key, cur->key)) {
-        cur = cur->left.get();
-      } else if (cmp_(cur->key, key)) {
-        cur = cur->right.get();
+    path_.clear();
+    std::uint32_t* slot = &root_;
+    std::uint32_t node = root_;
+    while (node != kNil) {
+      Node& n = pool_[node];
+      if (cmp_(key, n.key)) {
+        path_.push_back(node);
+        slot = &n.left;
+        node = n.left;
+      } else if (cmp_(n.key, key)) {
+        path_.push_back(node);
+        slot = &n.right;
+        node = n.right;
       } else {
+        *slot = merge(n.left, n.right);
+        release(node);
+        for (std::uint32_t idx : path_) --pool_[idx].size;
         return true;
       }
     }
     return false;
   }
 
-  /// Pointer to the value for key, or nullptr.
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// Pointer to the value for key, or nullptr. Valid until the next
+  /// mutation (slots may move when the pool grows).
   const V* find(const K& key) const {
-    const Node* cur = root_.get();
-    while (cur != nullptr) {
-      if (cmp_(key, cur->key)) {
-        cur = cur->left.get();
-      } else if (cmp_(cur->key, key)) {
-        cur = cur->right.get();
+    std::uint32_t cur = root_;
+    while (cur != kNil) {
+      const Node& n = pool_[cur];
+      if (cmp_(key, n.key)) {
+        cur = n.left;
+      } else if (cmp_(n.key, key)) {
+        cur = n.right;
       } else {
-        return &cur->value;
+        return &n.value;
       }
     }
     return nullptr;
   }
 
-  /// Smallest key (asserts non-empty).
-  std::pair<K, V> front() const {
-    const Node* cur = root_.get();
-    assert(cur != nullptr);
-    while (cur->left) cur = cur->left.get();
-    return {cur->key, cur->value};
+  /// Smallest key with its value, or nullopt if empty.
+  std::optional<std::pair<K, V>> front() const {
+    if (root_ == kNil) return std::nullopt;
+    std::uint32_t cur = root_;
+    while (pool_[cur].left != kNil) cur = pool_[cur].left;
+    return std::make_pair(pool_[cur].key, pool_[cur].value);
   }
 
-  /// Largest key (asserts non-empty).
-  std::pair<K, V> back() const {
-    const Node* cur = root_.get();
-    assert(cur != nullptr);
-    while (cur->right) cur = cur->right.get();
-    return {cur->key, cur->value};
+  /// Largest key with its value, or nullopt if empty.
+  std::optional<std::pair<K, V>> back() const {
+    if (root_ == kNil) return std::nullopt;
+    std::uint32_t cur = root_;
+    while (pool_[cur].right != kNil) cur = pool_[cur].right;
+    return std::make_pair(pool_[cur].key, pool_[cur].value);
   }
 
   /// Detaches the maximal prefix (ascending key order) on which `pred`
   /// holds; pred must be prefix-monotone (once false, false for all
   /// larger keys). Each detached (key, value) is passed to `sink`.
+  /// The sink must not re-enter this treap.
   template <typename Pred, typename Sink>
   void remove_prefix_while(Pred pred, Sink sink) {
-    auto [taken, rest] = split_prefix(std::move(root_), pred);
-    root_ = std::move(rest);
-    drain_in_order(std::move(taken), sink);
+    auto [taken, rest] = split_prefix(root_, pred);
+    root_ = rest;
+    drain_in_order(taken, sink);
   }
 
   /// Symmetric: detaches the maximal suffix (descending from the largest
   /// key) on which `pred` holds; pred must be suffix-monotone.
   template <typename Pred, typename Sink>
   void remove_suffix_while(Pred pred, Sink sink) {
-    auto [rest, taken] = split_suffix(std::move(root_), pred);
-    root_ = std::move(rest);
-    drain_in_order(std::move(taken), sink);
+    auto [rest, taken] = split_suffix(root_, pred);
+    root_ = rest;
+    drain_in_order(taken, sink);
+  }
+
+  /// Within the keys strictly below `bound`, detaches the maximal
+  /// suffix on which `pred` holds (pred suffix-monotone over that
+  /// sub-range) and passes each detached entry to `sink`. Equivalent to
+  /// split_off_lower(bound) + remove_suffix_while + absorb_lower, but
+  /// fused: O(log n + removed), no node copies, one pool.
+  template <typename Pred, typename Sink>
+  void remove_suffix_of_lower_while(const K& bound, Pred pred, Sink sink) {
+    auto [lo, hi] = split(root_, bound, nullptr);
+    auto [rest, taken] = split_suffix(lo, pred);
+    root_ = merge(rest, hi);
+    drain_in_order(taken, sink);
   }
 
   /// Smallest key >= `key`, or nullopt.
   std::optional<K> lower_bound_key(const K& key) const {
-    const Node* cur = root_.get();
-    const Node* best = nullptr;
-    while (cur != nullptr) {
-      if (cmp_(cur->key, key)) {
-        cur = cur->right.get();
+    std::uint32_t cur = root_;
+    std::uint32_t best = kNil;
+    while (cur != kNil) {
+      const Node& n = pool_[cur];
+      if (cmp_(n.key, key)) {
+        cur = n.right;
       } else {
         best = cur;
-        cur = cur->left.get();
+        cur = n.left;
       }
     }
-    return best == nullptr ? std::nullopt : std::optional<K>(best->key);
+    return best == kNil ? std::nullopt : std::optional<K>(pool_[best].key);
   }
 
   /// Splits off all keys strictly below `key` into a separate treap;
-  /// this treap keeps the keys >= `key`.
+  /// this treap keeps the keys >= `key`. With pooled storage the
+  /// detached nodes are transplanted into the new treap's own pool, so
+  /// this costs O(log n + moved); prefer remove_suffix_of_lower_while
+  /// on hot paths that split only to prune and merge back.
   Treap split_off_lower(const K& key) {
-    auto [lo, hi] = split(std::move(root_), key);
-    root_ = std::move(hi);
+    auto [lo, hi] = split(root_, key, nullptr);
+    root_ = hi;
     Treap out(rng_.next());
-    out.root_ = std::move(lo);
+    out.root_ = out.clone_subtree(*this, lo);
+    free_subtree(lo);
     return out;
   }
 
   /// Merges `lower` back; every key in `lower` must be strictly smaller
-  /// than every key in this treap.
+  /// than every key in this treap. O(log n + |lower|) (transplant).
   void absorb_lower(Treap&& lower) {
-    root_ = merge(std::move(lower.root_), std::move(root_));
+    const std::uint32_t moved = clone_subtree(lower, lower.root_);
+    lower.clear();
+    root_ = merge(moved, root_);
   }
 
   /// In-order traversal.
   template <typename Fn>
   void for_each(Fn fn) const {
-    for_each_rec(root_.get(), fn);
+    std::vector<std::uint32_t> stack;
+    std::uint32_t cur = root_;
+    while (cur != kNil || !stack.empty()) {
+      while (cur != kNil) {
+        stack.push_back(cur);
+        cur = pool_[cur].left;
+      }
+      cur = stack.back();
+      stack.pop_back();
+      fn(pool_[cur].key, pool_[cur].value);
+      cur = pool_[cur].right;
+    }
   }
 
-  void clear() noexcept { root_.reset(); }
+  void clear() noexcept {
+    pool_.clear();
+    root_ = kNil;
+    free_head_ = kNil;
+  }
 
-  /// Verifies BST order, heap order on priorities, and size counters.
+  /// Verifies BST order, heap order on priorities, size counters, and
+  /// pool accounting (live + free slots cover the pool exactly).
   /// Test hook; O(n).
   bool check_invariants() const {
-    return check_rec(root_.get(), nullptr, nullptr).ok;
+    std::size_t free_count = 0;
+    for (std::uint32_t f = free_head_; f != kNil; f = pool_[f].left) {
+      if (++free_count > pool_.size()) return false;  // freelist cycle
+    }
+    struct Frame {
+      std::uint32_t node;
+      const K* lo;
+      const K* hi;
+    };
+    std::vector<Frame> stack;
+    if (root_ != kNil) stack.push_back({root_, nullptr, nullptr});
+    std::size_t live = 0;
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      if (++live > pool_.size()) return false;  // structure cycle
+      const Node& n = pool_[f.node];
+      if (f.lo != nullptr && !cmp_(*f.lo, n.key)) return false;
+      if (f.hi != nullptr && !cmp_(n.key, *f.hi)) return false;
+      std::uint32_t expected = 1;
+      if (n.left != kNil) {
+        if (pool_[n.left].priority > n.priority) return false;
+        expected += pool_[n.left].size;
+        stack.push_back({n.left, f.lo, &n.key});
+      }
+      if (n.right != kNil) {
+        if (pool_[n.right].priority > n.priority) return false;
+        expected += pool_[n.right].size;
+        stack.push_back({n.right, &n.key, f.hi});
+      }
+      if (n.size != expected) return false;
+    }
+    return live + free_count == pool_.size();
   }
 
   /// Expected depth diagnostics for the space benches: max node depth.
-  std::size_t max_depth() const { return depth_rec(root_.get()); }
+  std::size_t max_depth() const {
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    if (root_ != kNil) stack.emplace_back(root_, 1);
+    std::size_t deepest = 0;
+    while (!stack.empty()) {
+      const auto [node, depth] = stack.back();
+      stack.pop_back();
+      deepest = std::max(deepest, depth);
+      const Node& n = pool_[node];
+      if (n.left != kNil) stack.emplace_back(n.left, depth + 1);
+      if (n.right != kNil) stack.emplace_back(n.right, depth + 1);
+    }
+    return deepest;
+  }
 
  private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
   struct Node {
-    Node(const K& k, const V& v, std::uint64_t prio)
-        : key(k), value(v), priority(prio) {}
     K key;
     V value;
     std::uint64_t priority;
-    std::size_t size = 1;
-    std::unique_ptr<Node> left;
-    std::unique_ptr<Node> right;
+    std::uint32_t size;
+    std::uint32_t left;   // doubles as the freelist link when released
+    std::uint32_t right;
   };
-  using NodePtr = std::unique_ptr<Node>;
 
-  static std::size_t size_of(const Node* n) noexcept {
-    return n == nullptr ? 0 : n->size;
+  std::uint32_t size_of(std::uint32_t n) const noexcept {
+    return n == kNil ? 0 : pool_[n].size;
   }
 
-  static void update(Node* n) noexcept {
-    if (n != nullptr) {
-      n->size = 1 + size_of(n->left.get()) + size_of(n->right.get());
-    }
+  void update(std::uint32_t n) noexcept {
+    Node& nd = pool_[n];
+    nd.size = 1 + size_of(nd.left) + size_of(nd.right);
   }
 
-  /// Splits into (< key, >= key). `key` itself goes right if present.
-  std::pair<NodePtr, NodePtr> split(NodePtr node, const K& key) {
-    if (node == nullptr) return {nullptr, nullptr};
-    if (cmp_(node->key, key)) {
-      auto [mid, right] = split(std::move(node->right), key);
-      node->right = std::move(mid);
-      update(node.get());
-      return {std::move(node), std::move(right)};
+  /// Takes a slot from the freelist or grows the pool. May invalidate
+  /// references into the pool (indices stay valid).
+  std::uint32_t acquire(const K& key, const V& value, std::uint64_t prio) {
+    if (free_head_ != kNil) {
+      const std::uint32_t idx = free_head_;
+      Node& n = pool_[idx];
+      free_head_ = n.left;
+      n.key = key;
+      n.value = value;
+      n.priority = prio;
+      n.size = 1;
+      n.left = kNil;
+      n.right = kNil;
+      return idx;
     }
-    auto [left, mid] = split(std::move(node->left), key);
-    node->left = std::move(mid);
-    update(node.get());
-    return {std::move(left), std::move(node)};
+    assert(pool_.size() < kNil);
+    pool_.push_back(Node{key, value, prio, 1, kNil, kNil});
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+
+  void release(std::uint32_t idx) noexcept {
+    pool_[idx].left = free_head_;
+    free_head_ = idx;
+  }
+
+  /// Splits into (< key, >= key). `key` itself goes right if present;
+  /// if `found` is non-null it is set when the key is encountered.
+  /// Top-down two-way descent; sizes fixed bottom-up along the path.
+  std::pair<std::uint32_t, std::uint32_t> split(std::uint32_t node,
+                                                const K& key, bool* found) {
+    std::uint32_t lo = kNil;
+    std::uint32_t hi = kNil;
+    std::uint32_t* lo_slot = &lo;
+    std::uint32_t* hi_slot = &hi;
+    scratch_.clear();
+    while (node != kNil) {
+      Node& n = pool_[node];
+      scratch_.push_back(node);
+      if (cmp_(n.key, key)) {
+        *lo_slot = node;
+        lo_slot = &n.right;
+        node = n.right;
+      } else {
+        if (found != nullptr && !cmp_(key, n.key)) *found = true;
+        *hi_slot = node;
+        hi_slot = &n.left;
+        node = n.left;
+      }
+    }
+    *lo_slot = kNil;
+    *hi_slot = kNil;
+    for (std::size_t i = scratch_.size(); i-- > 0;) update(scratch_[i]);
+    return {lo, hi};
   }
 
   /// Splits into (prefix where pred holds, rest); pred prefix-monotone.
   template <typename Pred>
-  std::pair<NodePtr, NodePtr> split_prefix(NodePtr node, Pred pred) {
-    if (node == nullptr) return {nullptr, nullptr};
-    if (pred(node->key, node->value)) {
-      // Whole left subtree satisfies pred (keys smaller than node->key).
-      auto [taken, rest] = split_prefix(std::move(node->right), pred);
-      node->right = std::move(taken);
-      update(node.get());
-      return {std::move(node), std::move(rest)};
+  std::pair<std::uint32_t, std::uint32_t> split_prefix(std::uint32_t node,
+                                                       Pred pred) {
+    std::uint32_t taken = kNil;
+    std::uint32_t rest = kNil;
+    std::uint32_t* t_slot = &taken;
+    std::uint32_t* r_slot = &rest;
+    scratch_.clear();
+    while (node != kNil) {
+      Node& n = pool_[node];
+      scratch_.push_back(node);
+      if (pred(n.key, n.value)) {
+        // Whole left subtree satisfies pred (keys smaller than n.key).
+        *t_slot = node;
+        t_slot = &n.right;
+        node = n.right;
+      } else {
+        *r_slot = node;
+        r_slot = &n.left;
+        node = n.left;
+      }
     }
-    auto [taken, rest] = split_prefix(std::move(node->left), pred);
-    node->left = std::move(rest);
-    update(node.get());
-    return {std::move(taken), std::move(node)};
+    *t_slot = kNil;
+    *r_slot = kNil;
+    for (std::size_t i = scratch_.size(); i-- > 0;) update(scratch_[i]);
+    return {taken, rest};
   }
 
   /// Splits into (rest, suffix where pred holds); pred suffix-monotone.
   template <typename Pred>
-  std::pair<NodePtr, NodePtr> split_suffix(NodePtr node, Pred pred) {
-    if (node == nullptr) return {nullptr, nullptr};
-    if (pred(node->key, node->value)) {
-      auto [rest, taken] = split_suffix(std::move(node->left), pred);
-      node->left = std::move(taken);
-      update(node.get());
-      return {std::move(rest), std::move(node)};
+  std::pair<std::uint32_t, std::uint32_t> split_suffix(std::uint32_t node,
+                                                       Pred pred) {
+    std::uint32_t rest = kNil;
+    std::uint32_t taken = kNil;
+    std::uint32_t* r_slot = &rest;
+    std::uint32_t* t_slot = &taken;
+    scratch_.clear();
+    while (node != kNil) {
+      Node& n = pool_[node];
+      scratch_.push_back(node);
+      if (pred(n.key, n.value)) {
+        // Whole right subtree satisfies pred (keys larger than n.key).
+        *t_slot = node;
+        t_slot = &n.left;
+        node = n.left;
+      } else {
+        *r_slot = node;
+        r_slot = &n.right;
+        node = n.right;
+      }
     }
-    auto [rest, taken] = split_suffix(std::move(node->right), pred);
-    node->right = std::move(rest);
-    update(node.get());
-    return {std::move(node), std::move(taken)};
+    *r_slot = kNil;
+    *t_slot = kNil;
+    for (std::size_t i = scratch_.size(); i-- > 0;) update(scratch_[i]);
+    return {rest, taken};
   }
 
-  NodePtr merge(NodePtr a, NodePtr b) {
-    if (a == nullptr) return b;
-    if (b == nullptr) return a;
-    if (a->priority >= b->priority) {
-      a->right = merge(std::move(a->right), std::move(b));
-      update(a.get());
-      return a;
+  /// Top-down iterative merge; the winner's subtree size grows by the
+  /// whole losing tree, so sizes update on the way down.
+  std::uint32_t merge(std::uint32_t a, std::uint32_t b) {
+    std::uint32_t root = kNil;
+    std::uint32_t* slot = &root;
+    while (true) {
+      if (a == kNil) {
+        *slot = b;
+        break;
+      }
+      if (b == kNil) {
+        *slot = a;
+        break;
+      }
+      if (pool_[a].priority >= pool_[b].priority) {
+        Node& n = pool_[a];
+        n.size += size_of(b);
+        *slot = a;
+        slot = &n.right;
+        a = n.right;
+      } else {
+        Node& n = pool_[b];
+        n.size += size_of(a);
+        *slot = b;
+        slot = &n.left;
+        b = n.left;
+      }
     }
-    b->left = merge(std::move(a), std::move(b->left));
-    update(b.get());
-    return b;
+    return root;
   }
 
-  NodePtr erase_rec(NodePtr node, const K& key, bool& removed) {
-    if (node == nullptr) return nullptr;
-    if (cmp_(key, node->key)) {
-      node->left = erase_rec(std::move(node->left), key, removed);
-    } else if (cmp_(node->key, key)) {
-      node->right = erase_rec(std::move(node->right), key, removed);
-    } else {
-      removed = true;
-      return merge(std::move(node->left), std::move(node->right));
-    }
-    update(node.get());
-    return node;
-  }
-
+  /// In-order visit + release of a detached subtree.
   template <typename Sink>
-  static void drain_in_order(NodePtr node, Sink& sink) {
-    if (node == nullptr) return;
-    drain_in_order(std::move(node->left), sink);
-    sink(node->key, node->value);
-    drain_in_order(std::move(node->right), sink);
-  }
-
-  template <typename Fn>
-  static void for_each_rec(const Node* node, Fn& fn) {
-    if (node == nullptr) return;
-    for_each_rec(node->left.get(), fn);
-    fn(node->key, node->value);
-    for_each_rec(node->right.get(), fn);
-  }
-
-  struct CheckResult {
-    bool ok = true;
-    std::size_t size = 0;
-  };
-
-  CheckResult check_rec(const Node* node, const K* lo, const K* hi) const {
-    if (node == nullptr) return {true, 0};
-    if (lo != nullptr && !cmp_(*lo, node->key)) return {false, 0};
-    if (hi != nullptr && !cmp_(node->key, *hi)) return {false, 0};
-    if (node->left && node->left->priority > node->priority) return {false, 0};
-    if (node->right && node->right->priority > node->priority) {
-      return {false, 0};
+  void drain_in_order(std::uint32_t node, Sink& sink) {
+    scratch_.clear();
+    std::uint32_t cur = node;
+    while (cur != kNil || !scratch_.empty()) {
+      while (cur != kNil) {
+        scratch_.push_back(cur);
+        cur = pool_[cur].left;
+      }
+      cur = scratch_.back();
+      scratch_.pop_back();
+      Node& n = pool_[cur];
+      sink(n.key, n.value);
+      const std::uint32_t next = n.right;
+      release(cur);
+      cur = next;
     }
-    auto l = check_rec(node->left.get(), lo, &node->key);
-    auto r = check_rec(node->right.get(), &node->key, hi);
-    const std::size_t total = 1 + l.size + r.size;
-    return {l.ok && r.ok && node->size == total, total};
   }
 
-  static std::size_t depth_rec(const Node* node) {
-    if (node == nullptr) return 0;
-    return 1 + std::max(depth_rec(node->left.get()),
-                        depth_rec(node->right.get()));
+  /// Releases every slot of a detached subtree without visiting values.
+  void free_subtree(std::uint32_t node) {
+    scratch_.clear();
+    if (node != kNil) scratch_.push_back(node);
+    while (!scratch_.empty()) {
+      const std::uint32_t cur = scratch_.back();
+      scratch_.pop_back();
+      const Node& n = pool_[cur];
+      if (n.left != kNil) scratch_.push_back(n.left);
+      if (n.right != kNil) scratch_.push_back(n.right);
+      release(cur);
+    }
   }
 
-  NodePtr root_;
+  /// Copies the structure rooted at `src_root` in `from`'s pool into
+  /// this pool (priorities and sizes preserved). Returns the new root.
+  std::uint32_t clone_subtree(const Treap& from, std::uint32_t src_root) {
+    if (src_root == kNil) return kNil;
+    const Node& sr = from.pool_[src_root];
+    const std::uint32_t dst_root = acquire(sr.key, sr.value, sr.priority);
+    pool_[dst_root].size = sr.size;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;  // src, dst
+    stack.emplace_back(src_root, dst_root);
+    while (!stack.empty()) {
+      const auto [s, d] = stack.back();
+      stack.pop_back();
+      for (const bool left_side : {true, false}) {
+        const std::uint32_t child = left_side ? from.pool_[s].left
+                                              : from.pool_[s].right;
+        if (child == kNil) continue;
+        const Node& cn = from.pool_[child];
+        const std::uint32_t c = acquire(cn.key, cn.value, cn.priority);
+        pool_[c].size = cn.size;
+        if (left_side) {
+          pool_[d].left = c;
+        } else {
+          pool_[d].right = c;
+        }
+        stack.emplace_back(child, c);
+      }
+    }
+    return dst_root;
+  }
+
+  std::vector<Node> pool_;
+  std::uint32_t root_ = kNil;
+  std::uint32_t free_head_ = kNil;
+  /// Reusable stacks; each grows to max depth once, then no further
+  /// allocation. `path_` holds insert/erase ancestor chains (size
+  /// fixups); `scratch_` is private to split/drain-style helpers. The
+  /// two are live at the same time inside insert, never deeper.
+  std::vector<std::uint32_t> path_;
+  std::vector<std::uint32_t> scratch_;
   util::Xoshiro256StarStar rng_;
   Compare cmp_{};
 };

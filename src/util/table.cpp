@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -78,6 +79,87 @@ std::string Table::to_csv() const {
   emit_row(header_);
   for (const auto& row : rows_) emit_row(row);
   return os.str();
+}
+
+namespace {
+std::string json_escape(const std::string& cell) {
+  std::string out = "\"";
+  for (char ch : cell) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// A cell is emitted as a bare JSON number iff the whole string matches
+/// the JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+bool is_json_number(const std::string& cell) {
+  std::size_t i = 0;
+  const std::size_t n = cell.size();
+  auto digits = [&]() {
+    const std::size_t start = i;
+    while (i < n && cell[i] >= '0' && cell[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < n && cell[i] == '-') ++i;
+  if (i < n && cell[i] == '0') {
+    ++i;  // no leading zeros
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < n && cell[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < n && (cell[i] == 'e' || cell[i] == 'E')) {
+    ++i;
+    if (i < n && (cell[i] == '+' || cell[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return n > 0 && i == n;
+}
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) os << ", ";
+      os << json_escape(header_[c]) << ": ";
+      os << (is_json_number(rows_[r][c]) ? rows_[r][c]
+                                         : json_escape(rows_[r][c]));
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+  return os.str();
+}
+
+void Table::write_json(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Table: cannot open " + path.string());
+  }
+  out << to_json();
 }
 
 void Table::write_csv(const std::filesystem::path& path) const {

@@ -29,8 +29,15 @@ class Table {
   /// Renders as RFC-4180-ish CSV (quotes cells containing comma/quote/NL).
   std::string to_csv() const;
 
+  /// Renders as a JSON array of row objects keyed by header; cells that
+  /// parse fully as numbers are emitted as numbers, the rest as strings.
+  std::string to_json() const;
+
   /// Writes CSV to `path`, creating parent directories as needed.
   void write_csv(const std::filesystem::path& path) const;
+
+  /// Writes the JSON rendering to `path`, creating parent directories.
+  void write_json(const std::filesystem::path& path) const;
 
   /// Prints the Markdown rendering to `os` with a title line.
   void print(std::ostream& os, const std::string& title) const;

@@ -40,8 +40,8 @@ TEST(Treap, InsertFindEraseBasics) {
 TEST(Treap, FrontBackAndLowerBound) {
   Treap<int, int> t;
   for (int k : {50, 20, 80, 10, 60}) t.insert(k, k * 2);
-  EXPECT_EQ(t.front().first, 10);
-  EXPECT_EQ(t.back().first, 80);
+  EXPECT_EQ(t.front()->first, 10);
+  EXPECT_EQ(t.back()->first, 80);
   EXPECT_EQ(t.lower_bound_key(55).value(), 60);
   EXPECT_EQ(t.lower_bound_key(60).value(), 60);
   EXPECT_EQ(t.lower_bound_key(81), std::nullopt);
@@ -68,7 +68,7 @@ TEST(Treap, RemovePrefixWhile) {
                         [&removed](int k, int) { removed.push_back(k); });
   EXPECT_EQ(removed, (std::vector<int>{1, 2, 3, 4}));
   EXPECT_EQ(t.size(), 6u);
-  EXPECT_EQ(t.front().first, 5);
+  EXPECT_EQ(t.front()->first, 5);
   EXPECT_TRUE(t.check_invariants());
 }
 
@@ -79,7 +79,7 @@ TEST(Treap, RemoveSuffixWhile) {
   t.remove_suffix_while([](int k, int) { return k >= 8; },
                         [&removed](int k, int) { removed.push_back(k); });
   EXPECT_EQ(removed, (std::vector<int>{8, 9, 10}));
-  EXPECT_EQ(t.back().first, 7);
+  EXPECT_EQ(t.back()->first, 7);
   EXPECT_TRUE(t.check_invariants());
 }
 
@@ -102,13 +102,13 @@ TEST(Treap, SplitOffLowerAndAbsorb) {
   Treap<int, int> low = t.split_off_lower(11);
   EXPECT_EQ(low.size(), 10u);
   EXPECT_EQ(t.size(), 10u);
-  EXPECT_EQ(low.back().first, 10);
-  EXPECT_EQ(t.front().first, 11);
+  EXPECT_EQ(low.back()->first, 10);
+  EXPECT_EQ(t.front()->first, 11);
   EXPECT_TRUE(low.check_invariants());
   EXPECT_TRUE(t.check_invariants());
   t.absorb_lower(std::move(low));
   EXPECT_EQ(t.size(), 20u);
-  EXPECT_EQ(t.front().first, 1);
+  EXPECT_EQ(t.front()->first, 1);
   EXPECT_TRUE(t.check_invariants());
 }
 
@@ -146,9 +146,175 @@ TEST(Treap, FuzzAgainstStdMap) {
   }
   EXPECT_TRUE(t.check_invariants());
   if (!ref.empty()) {
-    EXPECT_EQ(t.front().first, ref.begin()->first);
-    EXPECT_EQ(t.back().first, std::prev(ref.end())->first);
+    EXPECT_EQ(t.front()->first, ref.begin()->first);
+    EXPECT_EQ(t.back()->first, std::prev(ref.end())->first);
   }
+}
+
+TEST(Treap, FrontBackEmptyReturnNullopt) {
+  Treap<int, int> t;
+  EXPECT_EQ(t.front(), std::nullopt);
+  EXPECT_EQ(t.back(), std::nullopt);
+  t.insert(7, 70);
+  ASSERT_TRUE(t.front().has_value());
+  EXPECT_EQ(t.front()->second, 70);
+  t.erase(7);
+  EXPECT_EQ(t.front(), std::nullopt);
+  EXPECT_EQ(t.back(), std::nullopt);
+}
+
+// Differential fuzz with the full operation surface — point ops plus the
+// bulk ops (remove_prefix_while / remove_suffix_while / split_off_lower
+// + absorb_lower / remove_suffix_of_lower_while) — against std::map,
+// with pool/structure invariants checked throughout.
+TEST(Treap, FullOpFuzzAgainstStdMap) {
+  Treap<std::uint32_t, std::uint32_t> t(7);
+  std::map<std::uint32_t, std::uint32_t> ref;
+  util::Xoshiro256StarStar rng(2024);
+  for (int step = 0; step < 4000; ++step) {
+    const auto key = static_cast<std::uint32_t>(rng.next_below(500));
+    switch (rng.next_below(8)) {
+      case 0:
+      case 1: {
+        ASSERT_EQ(t.insert(key, key ^ 0xABCD),
+                  ref.emplace(key, key ^ 0xABCD).second);
+        break;
+      }
+      case 2: {
+        ASSERT_EQ(t.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      case 3: {  // remove_prefix_while: drop all keys < key
+        std::vector<std::uint32_t> removed;
+        t.remove_prefix_while(
+            [key](std::uint32_t k, std::uint32_t) { return k < key; },
+            [&removed](std::uint32_t k, std::uint32_t) {
+              removed.push_back(k);
+            });
+        std::vector<std::uint32_t> ref_removed;
+        for (auto it = ref.begin(); it != ref.end() && it->first < key;) {
+          ref_removed.push_back(it->first);
+          it = ref.erase(it);
+        }
+        ASSERT_EQ(removed, ref_removed);
+        break;
+      }
+      case 4: {  // remove_suffix_while: drop all keys >= key
+        std::vector<std::uint32_t> removed;
+        t.remove_suffix_while(
+            [key](std::uint32_t k, std::uint32_t) { return k >= key; },
+            [&removed](std::uint32_t k, std::uint32_t) {
+              removed.push_back(k);
+            });
+        std::vector<std::uint32_t> ref_removed;
+        for (auto it = ref.lower_bound(key); it != ref.end();) {
+          ref_removed.push_back(it->first);
+          it = ref.erase(it);
+        }
+        ASSERT_EQ(removed, ref_removed);
+        break;
+      }
+      case 5: {  // split_off_lower + absorb_lower round trip
+        Treap<std::uint32_t, std::uint32_t> low = t.split_off_lower(key);
+        const std::size_t expected_low = static_cast<std::size_t>(
+            std::distance(ref.begin(), ref.lower_bound(key)));
+        ASSERT_EQ(low.size(), expected_low);
+        ASSERT_EQ(t.size(), ref.size() - expected_low);
+        ASSERT_TRUE(low.check_invariants());
+        ASSERT_TRUE(t.check_invariants());
+        t.absorb_lower(std::move(low));
+        break;
+      }
+      case 6: {  // fused prune: below `key`, drop the value-tagged suffix
+        const auto cut = static_cast<std::uint32_t>(rng.next_below(500));
+        std::vector<std::uint32_t> removed;
+        t.remove_suffix_of_lower_while(
+            key, [cut](std::uint32_t k, std::uint32_t) { return k >= cut; },
+            [&removed](std::uint32_t k, std::uint32_t) {
+              removed.push_back(k);
+            });
+        std::vector<std::uint32_t> ref_removed;
+        for (auto it = ref.lower_bound(cut);
+             it != ref.end() && it->first < key;) {
+          ref_removed.push_back(it->first);
+          it = ref.erase(it);
+        }
+        ASSERT_EQ(removed, ref_removed);
+        break;
+      }
+      case 7: {
+        ASSERT_EQ(t.contains(key), ref.contains(key));
+        const auto lb = ref.lower_bound(key);
+        const auto tlb = t.lower_bound_key(key);
+        if (lb == ref.end()) {
+          ASSERT_EQ(tlb, std::nullopt);
+        } else {
+          ASSERT_EQ(tlb.value(), lb->first);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(t.size(), ref.size()) << "step " << step;
+    if (step % 64 == 0) {
+      ASSERT_TRUE(t.check_invariants()) << "step " << step;
+    }
+    if (ref.empty()) {
+      ASSERT_EQ(t.front(), std::nullopt);
+    } else {
+      ASSERT_EQ(t.front()->first, ref.begin()->first);
+      ASSERT_EQ(t.back()->first, std::prev(ref.end())->first);
+    }
+  }
+  ASSERT_TRUE(t.check_invariants());
+}
+
+// The structural operations are iterative; a million sequential inserts
+// followed by full-tree bulk removal must not touch the call stack.
+TEST(Treap, MillionSequentialInsertsNoStackOverflow) {
+  Treap<std::uint32_t, char> t(99);
+  constexpr std::uint32_t kN = 1'000'000;
+  t.reserve(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) t.insert(i, 0);
+  ASSERT_EQ(t.size(), kN);
+  EXPECT_EQ(t.front()->first, 0u);
+  EXPECT_EQ(t.back()->first, kN - 1);
+  EXPECT_LT(t.max_depth(), 200u);
+  // Erase a slice point-wise, then drain the rest in one bulk op.
+  for (std::uint32_t i = 0; i < 1000; ++i) t.erase(i * 997);
+  std::size_t drained = 0;
+  std::uint32_t prev = 0;
+  bool ordered = true;
+  t.remove_prefix_while([](std::uint32_t, char) { return true; },
+                        [&](std::uint32_t k, char) {
+                          ordered = ordered && (drained == 0 || k > prev);
+                          prev = k;
+                          ++drained;
+                        });
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(drained, kN - 1000);
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.check_invariants());
+}
+
+// Steady-state churn must recycle freelist slots: after warmup the pool
+// stops growing, i.e. zero allocations per element on the hot path.
+TEST(Treap, SteadyStateChurnDoesNotGrowPool) {
+  Treap<std::uint64_t, std::uint64_t> t(5);
+  for (std::uint64_t i = 0; i < 1024; ++i) t.insert(i * 2, i);
+  // Prime the freelist with one churn cycle (the very first transient
+  // insert has no freed slot to recycle), then the pool must not move.
+  t.insert(1, 1);
+  t.erase(1);
+  const std::size_t slots = t.pool_slots();
+  util::Xoshiro256StarStar rng(6);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = rng.next_below(2048) | 1;  // odd: not resident
+    t.insert(key, key);
+    t.erase(key);
+  }
+  EXPECT_EQ(t.pool_slots(), slots);
+  EXPECT_EQ(t.size(), 1024u);
+  EXPECT_TRUE(t.check_invariants());
 }
 
 TEST(Treap, DepthStaysLogarithmicOnSortedInsert) {

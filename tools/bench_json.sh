@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Emit the bench-JSON perf trajectory for this checkout.
+#
+#   tools/bench_json.sh [build-dir] [outdir] [min-time-seconds]
+#
+# Runs the Google-Benchmark micro suites (micro_substrates, abl4_treap)
+# with JSON output into <outdir>/BENCH_<name>.json. These files are the
+# per-PR perf record: CI archives them as artifacts so the trajectory of
+# the hot paths is comparable across commits. The figure/ablation
+# binaries emit the same machine-readable form via their --json flag
+# (tables mirrored to <outdir>/*.json next to the CSVs).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+outdir="${2:-$build/bench_results}"
+min_time="${3:-0.05}"
+
+mkdir -p "$outdir"
+
+ran=0
+for micro in micro_substrates abl4_treap; do
+  bin="$build/$micro"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_json: $micro not built (Google Benchmark missing?); skipping"
+    continue
+  fi
+  # Note: the min_time flag takes a plain double (no 's' suffix) on the
+  # benchmark versions we support.
+  "$bin" --benchmark_min_time="$min_time" \
+         --benchmark_format=console \
+         --benchmark_out_format=json \
+         --benchmark_out="$outdir/BENCH_${micro}.json"
+  echo "bench_json: wrote $outdir/BENCH_${micro}.json"
+  ran=$((ran + 1))
+done
+
+if [[ "$ran" -eq 0 ]]; then
+  echo "bench_json: no micro benches available" >&2
+  exit 1
+fi

@@ -1,24 +1,29 @@
 #!/usr/bin/env bash
-# Tier-1 verify + a smoke run of the network ablation.
+# Tier-1 verify + smoke runs: network ablation and bench-JSON emission.
 #
 #   tools/ci.sh [build-dir]
 #
-# Mirrors the checks CI runs: configure, build, ctest, then exercise the
-# event-driven transport end-to-end with tiny parameters.
+# Mirrors the checks CI runs: configure, build, ctest, exercise the
+# event-driven transport end-to-end with tiny parameters, then run the
+# micro benches briefly and emit the bench-JSON perf artifact.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
-cmake -B "$build" -S "$repo"
+cmake -B "$build" -S "$repo" -DDDS_BUILD_BENCHES=ON
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j
 
 # Smoke: the network ablation and the lossy-network walkthrough must run
-# end-to-end and emit their tables.
+# end-to-end and emit their tables (JSON mirrors included).
 "$build/abl10_network" --runs 1 --n 4000 --domain 800 --slots 150 \
   --latencies 0,2 --drops 0,10 --batches 0,5 \
-  --outdir "$build/bench_results"
+  --outdir "$build/bench_results" --json
 "$build/lossy_network" >/dev/null
+
+# Bench smoke: short micro-bench run, JSON into bench_results/ — the
+# per-commit point on the perf trajectory (archived by CI).
+"$repo/tools/bench_json.sh" "$build" "$build/bench_results" 0.05
 
 echo "ci: OK"
