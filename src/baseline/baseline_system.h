@@ -1,5 +1,6 @@
-// Deployment facades for the baseline protocols, mirroring
-// core/system.h so benches can swap algorithms behind one shape.
+// Deployment facades for the baseline protocols — the same templated
+// core::Deployment builder as core/system.h, instantiated with baseline
+// traits, so benches can swap algorithms behind one shape.
 #pragma once
 
 #include <cstdint>
@@ -11,114 +12,191 @@
 #include "baseline/drs.h"
 #include "baseline/fullsync_bottom_s.h"
 #include "baseline/sliding_fullsync.h"
+#include "core/deployment.h"
 #include "core/system.h"
 #include "sim/runner.h"
 
 namespace dds::baseline {
 
-/// Algorithm Broadcast deployment (Section 5.2 comparison).
-class BroadcastSystem {
- public:
-  explicit BroadcastSystem(const core::SystemConfig& config,
-                           bool suppress_duplicates = false);
+/// Algorithm Broadcast (Section 5.2 comparison). The coordinator pushes
+/// every threshold change to ALL sites, so this protocol cannot run on
+/// the sharded engine (a reply fans out beyond the reporting site) —
+/// its deployments always use the serial engine.
+struct BroadcastTraits {
+  using Site = BroadcastSite;
+  using Coordinator = BroadcastCoordinator;
+  struct Options {
+    bool suppress_duplicates = false;
+  };
+  struct Shared {
+    hash::HashFunction hash_fn;
+  };
+  static constexpr bool kInvokeSlotBegin = false;
+  static constexpr bool kShardableCoordinator = false;
+  static constexpr bool kShardableSites = false;
 
-  net::Transport& bus() noexcept { return *transport_; }
-  sim::Runner& runner() noexcept { return *runner_; }
-  const BroadcastCoordinator& coordinator() const noexcept {
-    return *coordinator_;
+  static Shared make_shared(const core::SystemConfig& config) {
+    // Same seed derivation as InfiniteSystem so head-to-head runs use
+    // the identical hash function.
+    return Shared{
+        hash::HashFunction(config.hash_kind,
+                           util::derive_seed(config.seed, 0xA5))};
   }
-  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
-
- private:
-  std::unique_ptr<net::Transport> transport_;
-  hash::HashFunction hash_fn_;
-  std::vector<std::unique_ptr<BroadcastSite>> sites_;
-  std::unique_ptr<BroadcastCoordinator> coordinator_;
-  std::unique_ptr<sim::Runner> runner_;
-};
-
-/// Ship-everything deployment.
-class CentralizedSystem {
- public:
-  explicit CentralizedSystem(const core::SystemConfig& config);
-
-  net::Transport& bus() noexcept { return *transport_; }
-  sim::Runner& runner() noexcept { return *runner_; }
-  const CentralizedCoordinator& coordinator() const noexcept {
-    return *coordinator_;
+  static std::unique_ptr<Coordinator> make_coordinator(
+      sim::NodeId id, std::uint32_t /*shard*/,
+      const core::SystemConfig& config, const Shared& /*shared*/,
+      const Options& /*options*/) {
+    return std::make_unique<Coordinator>(id, config.sample_size,
+                                         config.num_sites);
   }
-  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
-
- private:
-  std::unique_ptr<net::Transport> transport_;
-  hash::HashFunction hash_fn_;
-  std::vector<std::unique_ptr<ForwardingSite>> sites_;
-  std::unique_ptr<CentralizedCoordinator> coordinator_;
-  std::unique_ptr<sim::Runner> runner_;
-};
-
-/// Distributed random (frequency-weighted) sampling deployment.
-class DrsSystem {
- public:
-  explicit DrsSystem(const core::SystemConfig& config);
-
-  net::Transport& bus() noexcept { return *transport_; }
-  sim::Runner& runner() noexcept { return *runner_; }
-  const DrsCoordinator& coordinator() const noexcept { return *coordinator_; }
-  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
-
- private:
-  std::unique_ptr<net::Transport> transport_;
-  std::vector<std::unique_ptr<DrsSite>> sites_;
-  std::unique_ptr<DrsCoordinator> coordinator_;
-  std::unique_ptr<sim::Runner> runner_;
-};
-
-/// Full-sync sliding-window deployment (exact; message-heavy).
-class FullSyncSlidingSystem {
- public:
-  explicit FullSyncSlidingSystem(const core::SlidingSystemConfig& config);
-
-  net::Transport& bus() noexcept { return *transport_; }
-  sim::Runner& runner() noexcept { return *runner_; }
-  const FullSyncSlidingCoordinator& coordinator() const noexcept {
-    return *coordinator_;
+  static std::unique_ptr<Site> make_site(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         const core::SystemConfig& /*config*/,
+                                         const Shared& shared,
+                                         const Options& options) {
+    return std::make_unique<Site>(id, coordinator, shared.hash_fn,
+                                  options.suppress_duplicates);
   }
-  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
-
-  std::size_t total_site_state() const noexcept;
-  std::size_t max_site_state() const noexcept;
-
- private:
-  std::unique_ptr<net::Transport> transport_;
-  hash::HashFunction hash_fn_;
-  std::vector<std::unique_ptr<FullSyncSlidingSite>> sites_;
-  std::unique_ptr<FullSyncSlidingCoordinator> coordinator_;
-  std::unique_ptr<sim::Runner> runner_;
 };
 
-/// Exact distributed bottom-s sliding-window deployment (full-sync).
-class BottomSSlidingSystem {
- public:
-  explicit BottomSSlidingSystem(const core::SlidingSystemConfig& config);
+/// Ship-everything baseline.
+struct CentralizedTraits {
+  using Site = ForwardingSite;
+  using Coordinator = CentralizedCoordinator;
+  struct Options {};
+  struct Shared {
+    hash::HashFunction hash_fn;
+  };
+  static constexpr bool kInvokeSlotBegin = false;
+  static constexpr bool kShardableCoordinator = false;
+  static constexpr bool kShardableSites = true;
 
-  net::Transport& bus() noexcept { return *transport_; }
-  sim::Runner& runner() noexcept { return *runner_; }
-  const BottomSSlidingCoordinator& coordinator() const noexcept {
-    return *coordinator_;
+  static Shared make_shared(const core::SystemConfig& config) {
+    return Shared{
+        hash::HashFunction(config.hash_kind,
+                           util::derive_seed(config.seed, 0xA5))};
   }
-  const hash::HashFunction& hash_fn() const noexcept { return hash_fn_; }
-  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
-
-  std::size_t total_site_state() const noexcept;
-  std::size_t max_site_state() const noexcept;
-
- private:
-  std::unique_ptr<net::Transport> transport_;
-  hash::HashFunction hash_fn_;
-  std::vector<std::unique_ptr<BottomSSlidingSite>> sites_;
-  std::unique_ptr<BottomSSlidingCoordinator> coordinator_;
-  std::unique_ptr<sim::Runner> runner_;
+  static std::unique_ptr<Coordinator> make_coordinator(
+      sim::NodeId id, std::uint32_t /*shard*/,
+      const core::SystemConfig& config, const Shared& /*shared*/,
+      const Options& /*options*/) {
+    return std::make_unique<Coordinator>(id, config.sample_size);
+  }
+  static std::unique_ptr<Site> make_site(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         const core::SystemConfig& /*config*/,
+                                         const Shared& shared,
+                                         const Options& /*options*/) {
+    return std::make_unique<Site>(id, coordinator, shared.hash_fn);
+  }
 };
+
+/// Distributed random (frequency-weighted) sampling baseline.
+struct DrsTraits {
+  using Site = DrsSite;
+  using Coordinator = DrsCoordinator;
+  struct Options {};
+  struct Shared {};
+  static constexpr bool kInvokeSlotBegin = false;
+  /// DRS tags are drawn fresh per occurrence, so there is no element
+  /// space to hash-partition — single coordinator only.
+  static constexpr bool kShardableCoordinator = false;
+  static constexpr bool kShardableSites = true;
+
+  static Shared make_shared(const core::SystemConfig& /*config*/) {
+    return Shared{};
+  }
+  static std::unique_ptr<Coordinator> make_coordinator(
+      sim::NodeId id, std::uint32_t /*shard*/,
+      const core::SystemConfig& config, const Shared& /*shared*/,
+      const Options& /*options*/) {
+    return std::make_unique<Coordinator>(id, config.sample_size);
+  }
+  static std::unique_ptr<Site> make_site(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         const core::SystemConfig& config,
+                                         const Shared& /*shared*/,
+                                         const Options& /*options*/) {
+    return std::make_unique<Site>(id, coordinator,
+                                  util::derive_seed(config.seed, 0xE00 + id));
+  }
+};
+
+/// Full-sync sliding-window baseline (exact; message-heavy).
+struct FullSyncSlidingTraits {
+  using Site = FullSyncSlidingSite;
+  using Coordinator = FullSyncSlidingCoordinator;
+  struct Options {};
+  struct Shared {
+    hash::HashFunction hash_fn;
+  };
+  static constexpr bool kInvokeSlotBegin = true;
+  static constexpr bool kShardableCoordinator = false;
+  static constexpr bool kShardableSites = true;
+
+  static Shared make_shared(const core::SystemConfig& config) {
+    // Match SlidingSystem's hash: family member 0 with the same seed
+    // derivation, so the two protocols sample identical elements.
+    return Shared{hash::HashFamily(config.hash_kind,
+                                   util::derive_seed(config.seed, 0xC7))
+                      .at(0)};
+  }
+  static std::unique_ptr<Coordinator> make_coordinator(
+      sim::NodeId id, std::uint32_t /*shard*/,
+      const core::SystemConfig& config, const Shared& /*shared*/,
+      const Options& /*options*/) {
+    return std::make_unique<Coordinator>(id, config.num_sites);
+  }
+  static std::unique_ptr<Site> make_site(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         const core::SystemConfig& config,
+                                         const Shared& shared,
+                                         const Options& /*options*/) {
+    return std::make_unique<Site>(id, coordinator, config.window,
+                                  shared.hash_fn,
+                                  util::derive_seed(config.seed, 0xF00 + id));
+  }
+};
+
+/// Exact distributed bottom-s sliding-window baseline (full-sync).
+struct BottomSSlidingTraits {
+  using Site = BottomSSlidingSite;
+  using Coordinator = BottomSSlidingCoordinator;
+  struct Options {};
+  struct Shared {
+    hash::HashFunction hash_fn;
+  };
+  static constexpr bool kInvokeSlotBegin = true;
+  static constexpr bool kShardableCoordinator = false;
+  static constexpr bool kShardableSites = true;
+
+  static Shared make_shared(const core::SystemConfig& config) {
+    // Family member 0 with SlidingSystem's derivation: head-to-head
+    // runs against the parallel-copies scheme share instance 0's hash.
+    return Shared{hash::HashFamily(config.hash_kind,
+                                   util::derive_seed(config.seed, 0xC7))
+                      .at(0)};
+  }
+  static std::unique_ptr<Coordinator> make_coordinator(
+      sim::NodeId id, std::uint32_t /*shard*/,
+      const core::SystemConfig& config, const Shared& /*shared*/,
+      const Options& /*options*/) {
+    return std::make_unique<Coordinator>(id, config.sample_size);
+  }
+  static std::unique_ptr<Site> make_site(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         const core::SystemConfig& config,
+                                         const Shared& shared,
+                                         const Options& /*options*/) {
+    return std::make_unique<Site>(id, coordinator, config.sample_size,
+                                  config.window, shared.hash_fn);
+  }
+};
+
+using BroadcastSystem = core::Deployment<BroadcastTraits>;
+using CentralizedSystem = core::Deployment<CentralizedTraits>;
+using DrsSystem = core::Deployment<DrsTraits>;
+using FullSyncSlidingSystem = core::Deployment<FullSyncSlidingTraits>;
+using BottomSSlidingSystem = core::Deployment<BottomSSlidingTraits>;
 
 }  // namespace dds::baseline

@@ -1,0 +1,255 @@
+// The deployment builder — one templated assembly line for every
+// protocol facade.
+//
+// Historically each protocol (and each baseline) hand-wired its own
+// transport + sites + coordinator + runner plumbing in a copy-pasted
+// facade class. Deployment<Traits> replaces all of them: a Traits
+// struct declares the protocol's node types, how to construct them, and
+// what execution features it supports (per-slot expiry callbacks,
+// coordinator sharding, sharded-engine site batches), and the builder
+// does the rest:
+//
+//   transport  <- net::make_transport(num_sites, num_shards, network)
+//   coordinator shards  <- Traits::make_coordinator, one per shard
+//   sites      <- Traits::make_site — wrapped in a RoutedSite when the
+//                 coordinator is sharded, so every occurrence of an
+//                 element talks to the shard that owns it
+//   engine     <- sim::make_engine (SerialEngine, or ShardedEngine when
+//                 config.num_threads > 1 and the protocol allows)
+//
+// One config serves every protocol: SystemConfig unifies the old
+// SystemConfig / SlidingSystemConfig pair and adds the num_shards /
+// num_threads scale knobs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/shard_router.h"
+#include "hash/hash_function.h"
+#include "net/config.h"
+#include "net/factory.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace dds::core {
+
+/// Shared knobs for every deployment. The first four fields keep their
+/// historical order — positional `{sites, s, hash, seed}` initializers
+/// appear throughout the tests and benches.
+struct SystemConfig {
+  std::uint32_t num_sites = 5;
+  std::size_t sample_size = 10;
+  hash::HashKind hash_kind = hash::HashKind::kMurmur2;
+  std::uint64_t seed = 1;
+  /// Wire model. Defaults to the paper's idealized network, served by
+  /// the legacy zero-delay sim::Bus; any nontrivial setting deploys on
+  /// the event-driven net::SimNetwork.
+  net::NetworkConfig network;
+  /// Window length in slots (sliding-window protocols only).
+  sim::Slot window = 100;
+  /// Coordinator shards (consistent hashing over the element space).
+  /// Protocols whose Traits do not support it reject num_shards > 1.
+  std::uint32_t num_shards = 1;
+  /// Site worker threads; >1 deploys on the ShardedEngine when the
+  /// protocol and transport allow (see sim::make_engine), and falls
+  /// back to the serial engine otherwise.
+  std::uint32_t num_threads = 1;
+};
+
+/// The sliding-window protocols share the unified config; this type
+/// only flips the defaults their tests and benches have always assumed.
+struct SlidingSystemConfig : SystemConfig {
+  SlidingSystemConfig() {
+    num_sites = 10;
+    sample_size = 1;
+  }
+};
+
+/// Site wrapper for sharded-coordinator deployments: one inner protocol
+/// site per coordinator shard. Arrivals route by element through the
+/// ShardRouter (so shard j sees exactly its partition's substream);
+/// coordinator replies route back by sender id. Per-slot expiry runs on
+/// every copy.
+template <typename Site>
+class RoutedSite final : public sim::StreamNode {
+ public:
+  RoutedSite(const ShardRouter& router, sim::NodeId first_coordinator)
+      : router_(router), first_coordinator_(first_coordinator) {}
+
+  void add_copy(std::unique_ptr<Site> copy) {
+    copies_.push_back(std::move(copy));
+  }
+
+  void on_element(std::uint64_t element, sim::Slot t,
+                  net::Transport& bus) override {
+    copies_[router_.shard_of(element)]->on_element(element, t, bus);
+  }
+
+  void on_slot_begin(sim::Slot t, net::Transport& bus) override {
+    for (auto& copy : copies_) copy->on_slot_begin(t, bus);
+  }
+
+  void on_message(const sim::Message& msg, net::Transport& bus) override {
+    copies_[msg.from - first_coordinator_]->on_message(msg, bus);
+  }
+
+  std::size_t state_size() const noexcept override {
+    std::size_t total = 0;
+    for (const auto& copy : copies_) total += copy->state_size();
+    return total;
+  }
+
+  Site& copy(std::size_t shard) { return *copies_[shard]; }
+  const Site& copy(std::size_t shard) const { return *copies_[shard]; }
+
+ private:
+  const ShardRouter& router_;
+  sim::NodeId first_coordinator_;
+  std::vector<std::unique_ptr<Site>> copies_;
+};
+
+template <typename Traits>
+class Deployment {
+ public:
+  using Site = typename Traits::Site;
+  using Coordinator = typename Traits::Coordinator;
+  using Options = typename Traits::Options;
+
+  explicit Deployment(const SystemConfig& config)
+      : Deployment(config, Options{}) {}
+
+  Deployment(const SystemConfig& config, Options options)
+      : config_(config),
+        shared_(Traits::make_shared(config)),
+        router_(checked_shards(config),
+                util::derive_seed(config.seed, 0x5168D5ULL)),
+        transport_(net::make_transport(config.num_sites, config.network,
+                                       router_.num_shards())) {
+    const std::uint32_t shards = router_.num_shards();
+    coordinators_.reserve(shards);
+    for (std::uint32_t j = 0; j < shards; ++j) {
+      coordinators_.push_back(Traits::make_coordinator(
+          transport_->coordinator_id(j), j, config_, shared_, options));
+      transport_->attach(transport_->coordinator_id(j),
+                         coordinators_.back().get());
+    }
+    stream_nodes_.reserve(config_.num_sites);
+    for (std::uint32_t i = 0; i < config_.num_sites; ++i) {
+      if (shards == 1) {
+        sites_.push_back(Traits::make_site(i, transport_->coordinator_id(0),
+                                           config_, shared_, options));
+        stream_nodes_.push_back(sites_.back().get());
+      } else {
+        auto routed = std::make_unique<RoutedSite<Site>>(
+            router_, transport_->coordinator_id(0));
+        for (std::uint32_t j = 0; j < shards; ++j) {
+          routed->add_copy(Traits::make_site(i, transport_->coordinator_id(j),
+                                             config_, shared_, options));
+        }
+        stream_nodes_.push_back(routed.get());
+        routed_sites_.push_back(std::move(routed));
+      }
+      transport_->attach(i, stream_nodes_.back());
+    }
+    sim::EngineConfig engine_config;
+    engine_config.num_threads =
+        Traits::kShardableSites ? config_.num_threads : 1;
+    engine_ = sim::make_engine(*transport_, stream_nodes_,
+                               Traits::kInvokeSlotBegin, engine_config);
+  }
+
+  /// Compat sugar: protocol options passed positionally, e.g.
+  /// InfiniteSystem(config, /*eager_threshold=*/true).
+  template <typename A0, typename... An,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<A0>, Options>>>
+  Deployment(const SystemConfig& config, A0&& a0, An&&... an)
+      : Deployment(config,
+                   Options{std::forward<A0>(a0), std::forward<An>(an)...}) {}
+
+  // ---- plumbing access ---------------------------------------------
+  net::Transport& bus() noexcept { return *transport_; }
+  const net::Transport& bus() const noexcept { return *transport_; }
+  /// The execution engine ("runner" is the historical name).
+  sim::Engine& runner() noexcept { return *engine_; }
+  const sim::Engine& engine() const noexcept { return *engine_; }
+
+  /// Feeds the whole source through the deployment; returns arrivals
+  /// processed. Message counts accumulate in bus().counters().
+  std::uint64_t run(sim::ArrivalSource& source) { return engine_->run(source); }
+
+  std::uint32_t num_sites() const noexcept { return config_.num_sites; }
+  std::uint32_t num_shards() const noexcept { return router_.num_shards(); }
+  const ShardRouter& router() const noexcept { return router_; }
+  const SystemConfig& config() const noexcept { return config_; }
+
+  // ---- node access -------------------------------------------------
+  const Coordinator& coordinator(std::size_t shard = 0) const {
+    return *coordinators_[shard];
+  }
+
+  /// Site i's protocol node (its shard-`shard` copy when the
+  /// coordinator is sharded; there is exactly one copy otherwise).
+  Site& site(std::size_t i, std::size_t shard = 0) {
+    return routed_sites_.empty() ? *sites_[i] : routed_sites_[i]->copy(shard);
+  }
+  const Site& site(std::size_t i, std::size_t shard = 0) const {
+    return routed_sites_.empty() ? *sites_[i] : routed_sites_[i]->copy(shard);
+  }
+
+  // ---- aggregate site state (paper's memory metric) ----------------
+  /// Sum over sites of their state size — total candidate memory now.
+  std::size_t total_site_state() const noexcept {
+    std::size_t total = 0;
+    for (const auto* node : stream_nodes_) total += node->state_size();
+    return total;
+  }
+  /// Max over sites of their state size.
+  std::size_t max_site_state() const noexcept {
+    std::size_t mx = 0;
+    for (const auto* node : stream_nodes_) {
+      mx = std::max(mx, node->state_size());
+    }
+    return mx;
+  }
+
+  // ---- protocol-specific accessors ---------------------------------
+  // Bodies instantiate lazily, so each is available exactly when the
+  // protocol's Shared state (or merge support) provides it.
+  const auto& hash_fn() const { return shared_.hash_fn; }
+  const auto& family() const { return shared_.family; }
+
+  /// Query-time merge across coordinator shards (equals the
+  /// single-coordinator answer when num_shards == 1; see shard_router.h
+  /// for why the merge is exact).
+  auto sample() const { return Traits::merge_samples(coordinators_, config_); }
+
+ private:
+  static std::uint32_t checked_shards(const SystemConfig& config) {
+    const std::uint32_t shards = config.num_shards == 0 ? 1 : config.num_shards;
+    if (shards > 1 && !Traits::kShardableCoordinator) {
+      throw std::invalid_argument(
+          "Deployment: this protocol does not support a sharded coordinator");
+    }
+    return shards;
+  }
+
+  SystemConfig config_;
+  typename Traits::Shared shared_;
+  ShardRouter router_;
+  std::unique_ptr<net::Transport> transport_;
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
+  std::vector<std::unique_ptr<Site>> sites_;               // num_shards == 1
+  std::vector<std::unique_ptr<RoutedSite<Site>>> routed_sites_;  // > 1
+  std::vector<sim::StreamNode*> stream_nodes_;
+  std::unique_ptr<sim::Engine> engine_;
+};
+
+}  // namespace dds::core

@@ -1,12 +1,17 @@
-// Facades that wire up a complete simulated deployment — bus, k sites,
-// coordinator, runner — for each protocol. Examples, tests, and every
-// bench binary build on these instead of repeating the plumbing.
+// Deployment facades for the paper's protocols — each is the templated
+// core::Deployment builder instantiated with a small Traits struct that
+// names the protocol's node types and constructor recipe. Examples,
+// tests, and every bench binary build on these instead of repeating the
+// plumbing. SystemConfig (including the num_shards / num_threads scale
+// knobs) lives in core/deployment.h.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/bottom_s_sample.h"
+#include "core/deployment.h"
 #include "core/infinite_coordinator.h"
 #include "core/infinite_site.h"
 #include "core/multi_sliding.h"
@@ -18,109 +23,149 @@
 
 namespace dds::core {
 
-/// Shared knobs for every deployment facade.
-struct SystemConfig {
-  std::uint32_t num_sites = 5;
-  std::size_t sample_size = 10;
-  hash::HashKind hash_kind = hash::HashKind::kMurmur2;
-  std::uint64_t seed = 1;
-  /// Wire model. Defaults to the paper's idealized network, served by
-  /// the legacy zero-delay sim::Bus; any nontrivial setting deploys on
-  /// the event-driven net::SimNetwork.
-  net::NetworkConfig network;
-};
-
-/// Infinite-window deployment of Algorithms 1 & 2 (sampling without
-/// replacement).
-class InfiniteSystem {
- public:
+/// Algorithms 1 & 2 (infinite window, sampling without replacement).
+struct InfiniteTraits {
+  using Site = InfiniteWindowSite;
+  using Coordinator = InfiniteWindowCoordinator;
   /// `eager_threshold` forwards to InfiniteWindowCoordinator;
   /// `suppress_duplicates` to InfiniteWindowSite.
-  explicit InfiniteSystem(const SystemConfig& config,
-                          bool eager_threshold = false,
-                          bool suppress_duplicates = false);
+  struct Options {
+    bool eager_threshold = false;
+    bool suppress_duplicates = false;
+  };
+  struct Shared {
+    hash::HashFunction hash_fn;
+  };
+  static constexpr bool kInvokeSlotBegin = false;
+  static constexpr bool kShardableCoordinator = true;
+  static constexpr bool kShardableSites = true;
 
-  net::Transport& bus() noexcept { return *transport_; }
-  sim::Runner& runner() noexcept { return *runner_; }
-  const InfiniteWindowCoordinator& coordinator() const noexcept {
-    return *coordinator_;
+  static Shared make_shared(const SystemConfig& config) {
+    return Shared{
+        hash::HashFunction(config.hash_kind,
+                           util::derive_seed(config.seed, 0xA5))};
   }
-  const hash::HashFunction& hash_fn() const noexcept { return hash_fn_; }
-  InfiniteWindowSite& site(std::size_t i) { return *sites_[i]; }
-
-  /// Feeds the whole source through the deployment; returns arrivals
-  /// processed. Message counts accumulate in bus().counters().
-  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
-
- private:
-  std::unique_ptr<net::Transport> transport_;
-  hash::HashFunction hash_fn_;
-  std::vector<std::unique_ptr<InfiniteWindowSite>> sites_;
-  std::unique_ptr<InfiniteWindowCoordinator> coordinator_;
-  std::unique_ptr<sim::Runner> runner_;
-};
-
-/// Infinite-window deployment of the with-replacement sampler
-/// (s parallel single-element copies).
-class WithReplacementSystem {
- public:
-  explicit WithReplacementSystem(const SystemConfig& config);
-
-  net::Transport& bus() noexcept { return *transport_; }
-  sim::Runner& runner() noexcept { return *runner_; }
-  const WithReplacementCoordinator& coordinator() const noexcept {
-    return *coordinator_;
+  static std::unique_ptr<Coordinator> make_coordinator(
+      sim::NodeId id, std::uint32_t /*shard*/, const SystemConfig& config,
+      const Shared& /*shared*/, const Options& options) {
+    return std::make_unique<Coordinator>(id, config.sample_size,
+                                         /*instance=*/0,
+                                         options.eager_threshold);
   }
-  const hash::HashFamily& family() const noexcept { return family_; }
-
-  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
-
- private:
-  std::unique_ptr<net::Transport> transport_;
-  hash::HashFamily family_;
-  std::vector<std::unique_ptr<WithReplacementSite>> sites_;
-  std::unique_ptr<WithReplacementCoordinator> coordinator_;
-  std::unique_ptr<sim::Runner> runner_;
-};
-
-/// Sliding-window deployment of Algorithms 3 & 4 (sample_size
-/// independent copies; sample_size = 1 is the paper's base protocol).
-struct SlidingSystemConfig {
-  std::uint32_t num_sites = 10;
-  sim::Slot window = 100;
-  std::size_t sample_size = 1;
-  hash::HashKind hash_kind = hash::HashKind::kMurmur2;
-  std::uint64_t seed = 1;
-  /// Wire model (see SystemConfig::network).
-  net::NetworkConfig network;
-};
-
-class SlidingSystem {
- public:
-  explicit SlidingSystem(const SlidingSystemConfig& config);
-
-  net::Transport& bus() noexcept { return *transport_; }
-  sim::Runner& runner() noexcept { return *runner_; }
-  const MultiSlidingCoordinator& coordinator() const noexcept {
-    return *coordinator_;
+  static std::unique_ptr<Site> make_site(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         const SystemConfig& /*config*/,
+                                         const Shared& shared,
+                                         const Options& options) {
+    return std::make_unique<Site>(id, coordinator, shared.hash_fn,
+                                  /*instance=*/0, options.suppress_duplicates);
   }
-  const MultiSlidingSite& site(std::size_t i) const { return *sites_[i]; }
-  std::uint32_t num_sites() const noexcept { return transport_->num_sites(); }
-  const hash::HashFamily& family() const noexcept { return family_; }
-
-  std::uint64_t run(sim::ArrivalSource& source) { return runner_->run(source); }
-
-  /// Sum over sites of |T_i| — the total candidate memory right now.
-  std::size_t total_site_state() const noexcept;
-  /// max over sites of |T_i|.
-  std::size_t max_site_state() const noexcept;
-
- private:
-  std::unique_ptr<net::Transport> transport_;
-  hash::HashFamily family_;
-  std::vector<std::unique_ptr<MultiSlidingSite>> sites_;
-  std::unique_ptr<MultiSlidingCoordinator> coordinator_;
-  std::unique_ptr<sim::Runner> runner_;
+  /// Exact global bottom-s: each shard's sample is the bottom-s of its
+  /// element partition, so the bottom-s of their union is the bottom-s
+  /// of everything.
+  static BottomSSample merge_samples(
+      const std::vector<std::unique_ptr<Coordinator>>& coordinators,
+      const SystemConfig& config) {
+    BottomSSample merged(config.sample_size);
+    for (const auto& coordinator : coordinators) {
+      for (const auto& entry : coordinator->sample().entries()) {
+        merged.offer(entry.element, entry.hash);
+      }
+    }
+    return merged;
+  }
 };
+
+/// Chapter 3's with-replacement sampler (s parallel s=1 copies).
+struct WithReplacementTraits {
+  using Site = WithReplacementSite;
+  using Coordinator = WithReplacementCoordinator;
+  struct Options {};
+  struct Shared {
+    hash::HashFamily family;
+  };
+  static constexpr bool kInvokeSlotBegin = false;
+  static constexpr bool kShardableCoordinator = true;
+  static constexpr bool kShardableSites = true;
+
+  static Shared make_shared(const SystemConfig& config) {
+    return Shared{hash::HashFamily(config.hash_kind,
+                                   util::derive_seed(config.seed, 0xB6))};
+  }
+  static std::unique_ptr<Coordinator> make_coordinator(
+      sim::NodeId id, std::uint32_t /*shard*/, const SystemConfig& config,
+      const Shared& shared, const Options& /*options*/) {
+    return std::make_unique<Coordinator>(id, shared.family,
+                                         config.sample_size);
+  }
+  static std::unique_ptr<Site> make_site(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         const SystemConfig& config,
+                                         const Shared& shared,
+                                         const Options& /*options*/) {
+    return std::make_unique<Site>(id, coordinator, shared.family,
+                                  config.sample_size);
+  }
+  /// Copy j's global sample element is the min-hash element of copy j
+  /// across shards (each shard holds the min over its own partition).
+  static std::vector<stream::Element> merge_samples(
+      const std::vector<std::unique_ptr<Coordinator>>& coordinators,
+      const SystemConfig& config) {
+    std::vector<stream::Element> out;
+    out.reserve(config.sample_size);
+    for (std::size_t j = 0; j < config.sample_size; ++j) {
+      bool found = false;
+      BottomSSample::Entry best{};
+      for (const auto& coordinator : coordinators) {
+        const auto entries = coordinator->copy(j).sample().entries();
+        if (!entries.empty() && (!found || entries.front().hash < best.hash)) {
+          found = true;
+          best = entries.front();
+        }
+      }
+      if (found) out.push_back(best.element);
+    }
+    return out;
+  }
+};
+
+/// Algorithms 3 & 4 (sliding window; sample_size independent copies,
+/// sample_size = 1 being the paper's base protocol).
+struct SlidingTraits {
+  using Site = MultiSlidingSite;
+  using Coordinator = MultiSlidingCoordinator;
+  struct Options {};
+  struct Shared {
+    hash::HashFamily family;
+  };
+  static constexpr bool kInvokeSlotBegin = true;
+  /// Sharding the coordinator needs an element-partitioned expiry story
+  /// at query time; not implemented — deploy one coordinator.
+  static constexpr bool kShardableCoordinator = false;
+  static constexpr bool kShardableSites = true;
+
+  static Shared make_shared(const SystemConfig& config) {
+    return Shared{hash::HashFamily(config.hash_kind,
+                                   util::derive_seed(config.seed, 0xC7))};
+  }
+  static std::unique_ptr<Coordinator> make_coordinator(
+      sim::NodeId id, std::uint32_t /*shard*/, const SystemConfig& config,
+      const Shared& /*shared*/, const Options& /*options*/) {
+    return std::make_unique<Coordinator>(id, config.sample_size);
+  }
+  static std::unique_ptr<Site> make_site(sim::NodeId id,
+                                         sim::NodeId coordinator,
+                                         const SystemConfig& config,
+                                         const Shared& shared,
+                                         const Options& /*options*/) {
+    return std::make_unique<Site>(
+        id, coordinator, config.window, shared.family, config.sample_size,
+        util::derive_seed(config.seed, 0xD800ULL + id));
+  }
+};
+
+using InfiniteSystem = Deployment<InfiniteTraits>;
+using WithReplacementSystem = Deployment<WithReplacementTraits>;
+using SlidingSystem = Deployment<SlidingTraits>;
 
 }  // namespace dds::core

@@ -45,6 +45,13 @@ class WithReplacementCoordinator final : public sim::Node {
   /// that is the point of with-replacement sampling.
   std::vector<stream::Element> sample() const;
 
+  /// Copy j's single-element sampler (shard-merge and tests read its
+  /// sample entries, which carry the hash values).
+  const InfiniteWindowCoordinator& copy(std::size_t j) const {
+    return copies_[j];
+  }
+  std::size_t num_copies() const noexcept { return copies_.size(); }
+
  private:
   std::vector<InfiniteWindowCoordinator> copies_;
 };

@@ -5,35 +5,48 @@
 
 namespace dds::net {
 
-Batcher::Batcher(std::uint32_t num_sites, sim::Slot interval,
-                 std::size_t max_msgs)
-    : interval_(interval),
+Batcher::Batcher(std::uint32_t num_sites, std::uint32_t num_coordinators,
+                 sim::Slot interval, std::size_t max_msgs)
+    : num_sites_(num_sites),
+      num_coordinators_(num_coordinators == 0 ? 1 : num_coordinators),
+      interval_(interval),
       max_msgs_(max_msgs == 0 ? 1 : max_msgs),
-      buffers_(num_sites) {}
+      buffers_(static_cast<std::size_t>(num_sites) * num_coordinators_) {}
+
+std::size_t Batcher::index_of(const sim::Message& msg) const {
+  if (msg.from >= num_sites_ || msg.to < num_sites_ ||
+      msg.to >= num_sites_ + num_coordinators_) {
+    throw std::out_of_range("Batcher: not a site->coordinator message");
+  }
+  return static_cast<std::size_t>(msg.from) * num_coordinators_ +
+         (msg.to - num_sites_);
+}
 
 bool Batcher::add(const sim::Message& msg, sim::Slot now) {
-  if (msg.from >= buffers_.size()) {
-    throw std::out_of_range("Batcher::add: not a site message");
-  }
-  Buffer& buf = buffers_[msg.from];
+  Buffer& buf = buffers_[index_of(msg)];
   if (buf.msgs.empty()) buf.first_slot = now;
   buf.msgs.push_back(msg);
   return buf.msgs.size() >= max_msgs_;
 }
 
-Batch Batcher::take_site(sim::NodeId site) {
-  Buffer& buf = buffers_[site];
-  Batch out{site, std::move(buf.msgs)};
+Batch Batcher::take(std::size_t index) {
+  Buffer& buf = buffers_[index];
+  Batch out{static_cast<sim::NodeId>(index / num_coordinators_),
+            std::move(buf.msgs)};
   buf.msgs.clear();
   return out;
 }
 
+Batch Batcher::take_for(const sim::Message& msg) {
+  return take(index_of(msg));
+}
+
 std::vector<Batch> Batcher::take_due(sim::Slot now) {
   std::vector<Batch> out;
-  for (sim::NodeId site = 0; site < buffers_.size(); ++site) {
-    const Buffer& buf = buffers_[site];
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
+    const Buffer& buf = buffers_[i];
     if (!buf.msgs.empty() && buf.first_slot + interval_ <= now) {
-      out.push_back(take_site(site));
+      out.push_back(take(i));
     }
   }
   return out;
@@ -41,8 +54,8 @@ std::vector<Batch> Batcher::take_due(sim::Slot now) {
 
 std::vector<Batch> Batcher::take_all() {
   std::vector<Batch> out;
-  for (sim::NodeId site = 0; site < buffers_.size(); ++site) {
-    if (!buffers_[site].msgs.empty()) out.push_back(take_site(site));
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
+    if (!buffers_[i].msgs.empty()) out.push_back(take(i));
   }
   return out;
 }

@@ -37,26 +37,33 @@ struct Batch {
 
 class Batcher {
  public:
-  /// `num_sites` independent per-site buffers.
-  Batcher(std::uint32_t num_sites, sim::Slot interval, std::size_t max_msgs);
+  /// Independent buffers per (site, destination coordinator shard) pair,
+  /// so a sharded deployment never mixes destinations in one batch.
+  Batcher(std::uint32_t num_sites, std::uint32_t num_coordinators,
+          sim::Slot interval, std::size_t max_msgs);
 
   /// Buffers `msg` (which must be a site->coordinator message sent at
   /// slot `now`). Returns true if the buffer hit `max_msgs` and the
-  /// caller should flush that site immediately via take_site().
+  /// caller should flush it immediately via take_for().
   bool add(const sim::Message& msg, sim::Slot now);
 
-  /// Flushes the buffer of one site (empty batch if nothing buffered).
-  Batch take_site(sim::NodeId site);
+  /// Flushes the buffer msg belongs to (empty batch if nothing there).
+  Batch take_for(const sim::Message& msg);
 
   /// Flushes every batch whose deadline (first-message slot + interval)
-  /// has passed at slot `now`, in site order.
+  /// has passed at slot `now`, in (site, shard) order.
   std::vector<Batch> take_due(sim::Slot now);
 
   /// Flushes everything, due or not (end of run).
   std::vector<Batch> take_all();
 
+  /// Reports buffered at `site` across all destination shards.
   std::size_t buffered(sim::NodeId site) const {
-    return buffers_[site].msgs.size();
+    std::size_t n = 0;
+    for (std::uint32_t c = 0; c < num_coordinators_; ++c) {
+      n += buffers_[site * num_coordinators_ + c].msgs.size();
+    }
+    return n;
   }
 
  private:
@@ -65,6 +72,11 @@ class Batcher {
     sim::Slot first_slot = 0;
   };
 
+  std::size_t index_of(const sim::Message& msg) const;
+  Batch take(std::size_t index);
+
+  std::uint32_t num_sites_;
+  std::uint32_t num_coordinators_;
   sim::Slot interval_;
   std::size_t max_msgs_;
   std::vector<Buffer> buffers_;

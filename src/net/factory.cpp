@@ -6,12 +6,13 @@
 namespace dds::net {
 
 std::unique_ptr<Transport> make_transport(std::uint32_t num_sites,
-                                          const NetworkConfig& config) {
+                                          const NetworkConfig& config,
+                                          std::uint32_t num_coordinators) {
   const bool use_bus =
       config.kind == TransportKind::kBus ||
       (config.kind == TransportKind::kAuto && config.trivial());
-  if (use_bus) return std::make_unique<sim::Bus>(num_sites);
-  return std::make_unique<SimNetwork>(num_sites, config);
+  if (use_bus) return std::make_unique<sim::Bus>(num_sites, num_coordinators);
+  return std::make_unique<SimNetwork>(num_sites, config, num_coordinators);
 }
 
 }  // namespace dds::net

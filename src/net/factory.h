@@ -14,6 +14,7 @@ namespace dds::net {
 /// zero-delay sim::Bus — the paper's wire, and the cheapest path — and
 /// anything else gets a SimNetwork.
 std::unique_ptr<Transport> make_transport(std::uint32_t num_sites,
-                                          const NetworkConfig& config);
+                                          const NetworkConfig& config,
+                                          std::uint32_t num_coordinators = 1);
 
 }  // namespace dds::net

@@ -14,12 +14,14 @@ constexpr std::uint64_t link_key(sim::NodeId from, sim::NodeId to) noexcept {
 
 }  // namespace
 
-SimNetwork::SimNetwork(std::uint32_t num_sites, const NetworkConfig& config)
-    : Transport(num_sites),
+SimNetwork::SimNetwork(std::uint32_t num_sites, const NetworkConfig& config,
+                       std::uint32_t num_coordinators)
+    : Transport(num_sites, num_coordinators),
       config_(config),
       rng_(util::derive_seed(config.seed, 0x4E455453ULL)),  // "NETS"
       default_link_(make_link_model(config.link)),
-      batcher_(num_sites, config.batch_interval, config.batch_max_msgs) {}
+      batcher_(num_sites, num_coordinators, config.batch_interval,
+               config.batch_max_msgs) {}
 
 void SimNetwork::set_link_model(sim::NodeId from, sim::NodeId to,
                                 std::unique_ptr<LinkModel> model) {
@@ -34,18 +36,17 @@ LinkModel& SimNetwork::link_for(sim::NodeId from, sim::NodeId to) {
 void SimNetwork::send(const sim::Message& msg) {
   check_endpoints(msg);
   note_send(msg);
-  logical_.add_transmission(msg, sim::Message::wire_bytes(),
-                            coordinator_id());
+  logical_.add_transmission(is_coordinator(msg.from),
+                            sim::Message::wire_bytes());
   logical_.by_type[static_cast<std::size_t>(msg.type)] += 1;
 
   const bool batchable = config_.batch_interval > 0 &&
-                         msg.from != coordinator_id() &&
-                         msg.to == coordinator_id();
+                         !is_coordinator(msg.from) && is_coordinator(msg.to);
   if (batchable) {
     net_stats_.batched_messages += 1;
     if (batcher_.add(msg, now())) {
       // Size-triggered flush: the batch leaves immediately.
-      Batch full = batcher_.take_site(msg.from);
+      Batch full = batcher_.take_for(msg);
       net_stats_.batches_flushed += 1;
       transmit(WireUnit{std::move(full.msgs), true}, vtime_, 1);
     }

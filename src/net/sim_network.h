@@ -44,7 +44,8 @@ struct NetStats {
 
 class SimNetwork final : public Transport {
  public:
-  SimNetwork(std::uint32_t num_sites, const NetworkConfig& config);
+  SimNetwork(std::uint32_t num_sites, const NetworkConfig& config,
+             std::uint32_t num_coordinators = 1);
 
   void send(const sim::Message& msg) override;
   void drain() override;

@@ -18,11 +18,13 @@ BusCounters BusCounters::operator-(const BusCounters& rhs) const noexcept {
   return out;
 }
 
-Transport::Transport(std::uint32_t num_sites)
+Transport::Transport(std::uint32_t num_sites, std::uint32_t num_coordinators)
     : num_sites_(num_sites),
-      nodes_(num_sites + 1, nullptr),
-      sent_by_(num_sites + 1, 0),
-      received_by_(num_sites + 1, 0) {}
+      num_coordinators_(num_coordinators == 0 ? 1 : num_coordinators),
+      nodes_(num_sites + num_coordinators_, nullptr),
+      sent_by_(num_sites + num_coordinators_, 0),
+      received_by_(num_sites + num_coordinators_, 0),
+      per_coordinator_(num_coordinators_) {}
 
 void Transport::attach(sim::NodeId id, sim::Node* node) {
   if (id >= nodes_.size()) {
@@ -40,11 +42,22 @@ void Transport::check_endpoints(const sim::Message& msg) const {
 void Transport::note_send(const sim::Message& msg) {
   ++sent_by_[msg.from];
   wire_.by_type[static_cast<std::size_t>(msg.type)] += 1;
+  per_coordinator_[shard_of(msg)].by_type[static_cast<std::size_t>(msg.type)] +=
+      1;
   if (tap_) tap_(msg);
 }
 
 void Transport::count_wire(const sim::Message& msg, std::uint64_t bytes) {
-  wire_.add_transmission(msg, bytes, coordinator_id());
+  const bool from_coordinator = is_coordinator(msg.from);
+  wire_.add_transmission(from_coordinator, bytes);
+  per_coordinator_[shard_of(msg)].add_transmission(from_coordinator, bytes);
+}
+
+const BusCounters& Transport::coordinator_counters(std::uint32_t shard) const {
+  if (shard >= per_coordinator_.size()) {
+    throw std::out_of_range("Transport::coordinator_counters");
+  }
+  return per_coordinator_[shard];
 }
 
 void Transport::deliver(const sim::Message& msg) {

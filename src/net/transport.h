@@ -39,13 +39,13 @@ struct BusCounters {
   std::uint64_t bytes = 0;
   std::array<std::uint64_t, sim::kNumMsgTypes> by_type{};
 
-  /// Counts one transmission of `bytes` in msg's direction (by_type is
-  /// the caller's business — batch carriers count their entries there).
-  void add_transmission(const sim::Message& msg, std::uint64_t bytes,
-                        sim::NodeId coordinator_id) noexcept {
+  /// Counts one transmission of `bytes`; `from_coordinator` gives the
+  /// direction (by_type is the caller's business — batch carriers count
+  /// their entries there).
+  void add_transmission(bool from_coordinator, std::uint64_t bytes) noexcept {
     ++total;
     this->bytes += bytes;
-    if (msg.from == coordinator_id) {
+    if (from_coordinator) {
       ++coordinator_to_site;
     } else {
       ++site_to_coordinator;
@@ -59,16 +59,31 @@ struct BusCounters {
 /// concrete transports decide when (and whether) a sent message arrives.
 class Transport {
  public:
-  /// A transport for `num_sites` sites (ids 0..num_sites-1) plus a
-  /// coordinator (id = num_sites). Nodes are attached afterwards.
-  explicit Transport(std::uint32_t num_sites);
+  /// A transport for `num_sites` sites (ids 0..num_sites-1) plus
+  /// `num_coordinators` coordinator shards (ids num_sites ..
+  /// num_sites+num_coordinators-1). Nodes are attached afterwards. The
+  /// single-coordinator deployment of the paper is num_coordinators = 1.
+  explicit Transport(std::uint32_t num_sites,
+                     std::uint32_t num_coordinators = 1);
   virtual ~Transport() = default;
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
 
-  sim::NodeId coordinator_id() const noexcept { return num_sites_; }
+  /// Node id of coordinator shard `shard`.
+  sim::NodeId coordinator_id(std::uint32_t shard = 0) const noexcept {
+    return num_sites_ + shard;
+  }
   std::uint32_t num_sites() const noexcept { return num_sites_; }
+  std::uint32_t num_coordinators() const noexcept { return num_coordinators_; }
+  bool is_coordinator(sim::NodeId id) const noexcept {
+    return id >= num_sites_ && id < num_sites_ + num_coordinators_;
+  }
+
+  /// True when a send's full cascade (delivery, replies, their
+  /// deliveries) completes within the same drain() — the paper's
+  /// zero-delay wire. The ShardedEngine requires this.
+  virtual bool synchronous() const noexcept { return false; }
 
   /// Current slot, maintained by the Runner. The paper's model has all
   /// nodes time-synchronized (Chapter 2), so the coordinator may read
@@ -98,6 +113,12 @@ class Transport {
 
   /// Wire-level cost counters (see BusCounters for semantics).
   const BusCounters& counters() const noexcept { return wire_; }
+
+  /// Wire-level counters restricted to the traffic of coordinator shard
+  /// `shard` (every protocol message has exactly one coordinator
+  /// endpoint, so the per-shard counters partition counters() exactly —
+  /// the paper's cost metric stays exact under sharding).
+  const BusCounters& coordinator_counters(std::uint32_t shard) const;
 
   /// Messages sent by node `id` (either direction counts at the sender).
   std::uint64_t sent_by(sim::NodeId id) const;
@@ -130,13 +151,23 @@ class Transport {
   /// destination was never attached.
   void deliver(const sim::Message& msg);
 
+  /// Index of msg's coordinator endpoint (its shard). Site<->site
+  /// traffic does not exist in this model; a message with two
+  /// coordinator endpoints is attributed to the sender.
+  std::uint32_t shard_of(const sim::Message& msg) const noexcept {
+    return is_coordinator(msg.from) ? msg.from - num_sites_
+                                    : msg.to - num_sites_;
+  }
+
   BusCounters wire_;
 
  private:
   std::uint32_t num_sites_;
+  std::uint32_t num_coordinators_;
   std::vector<sim::Node*> nodes_;
   std::vector<std::uint64_t> sent_by_;
   std::vector<std::uint64_t> received_by_;
+  std::vector<BusCounters> per_coordinator_;
   std::function<void(const sim::Message&)> tap_;
   sim::Slot now_ = 0;
 };

@@ -24,9 +24,13 @@ using BusCounters = net::BusCounters;
 
 class Bus final : public net::Transport {
  public:
-  /// Creates a bus for `num_sites` sites (ids 0..num_sites-1) plus a
-  /// coordinator (id = num_sites). Nodes are attached afterwards.
-  explicit Bus(std::uint32_t num_sites) : Transport(num_sites) {}
+  /// Creates a bus for `num_sites` sites (ids 0..num_sites-1) plus
+  /// `num_coordinators` coordinator shards (ids from num_sites up).
+  /// Nodes are attached afterwards.
+  explicit Bus(std::uint32_t num_sites, std::uint32_t num_coordinators = 1)
+      : Transport(num_sites, num_coordinators) {}
+
+  bool synchronous() const noexcept override { return true; }
 
   /// Queues a message for immediate delivery and counts it.
   void send(const Message& msg) override;

@@ -1,0 +1,69 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/serial_engine.h"
+#include "sim/sharded_engine.h"
+
+namespace dds::sim {
+
+Engine::Engine(net::Transport& net, std::vector<StreamNode*> sites,
+               bool invoke_slot_begin)
+    : net_(net), sites_(std::move(sites)),
+      invoke_slot_begin_(invoke_slot_begin) {
+  if (sites_.size() != net_.num_sites()) {
+    throw std::invalid_argument("Engine: site count mismatch with transport");
+  }
+}
+
+void Engine::set_observer(std::uint64_t observe_every,
+                          std::function<void(const Progress&)> observer) {
+  observe_every_ = observe_every;
+  observer_ = std::move(observer);
+}
+
+void Engine::begin_slots_through(Slot slot) {
+  if (!invoke_slot_begin_) {
+    current_slot_ = slot;
+    net_.set_now(current_slot_);
+    // In-flight traffic due by this slot lands before the next arrival.
+    net_.drain();
+    return;
+  }
+  while (current_slot_ < slot) {
+    ++current_slot_;
+    net_.set_now(current_slot_);
+    // Traffic due at the slot boundary is delivered before any site runs
+    // its expiry logic for the slot (a no-op on the zero-delay Bus,
+    // whose queue is always empty here).
+    net_.drain();
+    for (auto* site : sites_) {
+      site->on_slot_begin(current_slot_, net_);
+      net_.drain();
+    }
+  }
+}
+
+void Engine::validate(const Arrival& arrival) const {
+  if (arrival.slot < current_slot_) {
+    throw std::invalid_argument("Engine: arrivals must be slot-ordered");
+  }
+  if (arrival.site >= sites_.size()) {
+    throw std::out_of_range("Engine: arrival for unknown site");
+  }
+}
+
+std::unique_ptr<Engine> make_engine(net::Transport& net,
+                                    std::vector<StreamNode*> sites,
+                                    bool invoke_slot_begin,
+                                    const EngineConfig& config) {
+  if (config.num_threads > 1 && net.synchronous() && sites.size() >= 2) {
+    return std::make_unique<ShardedEngine>(net, std::move(sites),
+                                           invoke_slot_begin, config);
+  }
+  return std::make_unique<SerialEngine>(net, std::move(sites),
+                                        invoke_slot_begin);
+}
+
+}  // namespace dds::sim

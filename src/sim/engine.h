@@ -1,0 +1,132 @@
+// Execution engines: how an arrival stream is driven through a deployed
+// protocol (sites + coordinator(s) on a transport).
+//
+// The Engine base owns everything every engine shares — the slot clock,
+// per-slot expiry callbacks, arrival validation, and the progress
+// observer — and leaves one question to subclasses: how site work is
+// scheduled. SerialEngine is the paper's synchronous model, one arrival
+// at a time on the calling thread. ShardedEngine partitions sites
+// across worker threads and merges their protocol traffic back in
+// arrival order, producing bit-identical samples, estimates, and
+// message counters (see sharded_engine.h for the replay scheme).
+//
+// make_engine() picks the strongest engine a deployment supports; the
+// deployment facades call it with the knobs from SystemConfig.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/node.h"
+
+namespace dds::sim {
+
+/// One stream observation: element `element` arrives at site `site`
+/// during slot `slot`. A single slot may carry any number of arrivals
+/// (including several at the same site), matching Chapter 4's model.
+struct Arrival {
+  Slot slot = 0;
+  NodeId site = 0;
+  std::uint64_t element = 0;
+};
+
+/// Lazily produced arrival sequence (non-decreasing in slot). Sources are
+/// single-pass; experiments construct a fresh source per run.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+  /// Next arrival, or nullopt at end of stream.
+  virtual std::optional<Arrival> next() = 0;
+};
+
+/// Progress snapshot handed to the observer callback.
+struct Progress {
+  std::uint64_t elements_processed = 0;
+  Slot slot = 0;
+  bool final_snapshot = false;
+};
+
+/// Engine selection knobs (part of the unified deployment config).
+struct EngineConfig {
+  /// Site worker threads. 1 = SerialEngine; >1 asks for a ShardedEngine
+  /// (granted when the transport and protocol allow, see make_engine).
+  std::uint32_t num_threads = 1;
+  /// Max arrivals a ShardedEngine buffers per wave between barriers.
+  std::size_t max_wave = 1 << 16;
+};
+
+class Engine {
+ public:
+  /// `sites[i]` handles arrivals for site id i. If `invoke_slot_begin` is
+  /// set, every site receives on_slot_begin for every slot in order (the
+  /// sliding-window protocols need this for expiry processing); leave it
+  /// off for infinite-window runs where slots carry no semantics.
+  Engine(net::Transport& net, std::vector<StreamNode*> sites,
+         bool invoke_slot_begin);
+  virtual ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Observer invoked every `observe_every` arrivals and once at the end
+  /// (with final_snapshot=true). observe_every == 0 disables periodic
+  /// observation. Engines quiesce all site work before invoking it, so
+  /// the snapshot is identical across engines.
+  void set_observer(std::uint64_t observe_every,
+                    std::function<void(const Progress&)> observer);
+
+  /// Runs the whole source, then lets the transport finish in-flight
+  /// deliveries. Returns the number of arrivals processed.
+  virtual std::uint64_t run(ArrivalSource& source) = 0;
+
+  /// Advances slot processing through `slot` without arrivals (used to
+  /// let sliding windows expire after the stream ends).
+  void advance_to_slot(Slot slot) { begin_slots_through(slot); }
+
+  Slot current_slot() const noexcept { return current_slot_; }
+
+  /// Engine identity, for logging/benches ("serial" / "sharded").
+  virtual const char* name() const noexcept = 0;
+  /// Worker threads driving site work (1 for the serial engine).
+  virtual std::uint32_t num_threads() const noexcept { return 1; }
+
+ protected:
+  /// Advances the slot clock (and per-slot expiry callbacks) through
+  /// `slot`, delivering due transport traffic — the synchronous portion
+  /// every engine shares.
+  void begin_slots_through(Slot slot);
+
+  /// Throws like the legacy Runner on slot-order or site-id violations.
+  void validate(const Arrival& arrival) const;
+
+  void observe(bool final_snapshot) {
+    if (observer_) {
+      observer_(Progress{processed_, current_slot_, final_snapshot});
+    }
+  }
+
+  net::Transport& net_;
+  std::vector<StreamNode*> sites_;
+  bool invoke_slot_begin_;
+  Slot current_slot_ = -1;
+  std::uint64_t processed_ = 0;
+  std::uint64_t observe_every_ = 0;
+  std::function<void(const Progress&)> observer_;
+};
+
+/// Builds the strongest engine the deployment supports: a ShardedEngine
+/// when `config.num_threads > 1`, the transport is synchronous
+/// (zero-delay), and there are at least two sites to partition;
+/// otherwise the SerialEngine. Callers that cannot tolerate sharded
+/// execution (protocols with coordinator->everyone traffic) simply pass
+/// num_threads = 1.
+std::unique_ptr<Engine> make_engine(net::Transport& net,
+                                    std::vector<StreamNode*> sites,
+                                    bool invoke_slot_begin,
+                                    const EngineConfig& config = {});
+
+}  // namespace dds::sim

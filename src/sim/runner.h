@@ -1,82 +1,15 @@
-// Drives a simulation: feeds an arrival sequence to the sites, advances
-// the slot clock, and delivers transport traffic interleaved with the
-// arrivals. On the zero-delay Bus this is the synchronous execution
-// model of the paper (drain to quiescence after every event); on a
-// net::SimNetwork the same loop becomes an event-driven clock advance —
-// each slot boundary releases the traffic due by then, and finish()
-// runs the queue dry after the stream ends.
+// Historical home of the simulation driver. The driver is now the
+// pluggable engine layer (sim/engine.h): the Engine interface plus
+// SerialEngine (this file's former Runner loop) and ShardedEngine
+// (multi-threaded site batches). `Runner` remains as an alias for the
+// serial engine so existing call sites keep compiling.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <optional>
-#include <vector>
-
-#include "net/transport.h"
-#include "sim/node.h"
+#include "sim/engine.h"
+#include "sim/serial_engine.h"
 
 namespace dds::sim {
 
-/// One stream observation: element `element` arrives at site `site`
-/// during slot `slot`. A single slot may carry any number of arrivals
-/// (including several at the same site), matching Chapter 4's model.
-struct Arrival {
-  Slot slot = 0;
-  NodeId site = 0;
-  std::uint64_t element = 0;
-};
-
-/// Lazily produced arrival sequence (non-decreasing in slot). Sources are
-/// single-pass; experiments construct a fresh source per run.
-class ArrivalSource {
- public:
-  virtual ~ArrivalSource() = default;
-  /// Next arrival, or nullopt at end of stream.
-  virtual std::optional<Arrival> next() = 0;
-};
-
-/// Progress snapshot handed to the observer callback.
-struct Progress {
-  std::uint64_t elements_processed = 0;
-  Slot slot = 0;
-  bool final_snapshot = false;
-};
-
-class Runner {
- public:
-  /// `sites[i]` handles arrivals for site id i. If `invoke_slot_begin` is
-  /// set, every site receives on_slot_begin for every slot in order (the
-  /// sliding-window protocols need this for expiry processing); leave it
-  /// off for infinite-window runs where slots carry no semantics.
-  Runner(net::Transport& net, std::vector<StreamNode*> sites,
-         bool invoke_slot_begin);
-
-  /// Observer invoked every `observe_every` arrivals and once at the end
-  /// (with final_snapshot=true). observe_every == 0 disables periodic
-  /// observation.
-  void set_observer(std::uint64_t observe_every,
-                    std::function<void(const Progress&)> observer);
-
-  /// Runs the whole source, then lets the transport finish in-flight
-  /// deliveries. Returns the number of arrivals processed.
-  std::uint64_t run(ArrivalSource& source);
-
-  /// Advances slot processing through `slot` without arrivals (used to
-  /// let sliding windows expire after the stream ends).
-  void advance_to_slot(Slot slot);
-
-  Slot current_slot() const noexcept { return current_slot_; }
-
- private:
-  void begin_slots_through(Slot slot);
-
-  net::Transport& net_;
-  std::vector<StreamNode*> sites_;
-  bool invoke_slot_begin_;
-  Slot current_slot_ = -1;
-  std::uint64_t processed_ = 0;
-  std::uint64_t observe_every_ = 0;
-  std::function<void(const Progress&)> observer_;
-};
+using Runner = SerialEngine;
 
 }  // namespace dds::sim

@@ -1,0 +1,23 @@
+#include "sim/serial_engine.h"
+
+namespace dds::sim {
+
+std::uint64_t SerialEngine::run(ArrivalSource& source) {
+  while (auto arrival = source.next()) {
+    validate(*arrival);
+    begin_slots_through(arrival->slot);
+    sites_[arrival->site]->on_element(arrival->element, arrival->slot, net_);
+    net_.drain();
+    ++processed_;
+    if (observe_every_ != 0 && processed_ % observe_every_ == 0) {
+      observe(/*final_snapshot=*/false);
+    }
+  }
+  // Let delayed / batched traffic land before the final snapshot (a
+  // plain drain on the zero-delay Bus).
+  net_.finish();
+  observe(/*final_snapshot=*/true);
+  return processed_;
+}
+
+}  // namespace dds::sim

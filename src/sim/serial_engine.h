@@ -1,0 +1,20 @@
+// The serial execution engine — the paper's synchronous model, verbatim:
+// one arrival at a time on the calling thread, the transport drained to
+// quiescence after every event. This is the reference implementation
+// every other engine must match bit-for-bit (see sharded_engine.h).
+#pragma once
+
+#include "sim/engine.h"
+
+namespace dds::sim {
+
+class SerialEngine final : public Engine {
+ public:
+  using Engine::Engine;
+
+  std::uint64_t run(ArrivalSource& source) override;
+
+  const char* name() const noexcept override { return "serial"; }
+};
+
+}  // namespace dds::sim

@@ -1,0 +1,308 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dds::sim {
+
+ShardedEngine::ShardedEngine(net::Transport& net,
+                             std::vector<StreamNode*> sites,
+                             bool invoke_slot_begin,
+                             const EngineConfig& config)
+    : Engine(net, std::move(sites), invoke_slot_begin),
+      max_wave_(std::max<std::size_t>(1, config.max_wave)) {
+  if (!net.synchronous()) {
+    throw std::invalid_argument(
+        "ShardedEngine: requires a synchronous (zero-delay) transport");
+  }
+  const auto num_workers = static_cast<std::uint32_t>(std::clamp<std::size_t>(
+      config.num_threads, 1, sites_.size()));
+  shards_.reserve(num_workers);
+  for (std::uint32_t j = 0; j < num_workers; ++j) {
+    shards_.push_back(
+        std::make_unique<Shard>(net.num_sites(), net.num_coordinators()));
+  }
+  shard_of_site_.resize(sites_.size());
+  proxies_.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const auto shard = static_cast<std::uint32_t>(i % num_workers);
+    shard_of_site_[i] = shard;
+    proxies_.push_back(std::make_unique<SiteProxy>(this, sites_[i], shard));
+    net_.attach(static_cast<NodeId>(i), proxies_[i].get());
+  }
+  workers_.reserve(num_workers);
+  for (std::uint32_t j = 0; j < num_workers; ++j) {
+    workers_.emplace_back([this, j] { worker_loop(j); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    std::lock_guard<std::mutex> lk(wave_mutex_);
+    shutdown_ = true;
+  }
+  wave_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  // Hand the attachment table back so the transport outlives the engine
+  // with direct site delivery intact.
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    net_.attach(static_cast<NodeId>(i), sites_[i]);
+  }
+}
+
+void ShardedEngine::worker_loop(std::uint32_t shard_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(wave_mutex_);
+      wave_cv_.wait(lk, [&] { return shutdown_ || wave_gen_ > seen; });
+      if (shutdown_) return;
+      seen = wave_gen_;
+    }
+    try {
+      process_wave(shard_index);
+    } catch (...) {
+      record_worker_error();
+    }
+    {
+      std::lock_guard<std::mutex> lk(wave_mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardedEngine::process_wave(std::uint32_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  CaptureTransport& capture = shard.capture;
+  for (std::size_t l = 0; l < shard.work.size(); ++l) {
+    if (aborted_.load(std::memory_order_relaxed)) return;
+    const WorkItem& item = shard.work[l];
+    capture.set_now(item.slot);
+    capture.captured.clear();
+    item.site->on_element(item.element, item.slot, capture);
+    const bool emitted = !capture.captured.empty();
+    shard.emitted[l] = emitted ? 1 : 0;
+    if (emitted) {
+      std::lock_guard<std::mutex> g(shard.out_mutex);
+      shard.reports.push_back(std::move(capture.captured));
+    }
+    capture.captured.clear();
+    shard.done.store(l + 1, std::memory_order_release);
+    // A reporting arrival pauses the shard until the replay thread has
+    // run the exchange — the serial engine's drain-to-quiescence point —
+    // so the site's next decision sees the coordinator's reply.
+    if (emitted) await_replies(shard);
+  }
+}
+
+void ShardedEngine::await_replies(Shard& shard) {
+  std::unique_lock<std::mutex> lk(shard.in_mutex);
+  for (;;) {
+    while (!shard.inbox.empty()) {
+      InboundEntry entry = std::move(shard.inbox.front());
+      shard.inbox.pop_front();
+      if (entry.sentinel) return;
+      lk.unlock();
+      apply_inbound(entry.msg, shard.capture);
+      lk.lock();
+    }
+    shard.in_cv.wait(lk, [&] {
+      return !shard.inbox.empty() || aborted_.load(std::memory_order_relaxed);
+    });
+    if (aborted_.load(std::memory_order_relaxed) && shard.inbox.empty()) {
+      return;
+    }
+  }
+}
+
+void ShardedEngine::apply_inbound(const Message& msg,
+                                  CaptureTransport& capture) {
+  StreamNode* site = sites_[msg.to];
+  capture.captured.clear();
+  site->on_message(msg, capture);
+  if (!capture.captured.empty()) {
+    throw std::logic_error(
+        "ShardedEngine: a site sent messages while absorbing a coordinator "
+        "reply; that cascade only the serial engine can order");
+  }
+}
+
+void ShardedEngine::record_worker_error() {
+  {
+    std::lock_guard<std::mutex> g(error_mutex_);
+    if (!worker_error_) worker_error_ = std::current_exception();
+  }
+  abort_wave();
+}
+
+void ShardedEngine::abort_wave() noexcept {
+  aborted_.store(true, std::memory_order_relaxed);
+  for (auto& shard : shards_) shard->in_cv.notify_all();
+}
+
+void ShardedEngine::deliver_to_site(std::uint32_t shard_index,
+                                    StreamNode* site, const Message& msg,
+                                    net::Transport& net) {
+  if (!wave_running_) {
+    // Between waves (slot boundaries, finish, advance_to_slot) the
+    // engine is quiescent and delivery is direct, as under the serial
+    // engine.
+    site->on_message(msg, net);
+    return;
+  }
+  if (msg.to != replay_site_) {
+    throw std::logic_error(
+        "ShardedEngine: coordinator messaged a site other than the one "
+        "whose arrival is being replayed; this protocol is not shardable — "
+        "deploy it on the serial engine");
+  }
+  Shard& shard = *shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> g(shard.in_mutex);
+    shard.inbox.push_back(InboundEntry{msg, false});
+  }
+  shard.in_cv.notify_one();
+}
+
+std::uint64_t ShardedEngine::run(ArrivalSource& source) {
+  std::optional<Arrival> pending;
+  bool end_of_stream = false;
+  while (!end_of_stream) {
+    // ---- collect one wave ------------------------------------------
+    plan_shard_.clear();
+    plan_site_.clear();
+    plan_slot_.clear();
+    for (auto& shard : shards_) {
+      shard->work.clear();
+      shard->emitted.clear();
+      shard->reports.clear();
+      shard->reports_taken = 0;
+      shard->done.store(0, std::memory_order_relaxed);
+    }
+    Slot wave_last_slot = current_slot_;
+    bool have_wave_slot = false;
+    Slot wave_slot = 0;
+    for (;;) {
+      if (!pending) {
+        pending = source.next();
+        if (!pending) {
+          end_of_stream = true;
+          break;
+        }
+      }
+      validate(*pending);
+      if (pending->slot < wave_last_slot) {
+        throw std::invalid_argument("Engine: arrivals must be slot-ordered");
+      }
+      if (invoke_slot_begin_) {
+        // Slot barrier: expiry sweeps run between waves, so a wave never
+        // spans slots when per-slot callbacks are on.
+        if (have_wave_slot && pending->slot != wave_slot) break;
+        wave_slot = pending->slot;
+        have_wave_slot = true;
+      }
+      wave_last_slot = pending->slot;
+      const auto shard = shard_of_site_[pending->site];
+      plan_shard_.push_back(shard);
+      plan_site_.push_back(pending->site);
+      plan_slot_.push_back(pending->slot);
+      shards_[shard]->work.push_back(
+          WorkItem{sites_[pending->site], pending->element, pending->slot});
+      pending.reset();
+      if (plan_shard_.size() >= max_wave_) break;
+      if (observe_every_ != 0 &&
+          (processed_ + plan_shard_.size()) % observe_every_ == 0) {
+        break;  // the observer snapshot needs a quiesced barrier here
+      }
+    }
+    // ---- execute it -------------------------------------------------
+    if (!plan_shard_.empty()) {
+      for (auto& shard : shards_) shard->emitted.resize(shard->work.size());
+      run_wave();
+      if (observe_every_ != 0 && processed_ % observe_every_ == 0) {
+        observe(/*final_snapshot=*/false);
+      }
+    }
+  }
+  net_.finish();
+  observe(/*final_snapshot=*/true);
+  return processed_;
+}
+
+void ShardedEngine::run_wave() {
+  if (invoke_slot_begin_) begin_slots_through(plan_slot_.front());
+  wave_running_ = true;
+  {
+    std::lock_guard<std::mutex> lk(wave_mutex_);
+    workers_done_ = 0;
+    ++wave_gen_;
+  }
+  wave_cv_.notify_all();
+  std::exception_ptr replay_error;
+  try {
+    replay();
+  } catch (...) {
+    replay_error = std::current_exception();
+    abort_wave();
+  }
+  {
+    std::unique_lock<std::mutex> lk(wave_mutex_);
+    done_cv_.wait(lk, [&] { return workers_done_ == workers_.size(); });
+  }
+  wave_running_ = false;
+  std::exception_ptr worker_error;
+  {
+    std::lock_guard<std::mutex> g(error_mutex_);
+    worker_error = std::exchange(worker_error_, nullptr);
+    aborted_.store(false, std::memory_order_relaxed);
+  }
+  if (worker_error) std::rethrow_exception(worker_error);
+  if (replay_error) std::rethrow_exception(replay_error);
+}
+
+void ShardedEngine::replay() {
+  const std::size_t wave_size = plan_shard_.size();
+  std::vector<std::size_t> cursor(shards_.size(), 0);
+  std::vector<std::size_t> done_cache(shards_.size(), 0);
+  for (std::size_t s = 0; s < wave_size; ++s) {
+    const std::uint32_t j = plan_shard_[s];
+    Shard& shard = *shards_[j];
+    const std::size_t l = cursor[j]++;
+    while (done_cache[j] <= l) {
+      done_cache[j] = shard.done.load(std::memory_order_acquire);
+      if (done_cache[j] <= l) {
+        if (aborted_.load(std::memory_order_relaxed)) {
+          throw std::runtime_error("ShardedEngine: wave aborted");
+        }
+        std::this_thread::yield();
+      }
+    }
+    if (plan_slot_[s] != current_slot_) {
+      // Mirrors the serial engine's per-arrival clock advance (slot
+      // semantics are off here, so this is set_now + drain only).
+      current_slot_ = plan_slot_[s];
+      net_.set_now(current_slot_);
+      net_.drain();
+    }
+    if (shard.emitted[l]) {
+      std::vector<Message> msgs;
+      {
+        std::lock_guard<std::mutex> g(shard.out_mutex);
+        msgs = std::move(shard.reports[shard.reports_taken++]);
+      }
+      replay_site_ = plan_site_[s];
+      for (const Message& msg : msgs) net_.send(msg);
+      net_.drain();
+      {
+        std::lock_guard<std::mutex> g(shard.in_mutex);
+        shard.inbox.push_back(InboundEntry{Message{}, true});
+      }
+      shard.in_cv.notify_one();
+    }
+    ++processed_;
+  }
+}
+
+}  // namespace dds::sim

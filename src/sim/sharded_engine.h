@@ -1,0 +1,172 @@
+// Multi-threaded execution engine, bit-identical to SerialEngine.
+//
+// Sites are partitioned across worker threads (site i -> shard
+// i % num_threads), each with its own arrival queue. The stream is
+// consumed in waves: the main thread buffers a batch of arrivals (one
+// slot per wave when per-slot expiry callbacks are on; up to
+// EngineConfig::max_wave otherwise), scatters them to the shards, and
+// then *replays* the wave in global arrival order while the workers run
+// ahead.
+//
+// Why this is bit-identical to the serial engine:
+//  * Site-local work (hashing, threshold tests, treap updates) runs on
+//    the shard that owns the site, against a capture transport that
+//    records outbound messages instead of delivering them. Each site
+//    sees its arrivals in stream order, so its state evolves exactly as
+//    under serial execution.
+//  * The main thread walks the wave in global arrival order and replays
+//    each arrival's captured messages on the REAL transport — so the
+//    coordinator processes reports in the serial order, and every
+//    counter (total, per type, per node, bytes) increments in the
+//    serial order with the serial values.
+//  * Coordinator replies are routed back to the owning shard and
+//    applied to the site before that site's next arrival: a shard that
+//    emits a report blocks until the replay thread has finished that
+//    arrival's exchange (the serial engine's drain-to-quiescence point).
+//    Between two reports a site's decisions depend only on its own
+//    state, so running ahead of the replay cursor is safe.
+//
+// The scheme requires the paper's protocol shape: coordinator traffic
+// in response to a report goes only to the reporting site (true for the
+// infinite, with-replacement, sliding, centralized, DRS, and full-sync
+// protocols; NOT for the broadcast baseline, which therefore deploys on
+// the serial engine). A violation is detected at delivery time and
+// raises std::logic_error rather than silently diverging. The engine
+// also requires a synchronous (zero-delay) transport, where a report's
+// reply lands in the same drain; make_engine() falls back to the serial
+// engine otherwise.
+//
+// Slot-boundary work (on_slot_begin expiry sweeps, advance_to_slot) and
+// end-of-stream finish() run on the main thread between waves with
+// direct delivery — exactly the serial code path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace dds::sim {
+
+class ShardedEngine final : public Engine {
+ public:
+  ShardedEngine(net::Transport& net, std::vector<StreamNode*> sites,
+                bool invoke_slot_begin, const EngineConfig& config);
+  ~ShardedEngine() override;
+
+  std::uint64_t run(ArrivalSource& source) override;
+
+  const char* name() const noexcept override { return "sharded"; }
+  std::uint32_t num_threads() const noexcept override {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+ private:
+  /// Records a site's outbound messages instead of delivering them; the
+  /// replay thread puts them on the real wire in global arrival order.
+  class CaptureTransport final : public net::Transport {
+   public:
+    CaptureTransport(std::uint32_t num_sites, std::uint32_t num_coordinators)
+        : Transport(num_sites, num_coordinators) {}
+    void send(const Message& msg) override { captured.push_back(msg); }
+    void drain() override {}
+    std::vector<Message> captured;
+  };
+
+  /// Stands in for a site on the real transport: during a wave it
+  /// forwards coordinator deliveries to the owning shard's inbox;
+  /// between waves (slot boundaries, finish) it delivers directly.
+  class SiteProxy final : public Node {
+   public:
+    SiteProxy(ShardedEngine* engine, StreamNode* site, std::uint32_t shard)
+        : engine_(engine), site_(site), shard_(shard) {}
+    void on_message(const Message& msg, net::Transport& net) override {
+      engine_->deliver_to_site(shard_, site_, msg, net);
+    }
+    std::size_t state_size() const noexcept override {
+      return site_->state_size();
+    }
+
+   private:
+    ShardedEngine* engine_;
+    StreamNode* site_;
+    std::uint32_t shard_;
+  };
+
+  struct WorkItem {
+    StreamNode* site = nullptr;
+    std::uint64_t element = 0;
+    Slot slot = 0;
+  };
+
+  struct InboundEntry {
+    Message msg;
+    bool sentinel = false;  ///< end of one arrival's coordinator traffic
+  };
+
+  struct alignas(64) Shard {
+    Shard(std::uint32_t num_sites, std::uint32_t num_coordinators)
+        : capture(num_sites, num_coordinators) {}
+    // Wave input, written by the main thread before the wave starts.
+    std::vector<WorkItem> work;
+    // Per-arrival outputs: emitted[l] set iff arrival l sent messages,
+    // published by the release store on `done` (count of finished
+    // arrivals) and read by the replay thread after an acquire load.
+    std::vector<std::uint8_t> emitted;
+    std::atomic<std::size_t> done{0};
+    std::mutex out_mutex;
+    // Message batches of the wave's reporting arrivals, in local arrival
+    // order; replay consumes them with the reports_taken cursor (the
+    // emitted[] bitmap says which arrivals contributed one).
+    std::vector<std::vector<Message>> reports;
+    std::size_t reports_taken = 0;  // replay-side cursor
+    std::mutex in_mutex;
+    std::condition_variable in_cv;
+    std::deque<InboundEntry> inbox;
+    CaptureTransport capture;
+  };
+
+  void worker_loop(std::uint32_t shard_index);
+  void process_wave(std::uint32_t shard_index);
+  void await_replies(Shard& shard);
+  void apply_inbound(const Message& msg, CaptureTransport& capture);
+  void run_wave();
+  void replay();
+  void deliver_to_site(std::uint32_t shard, StreamNode* site,
+                       const Message& msg, net::Transport& net);
+  void record_worker_error();
+  void abort_wave() noexcept;
+
+  std::size_t max_wave_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<SiteProxy>> proxies_;
+  std::vector<std::uint32_t> shard_of_site_;
+  std::vector<std::thread> workers_;
+
+  // Wave handshake.
+  std::mutex wave_mutex_;
+  std::condition_variable wave_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t wave_gen_ = 0;
+  std::uint32_t workers_done_ = 0;
+  bool shutdown_ = false;
+
+  // Replay-order plan for the current wave (main thread only).
+  std::vector<std::uint32_t> plan_shard_;
+  std::vector<NodeId> plan_site_;
+  std::vector<Slot> plan_slot_;
+  bool wave_running_ = false;      // proxies: enqueue vs direct delivery
+  NodeId replay_site_ = kNoNode;   // site whose arrival is being replayed
+
+  std::atomic<bool> aborted_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr worker_error_;
+};
+
+}  // namespace dds::sim

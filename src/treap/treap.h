@@ -1,7 +1,8 @@
 // A randomized search tree (treap; Seidel & Aragon 1996) — the data
 // structure the paper prescribes for the sliding-window per-site
 // candidate set T_i (Chapter 4). Keys are BST-ordered; heap priorities
-// drawn from a per-tree PRNG keep the expected depth logarithmic.
+// — a per-pool counter pushed through the mix64 finalizer, one cheap
+// bijective hash per insert — keep the expected depth logarithmic.
 //
 // Storage layout: nodes live in one contiguous pool (std::vector) and
 // children are 32-bit indices, not owning pointers. Erased slots are
@@ -43,7 +44,8 @@ namespace dds::treap {
 template <typename K, typename V, typename Compare = std::less<K>>
 class Treap {
  public:
-  explicit Treap(std::uint64_t seed = 0x7265617021ULL) : rng_(seed) {}
+  explicit Treap(std::uint64_t seed = 0x7265617021ULL)
+      : prio_salt_(util::mix64(seed)) {}
 
   std::size_t size() const noexcept { return size_of(root_); }
   bool empty() const noexcept { return root_ == kNil; }
@@ -61,7 +63,7 @@ class Treap {
   /// then split only the subtree below the insertion point — the
   /// existence check rides along the same pass.
   bool insert(const K& key, const V& value) {
-    const std::uint64_t prio = rng_.next();
+    const std::uint64_t prio = next_priority();
     path_.clear();
     std::uint32_t parent = kNil;
     bool went_left = false;
@@ -223,7 +225,7 @@ class Treap {
   Treap split_off_lower(const K& key) {
     auto [lo, hi] = split(root_, key, nullptr);
     root_ = hi;
-    Treap out(rng_.next());
+    Treap out(next_priority());
     out.root_ = out.clone_subtree(*this, lo);
     free_subtree(lo);
     return out;
@@ -317,6 +319,14 @@ class Treap {
 
  private:
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// Heap priority for the next insert: a per-pool counter pushed
+  /// through the splitmix64 finalizer. One add + one mix64 instead of a
+  /// full xoshiro step, and just as uniform — mix64 is a bijection, so
+  /// salt ^ 0, salt ^ 1, ... never collide until the counter wraps.
+  std::uint64_t next_priority() noexcept {
+    return util::mix64(prio_salt_ ^ prio_counter_++);
+  }
 
   struct Node {
     K key;
@@ -553,7 +563,8 @@ class Treap {
   /// two are live at the same time inside insert, never deeper.
   std::vector<std::uint32_t> path_;
   std::vector<std::uint32_t> scratch_;
-  util::Xoshiro256StarStar rng_;
+  std::uint64_t prio_salt_;
+  std::uint64_t prio_counter_ = 0;
   Compare cmp_{};
 };
 

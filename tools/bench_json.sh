@@ -39,3 +39,11 @@ if [[ "$ran" -eq 0 ]]; then
   echo "bench_json: no micro benches available" >&2
   exit 1
 fi
+
+# Execution-engine trajectory: the sharding ablation's JSON mirror
+# records throughput and message cost per (threads, shards) point.
+if [[ -x "$build/abl11_sharding" ]]; then
+  "$build/abl11_sharding" --runs 2 --n 100000 --outdir "$outdir" --json \
+    > /dev/null
+  echo "bench_json: wrote $outdir/abl11_sharding_*.json"
+fi

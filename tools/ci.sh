@@ -22,6 +22,12 @@ ctest --test-dir "$build" --output-on-failure -j
   --outdir "$build/bench_results" --json
 "$build/lossy_network" >/dev/null
 
+# Sharding smoke: the execution-engine ablation across a small
+# threads x shards grid (the determinism suite itself runs under ctest).
+"$build/abl11_sharding" --runs 1 --n 20000 --sites 8 \
+  --thread-list 1,4 --shard-list 1,2 \
+  --outdir "$build/bench_results" --json
+
 # Bench smoke: short micro-bench run, JSON into bench_results/ — the
 # per-commit point on the perf trajectory (archived by CI).
 "$repo/tools/bench_json.sh" "$build" "$build/bench_results" 0.05
