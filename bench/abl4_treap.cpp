@@ -1,9 +1,17 @@
-// Ablation A4 (google-benchmark) — treap-backed dominance set vs the
-// naive O(n^2) reference and a std::map-backed variant, across workload
-// sizes. Justifies the paper's choice of a treap (Seidel-Aragon) for
-// T_i: the structure stays tiny in expectation (H_M tuples) but
-// individual operations must stay cheap even through bursts, and the
-// pooled treap's bulk split/merge prunes beat per-node map erases.
+// Ablation A4 (google-benchmark) — the dominance-set substrates on the
+// realistic sliding-window workload (|T| ~ H_M, i.e. ~7-16 tuples),
+// across workload sizes:
+//   * Hybrid    — treap::DominanceSet, default thresholds (flat ring at
+//                 this size); the shipped configuration.
+//   * Treap     — the same class pinned to treap mode (pooled treap +
+//                 SlotIndex fold), isolating the ring's contribution.
+//   * FlatRing  — pinned to the flat ring, isolating the treap's.
+//   * PR2       — the previous PR's substrate (pooled treap + separate
+//                 unordered_map element index), the trajectory baseline.
+//   * Naive     — O(n)-per-op flat reference.
+//   * StdMap    — the obvious std::map-backed alternative.
+// Justifies both the paper's treap (bursts stay O(log n)) and the
+// hybrid's flat ring (the steady state is tiny, where flat wins).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -12,6 +20,7 @@
 #include <unordered_map>
 
 #include "hash/hash_function.h"
+#include "reference_dominance.h"
 #include "treap/dominance_set.h"
 #include "treap/naive_dominance_set.h"
 #include "util/rng.h"
@@ -102,11 +111,42 @@ void drive(Set& set, std::int64_t slots, std::uint64_t domain,
   }
 }
 
-void BM_DominanceSetTreap(benchmark::State& state) {
+void BM_DominanceSetHybrid(benchmark::State& state) {
   const auto domain = static_cast<std::uint64_t>(state.range(0));
   const auto window = state.range(1);
   for (auto _ : state) {
     dds::treap::DominanceSet set(42);
+    drive(set, 2000, domain, window, 7);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 * 3);
+}
+
+void BM_DominanceSetTreap(benchmark::State& state) {
+  const auto domain = static_cast<std::uint64_t>(state.range(0));
+  const auto window = state.range(1);
+  for (auto _ : state) {
+    dds::treap::DominanceSet set(42, dds::treap::HybridConfig{0, 0});
+    drive(set, 2000, domain, window, 7);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 * 3);
+}
+
+void BM_DominanceSetFlatRing(benchmark::State& state) {
+  const auto domain = static_cast<std::uint64_t>(state.range(0));
+  const auto window = state.range(1);
+  for (auto _ : state) {
+    dds::treap::DominanceSet set(42,
+                                 dds::treap::HybridConfig{0xFFFFFFFFu, 0});
+    drive(set, 2000, domain, window, 7);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 * 3);
+}
+
+void BM_DominanceSetPR2(benchmark::State& state) {
+  const auto domain = static_cast<std::uint64_t>(state.range(0));
+  const auto window = state.range(1);
+  for (auto _ : state) {
+    dds::bench::pr2::MapIndexDominanceSet set(42);
     drive(set, 2000, domain, window, 7);
   }
   state.SetItemsProcessed(state.iterations() * 2000 * 3);
@@ -134,7 +174,19 @@ void BM_DominanceSetStdMap(benchmark::State& state) {
 
 }  // namespace
 
+BENCHMARK(BM_DominanceSetHybrid)
+    ->Args({100, 50})
+    ->Args({10000, 500})
+    ->Args({1000000, 5000});
 BENCHMARK(BM_DominanceSetTreap)
+    ->Args({100, 50})
+    ->Args({10000, 500})
+    ->Args({1000000, 5000});
+BENCHMARK(BM_DominanceSetFlatRing)
+    ->Args({100, 50})
+    ->Args({10000, 500})
+    ->Args({1000000, 5000});
+BENCHMARK(BM_DominanceSetPR2)
     ->Args({100, 50})
     ->Args({10000, 500})
     ->Args({1000000, 5000});

@@ -69,5 +69,61 @@ int main(int argc, char** argv) {
               "A7: Enron synthetic, k=" + std::to_string(k) + ", w=" +
                   std::to_string(w),
               "abl7_bottom_s_window.csv", args);
+
+  // A7b: the order-statistic SDominanceSet substrate in isolation —
+  // per-update cost vs the retained set size |T|. An all-distinct
+  // stream maximizes |T| (~ s(1 + ln(w/s)), the bottom-s Lemma 10), and
+  // the window sweep grows it; the "swept/update" column is the mean
+  // number of stored tuples the dominance sweep examined per observe
+  // (the early-exit working-set walk), which must stay roughly flat —
+  // i.e. update cost sublinear in |T| — for the substrate to beat the
+  // old O(|T|)-scan flat vector.
+  util::Table t2({"s", "window", "mean |T|", "swept/update", "ns/update",
+                  "bottom-s ns"});
+  std::uint64_t element = 1;
+  for (const std::size_t s : {4, 16}) {
+    for (const sim::Slot win : {1000, 10000, 100000}) {
+      treap::SDominanceSet set(s, args.seed);
+      hash::HashFunction h(args.hash_kind, args.seed + 7);
+      sim::Slot t = 0;
+      for (; t < win; ++t) {  // warm to steady state
+        set.expire(t);
+        set.observe(element, h(element), t + win);
+        ++element;
+      }
+      const std::uint64_t swept0 = set.swept_tuples();
+      const std::uint64_t updates0 = set.updates();
+      util::RunningStat size_stat;
+      util::Timer timer;
+      for (const sim::Slot end = 2 * win; t < end; ++t) {
+        set.expire(t);
+        set.observe(element, h(element), t + win);
+        ++element;
+        if ((t & 63) == 0) size_stat.add(static_cast<double>(set.size()));
+      }
+      const double ns_per_update =
+          timer.elapsed_seconds() * 1e9 / static_cast<double>(win);
+      const double swept_per_update =
+          static_cast<double>(set.swept_tuples() - swept0) /
+          static_cast<double>(set.updates() - updates0);
+      std::vector<treap::Candidate> bottom;
+      util::Timer bottom_timer;
+      constexpr int kBottomCalls = 20000;
+      for (int i = 0; i < kBottomCalls; ++i) {
+        set.bottom_s_into(bottom);
+      }
+      const double bottom_ns =
+          bottom_timer.elapsed_seconds() * 1e9 / kBottomCalls;
+      t2.add_row({util::fmt(static_cast<std::uint64_t>(s)),
+                  util::fmt(static_cast<std::uint64_t>(win)),
+                  util::fmt(size_stat.mean(), 4),
+                  util::fmt(swept_per_update, 4),
+                  util::fmt(ns_per_update, 4), util::fmt(bottom_ns, 4)});
+    }
+  }
+  bench::emit(t2,
+              "A7b: order-statistic SDominanceSet — update cost vs |T| "
+              "(all-distinct stream)",
+              "abl7_order_stats.csv", args);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "core/bottom_s_sample.h"
 #include "core/system.h"
 #include "hash/hash_function.h"
+#include "reference_dominance.h"
 #include "reference_treap.h"
 #include "stream/generators.h"
 #include "stream/partitioner.h"
@@ -142,6 +143,76 @@ void BM_DominanceSetSlot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Steady-state dominance-set churn at a CONTROLLED size n — the
+/// substrate-crossover bench. A resident "staircase" of n tuples
+/// (rising hashes, consecutive expiries) is held in equilibrium: every
+/// iteration retires the front, appends at the tail, performs one
+/// duplicate-refresh lookup of a random resident (the per-arrival
+/// element-index path), and every 4th iteration lands a
+/// coordinator-style insert in the middle of the staircase (hash and
+/// expiry between its neighbours, so nothing is dominated either way).
+/// The same op sequence drives every substrate: the flat ring pays
+/// O(n) on the lookup and the middle shift, the treap pays O(log n)
+/// everywhere plus pointer-chasing constants — the crossover between
+/// them is what HybridConfig's thresholds encode.
+template <typename Set>
+void staircase_churn(benchmark::State& state, Set& set) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kStep = 1000;
+  std::uint64_t t = 0;
+  for (; t < n; ++t) set.observe(t, (t + 1) * kStep, t + n);
+  util::Xoshiro256StarStar rng(42);
+  std::uint64_t fresh = 1ULL << 40;
+  for (auto _ : state) {
+    ++t;
+    set.expire(t);
+    set.observe(t, (t + 1) * kStep, t + n);
+    // No-op refresh: same element, same expiry — pure lookup cost.
+    const std::uint64_t mid = t - 1 - rng.next_below(n / 2 + 1);
+    set.observe(mid, (mid + 1) * kStep, mid + n);
+    if ((t & 3) == 0) {
+      // Mid-staircase insert: strictly between resident p's and p+1's
+      // hashes, sharing p's expiry — no prunes in either direction.
+      const std::uint64_t p = t - 1 - rng.next_below(n / 2 + 1);
+      set.insert(fresh++, (p + 1) * kStep + 1 + rng.next_below(kStep / 2),
+                 p + n);
+    }
+    benchmark::DoNotOptimize(set.min_hash());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_DominanceChurnHybrid(benchmark::State& state) {
+  treap::DominanceSet set(7);  // default thresholds
+  staircase_churn(state, set);
+}
+
+void BM_DominanceChurnFlat(benchmark::State& state) {
+  treap::DominanceSet set(7, treap::HybridConfig{0xFFFFFFFFu, 0});
+  staircase_churn(state, set);
+}
+
+void BM_DominanceChurnTreap(benchmark::State& state) {
+  treap::DominanceSet set(7, treap::HybridConfig{0, 0});
+  staircase_churn(state, set);
+}
+
+void BM_DominanceChurnPR2(benchmark::State& state) {
+  bench::pr2::MapIndexDominanceSet set(7);
+  staircase_churn(state, set);
+}
+
+/// Hybrid threshold sweep: the same staircase churn at size n with
+/// migrate_up swept across it. Below n the set promotes (treap mode),
+/// above n it stays flat — the sweep exposes the crossover the default
+/// HybridConfig hard-codes.
+void BM_HybridThresholdSweep(benchmark::State& state) {
+  const auto up = static_cast<std::uint32_t>(state.range(1));
+  treap::DominanceSet set(7, treap::HybridConfig{up, up / 4});
+  staircase_churn(state, set);
+  state.SetLabel(set.is_flat() ? "flat-mode" : "treap-mode");
+}
+
 void BM_ZipfDraw(benchmark::State& state) {
   stream::ZipfStream s(~0ULL, 1'000'000, 1.0, 17);
   for (auto _ : state) {
@@ -159,6 +230,17 @@ BENCHMARK(BM_TreapInsertErase)->Arg(64)->Arg(4096)->Arg(262144);
 BENCHMARK(BM_TreapInsertEraseSeed)->Arg(64)->Arg(4096)->Arg(262144);
 BENCHMARK(BM_StdMapInsertErase)->Arg(64)->Arg(4096)->Arg(262144);
 BENCHMARK(BM_DominanceSetSlot)->Args({1000, 100})->Args({1000000, 10000});
+BENCHMARK(BM_DominanceChurnHybrid)
+    ->Arg(10)->Arg(64)->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK(BM_DominanceChurnFlat)
+    ->Arg(10)->Arg(64)->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK(BM_DominanceChurnTreap)
+    ->Arg(10)->Arg(64)->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK(BM_DominanceChurnPR2)
+    ->Arg(10)->Arg(64)->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK(BM_HybridThresholdSweep)
+    ->Args({48, 16})->Args({48, 32})->Args({48, 64})->Args({48, 128})
+    ->Args({192, 64})->Args({192, 128})->Args({192, 256});
 BENCHMARK(BM_ZipfDraw);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// The PR 2 dominance set, preserved verbatim for the substrate
+// ablation: the pooled treap of treap/treap.h with a SEPARATE
+// std::unordered_map element->key side-index (one extra hash lookup and
+// one bucket-node allocation per refresh — exactly what the SlotIndex
+// fold in the current DominanceSet eliminates) and no flat-ring mode.
+// Reference only; semantics identical to treap::DominanceSet.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "treap/dominance_set.h"
+#include "treap/treap.h"
+
+namespace dds::bench::pr2 {
+
+class MapIndexDominanceSet {
+ public:
+  explicit MapIndexDominanceSet(std::uint64_t seed = 0x646f6dULL)
+      : tree_(seed) {}
+
+  void observe(std::uint64_t element, std::uint64_t hash,
+               sim::Slot expiry) {
+    auto it = index_.find(element);
+    if (it != index_.end()) {
+      if (it->second.expiry >= expiry) return;
+      tree_.erase(it->second);
+      index_.erase(it);
+      invalidate_front();
+    }
+    prune_dominated_by(hash, expiry);
+    const Key key{expiry, hash, element};
+    tree_.insert(key, 0);
+    index_.emplace(element, key);
+    invalidate_front();
+  }
+
+  void insert(std::uint64_t element, std::uint64_t hash, sim::Slot expiry) {
+    auto it = index_.find(element);
+    if (it != index_.end()) {
+      if (it->second.expiry >= expiry) return;
+      tree_.erase(it->second);
+      index_.erase(it);
+      invalidate_front();
+    }
+    if (is_dominated(hash, expiry)) return;
+    prune_dominated_by(hash, expiry);
+    const Key key{expiry, hash, element};
+    tree_.insert(key, 0);
+    index_.emplace(element, key);
+    invalidate_front();
+  }
+
+  void expire(sim::Slot now) {
+    tree_.remove_prefix_while(
+        [now](const Key& k, char) { return k.expiry <= now; },
+        [this](const Key& k, char) {
+          index_.erase(k.element);
+          invalidate_front();
+        });
+  }
+
+  std::optional<treap::Candidate> min_hash() const {
+    if (!front_fresh_) {
+      front_cache_.reset();
+      if (const auto f = tree_.front()) {
+        front_cache_ = treap::Candidate{f->first.element, f->first.hash,
+                                        f->first.expiry};
+      }
+      front_fresh_ = true;
+    }
+    return front_cache_;
+  }
+
+  std::size_t size() const noexcept { return tree_.size(); }
+
+ private:
+  struct Key {
+    sim::Slot expiry;
+    std::uint64_t hash;
+    std::uint64_t element;
+
+    friend bool operator<(const Key& a, const Key& b) noexcept {
+      if (a.expiry != b.expiry) return a.expiry < b.expiry;
+      if (a.hash != b.hash) return a.hash < b.hash;
+      return a.element < b.element;
+    }
+  };
+
+  void prune_dominated_by(std::uint64_t hash, sim::Slot expiry) {
+    tree_.remove_suffix_of_lower_while(
+        Key{expiry, 0, 0},
+        [hash](const Key& k, char) { return k.hash > hash; },
+        [this](const Key& k, char) {
+          index_.erase(k.element);
+          invalidate_front();
+        });
+  }
+
+  bool is_dominated(std::uint64_t hash, sim::Slot expiry) const {
+    if (expiry == std::numeric_limits<sim::Slot>::max()) return false;
+    auto lb = tree_.lower_bound_key(Key{expiry + 1, 0, 0});
+    return lb.has_value() && lb->hash < hash;
+  }
+
+  void invalidate_front() noexcept { front_fresh_ = false; }
+
+  treap::Treap<Key, char> tree_;
+  std::unordered_map<std::uint64_t, Key> index_;
+  mutable std::optional<treap::Candidate> front_cache_;
+  mutable bool front_fresh_ = false;
+};
+
+}  // namespace dds::bench::pr2

@@ -154,7 +154,8 @@ struct FullSyncSlidingTraits {
                                          const Options& /*options*/) {
     return std::make_unique<Site>(id, coordinator, config.window,
                                   shared.hash_fn,
-                                  util::derive_seed(config.seed, 0xF00 + id));
+                                  util::derive_seed(config.seed, 0xF00 + id),
+                                  config.substrate);
   }
 };
 
@@ -189,7 +190,8 @@ struct BottomSSlidingTraits {
                                          const Shared& shared,
                                          const Options& /*options*/) {
     return std::make_unique<Site>(id, coordinator, config.sample_size,
-                                  config.window, shared.hash_fn);
+                                  config.window, shared.hash_fn,
+                                  util::derive_seed(config.seed, 0xB05 + id));
   }
 };
 

@@ -7,10 +7,11 @@ namespace dds::baseline {
 BottomSSlidingSite::BottomSSlidingSite(sim::NodeId id, sim::NodeId coordinator,
                                        std::size_t sample_size,
                                        sim::Slot window,
-                                       hash::HashFunction hash_fn)
+                                       hash::HashFunction hash_fn,
+                                       std::uint64_t seed)
     : id_(id),
       coordinator_(coordinator),
-      sampler_(sample_size, window, std::move(hash_fn)) {}
+      sampler_(sample_size, window, std::move(hash_fn), seed) {}
 
 void BottomSSlidingSite::on_slot_begin(sim::Slot t, net::Transport& bus) {
   sync(t, bus);
@@ -23,12 +24,13 @@ void BottomSSlidingSite::on_element(stream::Element element, sim::Slot t,
 }
 
 void BottomSSlidingSite::sync(sim::Slot now, net::Transport& bus) {
-  const auto bottom = sampler_.sample(now);
+  sampler_.sample_into(now, bottom_);
   // Drop shipped-records for tuples that left the local bottom-s; the
-  // coordinator's copies age out on their own.
-  std::unordered_map<stream::Element, sim::Slot> still;
-  still.reserve(bottom.size());
-  for (const auto& c : bottom) {
+  // coordinator's copies age out on their own. `still_` and `bottom_`
+  // are reused scratch — sync runs per arrival, so it must not
+  // allocate in steady state (clear/swap keep both maps' buckets).
+  still_.clear();
+  for (const auto& c : bottom_) {
     auto it = shipped_.find(c.element);
     if (it == shipped_.end() || it->second != c.expiry) {
       sim::Message msg;
@@ -40,9 +42,9 @@ void BottomSSlidingSite::sync(sim::Slot now, net::Transport& bus) {
       msg.c = static_cast<std::uint64_t>(c.expiry);
       bus.send(msg);
     }
-    still.emplace(c.element, c.expiry);
+    still_.emplace(c.element, c.expiry);
   }
-  shipped_ = std::move(still);
+  shipped_.swap(still_);
 }
 
 BottomSSlidingCoordinator::BottomSSlidingCoordinator(sim::NodeId /*id*/,

@@ -30,7 +30,8 @@ class BottomSSlidingSite final : public sim::StreamNode {
  public:
   BottomSSlidingSite(sim::NodeId id, sim::NodeId coordinator,
                      std::size_t sample_size, sim::Slot window,
-                     hash::HashFunction hash_fn);
+                     hash::HashFunction hash_fn,
+                     std::uint64_t seed = 0x62735369ULL);
 
   void on_slot_begin(sim::Slot t, net::Transport& bus) override;
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
@@ -50,6 +51,9 @@ class BottomSSlidingSite final : public sim::StreamNode {
   core::WindowedBottomSSampler sampler_;
   /// element -> expiry last shipped; pruned to the current bottom-s.
   std::unordered_map<stream::Element, sim::Slot> shipped_;
+  /// Reused per-sync scratch (sync runs per arrival — no allocations).
+  std::vector<treap::Candidate> bottom_;
+  std::unordered_map<stream::Element, sim::Slot> still_;
 };
 
 class BottomSSlidingCoordinator final : public sim::Node {

@@ -6,12 +6,13 @@ FullSyncSlidingSite::FullSyncSlidingSite(sim::NodeId id,
                                          sim::NodeId coordinator,
                                          sim::Slot window,
                                          hash::HashFunction hash_fn,
-                                         std::uint64_t seed)
+                                         std::uint64_t seed,
+                                         treap::HybridConfig substrate)
     : id_(id),
       coordinator_(coordinator),
       window_(window),
       hash_fn_(std::move(hash_fn)),
-      candidates_(seed) {}
+      candidates_(seed, substrate) {}
 
 void FullSyncSlidingSite::on_slot_begin(sim::Slot t, net::Transport& bus) {
   candidates_.expire(t);

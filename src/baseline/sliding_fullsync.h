@@ -31,7 +31,7 @@ class FullSyncSlidingSite final : public sim::StreamNode {
  public:
   FullSyncSlidingSite(sim::NodeId id, sim::NodeId coordinator,
                       sim::Slot window, hash::HashFunction hash_fn,
-                      std::uint64_t seed);
+                      std::uint64_t seed, treap::HybridConfig substrate = {});
 
   void on_slot_begin(sim::Slot t, net::Transport& bus) override;
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;

@@ -36,6 +36,7 @@
 #include "net/factory.h"
 #include "net/transport.h"
 #include "sim/engine.h"
+#include "treap/dominance_set.h"
 #include "util/rng.h"
 
 namespace dds::core {
@@ -61,6 +62,11 @@ struct SystemConfig {
   /// protocol and transport allow (see sim::make_engine), and falls
   /// back to the serial engine otherwise.
   std::uint32_t num_threads = 1;
+  /// Hybrid-substrate migration thresholds for the sliding-window
+  /// per-site candidate sets (flat ring below, pooled treap above; see
+  /// treap/dominance_set.h). The defaults fit the Lemma-10 steady
+  /// state; benches override them to ablate the substrates.
+  treap::HybridConfig substrate{};
 };
 
 /// The sliding-window protocols share the unified config; this type
@@ -115,6 +121,12 @@ class RoutedSite final : public sim::StreamNode {
   std::vector<std::unique_ptr<Site>> copies_;
 };
 
+/// Assembles one complete deployment — transport, coordinator shard(s),
+/// sites (routed when sharded), and execution engine — from a
+/// SystemConfig, for any protocol described by a Traits struct (node
+/// types, constructor recipes, and capability flags). The protocol
+/// facades (InfiniteSystem, SlidingSystem, ...) are aliases of this
+/// template.
 template <typename Traits>
 class Deployment {
  public:

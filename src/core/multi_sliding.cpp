@@ -8,12 +8,13 @@ MultiSlidingSite::MultiSlidingSite(sim::NodeId id, sim::NodeId coordinator,
                                    sim::Slot window,
                                    const hash::HashFamily& family,
                                    std::size_t sample_size,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed,
+                                   treap::HybridConfig substrate) {
   copies_.reserve(sample_size);
   for (std::size_t j = 0; j < sample_size; ++j) {
     copies_.emplace_back(id, coordinator, window, family.at(j),
                          util::derive_seed(seed, j),
-                         static_cast<std::uint32_t>(j));
+                         static_cast<std::uint32_t>(j), substrate);
   }
 }
 

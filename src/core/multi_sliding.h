@@ -19,7 +19,7 @@ class MultiSlidingSite final : public sim::StreamNode {
  public:
   MultiSlidingSite(sim::NodeId id, sim::NodeId coordinator, sim::Slot window,
                    const hash::HashFamily& family, std::size_t sample_size,
-                   std::uint64_t seed);
+                   std::uint64_t seed, treap::HybridConfig substrate = {});
 
   void on_slot_begin(sim::Slot t, net::Transport& bus) override;
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;

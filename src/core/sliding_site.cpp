@@ -6,13 +6,14 @@ SlidingWindowSite::SlidingWindowSite(sim::NodeId id, sim::NodeId coordinator,
                                      sim::Slot window,
                                      hash::HashFunction hash_fn,
                                      std::uint64_t seed,
-                                     std::uint32_t instance)
+                                     std::uint32_t instance,
+                                     treap::HybridConfig substrate)
     : id_(id),
       coordinator_(coordinator),
       window_(window),
       hash_fn_(std::move(hash_fn)),
       instance_(instance),
-      candidates_(seed) {}
+      candidates_(seed, substrate) {}
 
 void SlidingWindowSite::on_slot_begin(sim::Slot t, net::Transport& bus) {
   candidates_.expire(t);

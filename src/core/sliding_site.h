@@ -36,7 +36,8 @@ class SlidingWindowSite final : public sim::StreamNode {
  public:
   SlidingWindowSite(sim::NodeId id, sim::NodeId coordinator, sim::Slot window,
                     hash::HashFunction hash_fn, std::uint64_t seed,
-                    std::uint32_t instance = 0);
+                    std::uint32_t instance = 0,
+                    treap::HybridConfig substrate = {});
 
   void on_slot_begin(sim::Slot t, net::Transport& bus) override;
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;

@@ -160,7 +160,7 @@ struct SlidingTraits {
                                          const Options& /*options*/) {
     return std::make_unique<Site>(
         id, coordinator, config.window, shared.family, config.sample_size,
-        util::derive_seed(config.seed, 0xD800ULL + id));
+        util::derive_seed(config.seed, 0xD800ULL + id), config.substrate);
   }
 };
 

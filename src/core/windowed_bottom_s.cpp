@@ -4,10 +4,11 @@ namespace dds::core {
 
 WindowedBottomSSampler::WindowedBottomSSampler(std::size_t sample_size,
                                                sim::Slot window,
-                                               hash::HashFunction hash_fn)
+                                               hash::HashFunction hash_fn,
+                                               std::uint64_t seed)
     : window_(window),
       hash_fn_(std::move(hash_fn)),
-      candidates_(sample_size) {}
+      candidates_(sample_size, seed) {}
 
 void WindowedBottomSSampler::observe(stream::Element element, sim::Slot t) {
   candidates_.expire(t);
@@ -17,6 +18,12 @@ void WindowedBottomSSampler::observe(stream::Element element, sim::Slot t) {
 std::vector<treap::Candidate> WindowedBottomSSampler::sample(sim::Slot now) {
   candidates_.expire(now);
   return candidates_.bottom_s();
+}
+
+void WindowedBottomSSampler::sample_into(sim::Slot now,
+                                         std::vector<treap::Candidate>& out) {
+  candidates_.expire(now);
+  candidates_.bottom_s_into(out);
 }
 
 }  // namespace dds::core

@@ -24,7 +24,8 @@ namespace dds::core {
 class WindowedBottomSSampler {
  public:
   WindowedBottomSSampler(std::size_t sample_size, sim::Slot window,
-                         hash::HashFunction hash_fn);
+                         hash::HashFunction hash_fn,
+                         std::uint64_t seed = 0x77627353ULL);
 
   /// Observes an arrival at slot `t`. Slots must be non-decreasing.
   void observe(stream::Element element, sim::Slot t);
@@ -32,6 +33,10 @@ class WindowedBottomSSampler {
   /// The exact bottom-s distinct sample of the window ending at `now`
   /// (hash-ascending). `now` must be >= the latest observed slot.
   std::vector<treap::Candidate> sample(sim::Slot now);
+
+  /// sample() into a reused buffer (cleared first) — the
+  /// allocation-free variant for per-slot callers.
+  void sample_into(sim::Slot now, std::vector<treap::Candidate>& out);
 
   /// Tuples currently retained (the memory metric).
   std::size_t state_size() const noexcept { return candidates_.size(); }

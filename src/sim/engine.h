@@ -59,6 +59,11 @@ struct EngineConfig {
   std::size_t max_wave = 1 << 16;
 };
 
+/// Drives an arrival stream through a deployed protocol. Owns the slot
+/// clock, per-slot expiry callbacks, arrival validation, and the
+/// progress observer; subclasses decide how site work is scheduled
+/// (SerialEngine: one arrival at a time; ShardedEngine: site partitions
+/// on worker threads with order-preserving replay).
 class Engine {
  public:
   /// `sites[i]` handles arrivals for site id i. If `invoke_slot_begin` is

@@ -1,58 +1,248 @@
 #include "treap/dominance_set.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
 namespace dds::treap {
 
 namespace {
+
 constexpr std::uint64_t kU64Min = 0;
+
+std::uint32_t next_pow2(std::uint32_t v) {
+  std::uint32_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
 }
 
-void DominanceSet::observe(std::uint64_t element, std::uint64_t hash,
-                           sim::Slot expiry) {
-  auto it = index_.find(element);
-  if (it != index_.end()) {
-    if (it->second.expiry >= expiry) return;  // nothing newer to record
-    erase_key(it->second);
-    index_.erase(it);
+}  // namespace
+
+DominanceSet::DominanceSet(std::uint64_t seed, HybridConfig hybrid)
+    : hybrid_(hybrid), tree_(seed) {
+  if (hybrid_.migrate_up == 0) {
+    hybrid_.migrate_down = 0;  // pure-treap mode: never demote
+  } else if (hybrid_.migrate_down >= hybrid_.migrate_up) {
+    hybrid_.migrate_down = hybrid_.migrate_up / 2;
   }
-  // Arrivals carry the newest timestamp in the stream, so the newcomer
-  // cannot be dominated; it may dominate earlier tuples.
-  assert(!is_dominated(hash, expiry));
+  flat_ = hybrid_.migrate_up > 0;
+  if (flat_) [[likely]] {
+    // Sized for the hysteresis band up front (capped: very large
+    // migrate_up — the pure-flat ablation — grows on demand instead).
+    const std::uint32_t cap =
+        next_pow2(std::min<std::uint32_t>(
+            std::max(hybrid_.migrate_up, hybrid_.migrate_down) + 1, 256));
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+}
+
+// ------------------------------------------------------------ flat ring --
+
+void DominanceSet::ring_grow(std::uint32_t min_cap) {
+  std::uint32_t cap = ring_.empty() ? 8 : static_cast<std::uint32_t>(ring_.size());
+  while (cap < min_cap) cap <<= 1;
+  std::vector<Candidate> fresh(cap);
+  for (std::uint32_t l = 0; l < count_; ++l) fresh[l] = at(l);
+  ring_ = std::move(fresh);
+  head_ = 0;
+  mask_ = cap - 1;
+}
+
+void DominanceSet::ring_reserve_one() {
+  if (count_ + 1 > ring_.size()) {
+    ring_grow(count_ + 1);
+  }
+}
+
+void DominanceSet::ring_remove_range(std::uint32_t from, std::uint32_t to) {
+  if (from >= to) return;
+  const std::uint32_t removed = to - from;
+  for (std::uint32_t i = to; i < count_; ++i) {
+    at(i - removed) = at(i);
+  }
+  count_ -= removed;
+}
+
+void DominanceSet::ring_insert_at(std::uint32_t pos, const Candidate& c) {
+  ring_reserve_one();
+  for (std::uint32_t i = count_; i > pos; --i) {
+    at(i) = at(i - 1);
+  }
+  at(pos) = c;
+  ++count_;
+}
+
+void DominanceSet::flat_update(std::uint64_t element, std::uint64_t hash,
+                               sim::Slot expiry, bool newest) {
+  // Duplicate refresh: the newest expiry wins, older info is a no-op.
+  for (std::uint32_t l = 0; l < count_; ++l) {
+    if (at(l).element == element) {
+      if (at(l).expiry >= expiry) return;
+      ring_remove_range(l, l + 1);
+      break;
+    }
+  }
+  if (newest) {
+    // observe(): arrivals carry the newest timestamp, so the newcomer
+    // cannot be dominated.
+    assert(count_ == 0 || at(count_ - 1).expiry <= expiry);
+  } else {
+    // insert(): reject if a stored tuple dominates the newcomer. The
+    // suffix with expiry' > expiry starts at p2; by the staircase its
+    // smallest hash sits at its front.
+    std::uint32_t p2 = count_;
+    while (p2 > 0 && at(p2 - 1).expiry > expiry) --p2;
+    if (p2 < count_ && at(p2).hash < hash) return;
+  }
+  // Prune what the newcomer dominates: within the prefix of strictly
+  // earlier expiries (ending at p), the staircase makes the hash' > hash
+  // victims a contiguous run [v, p) — one bulk shift removes them all.
+  std::uint32_t p = count_;
+  while (p > 0 && at(p - 1).expiry >= expiry) --p;
+  std::uint32_t v = p;
+  while (v > 0 && at(v - 1).hash > hash) --v;
+  ring_remove_range(v, p);
+  // Insert in key order; everything before v is strictly smaller.
+  const Candidate c{element, hash, expiry};
+  std::uint32_t q = v;
+  while (q < count_ && sample_key_less(at(q), c)) ++q;
+  ring_insert_at(q, c);
+  if (count_ > hybrid_.migrate_up) promote();
+}
+
+// ----------------------------------------------------------- treap mode --
+
+void DominanceSet::tree_update(std::uint64_t element, std::uint64_t hash,
+                               sim::Slot expiry, bool newest) {
+  const auto at_fn = [this](std::uint32_t s) { return element_at(s); };
+  const std::uint32_t slot = index_.find(element, at_fn);
+  if (slot != SlotIndex::kNoSlot) {
+    const Key old = tree_.key_at(slot);
+    if (old.expiry >= expiry) return;
+    const bool unindexed = index_.erase(element, at_fn);
+    const bool removed = tree_.erase(old);
+    assert(unindexed && removed);  // index and tree must agree per element
+    (void)unindexed;
+    (void)removed;
+    invalidate_front();
+  }
+  if (newest) {
+    assert(!is_dominated(hash, expiry));
+  } else if (is_dominated(hash, expiry)) {
+    maybe_demote();  // the refresh removal above may have shrunk the set
+    return;
+  }
   prune_dominated_by(hash, expiry);
   const Key key{expiry, hash, element};
-  tree_.insert(key, 0);
-  index_.emplace(element, key);
+  const std::uint32_t fresh = tree_.insert_slot(key, 0);
+  index_.insert(element, fresh, at_fn);
   invalidate_front();
+  maybe_demote();
 }
 
-void DominanceSet::insert(std::uint64_t element, std::uint64_t hash,
-                          sim::Slot expiry) {
-  auto it = index_.find(element);
-  if (it != index_.end()) {
-    if (it->second.expiry >= expiry) return;  // stored copy is fresher
-    erase_key(it->second);
-    index_.erase(it);
-  }
-  if (is_dominated(hash, expiry)) return;
-  prune_dominated_by(hash, expiry);
-  const Key key{expiry, hash, element};
-  tree_.insert(key, 0);
-  index_.emplace(element, key);
-  invalidate_front();
-}
-
-void DominanceSet::expire(sim::Slot now) {
-  tree_.remove_prefix_while(
-      [now](const Key& k, char) { return k.expiry <= now; },
+void DominanceSet::prune_dominated_by(std::uint64_t hash, sim::Slot expiry) {
+  // Dominated tuples have expiry' < expiry and hash' > hash. Tuples with
+  // expiry' < expiry are exactly the keys below (expiry, 0, 0); by the
+  // staircase those among them with hash' > hash form a suffix, which
+  // the fused treap operation detaches without leaving the node pool.
+  tree_.remove_suffix_of_lower_while(
+      Key{expiry, kU64Min, kU64Min},
+      [hash](const Key& k, char) { return k.hash > hash; },
       [this](const Key& k, char) {
-        index_.erase(k.element);
+        index_.erase(k.element,
+                     [this](std::uint32_t s) { return element_at(s); });
         invalidate_front();
       });
 }
 
+bool DominanceSet::is_dominated(std::uint64_t hash, sim::Slot expiry) const {
+  // A dominating tuple has expiry' > expiry and hash' < hash. Keys with
+  // expiry' > expiry form a suffix whose minimum hash sits at its front
+  // (staircase), which lower_bound finds directly.
+  if (expiry == std::numeric_limits<sim::Slot>::max()) return false;
+  auto lb = tree_.lower_bound_key(Key{expiry + 1, kU64Min, kU64Min});
+  return lb.has_value() && lb->hash < hash;
+}
+
+// ----------------------------------------------------------- migrations --
+
+void DominanceSet::promote() {
+  const auto at_fn = [this](std::uint32_t s) { return element_at(s); };
+  for (std::uint32_t l = 0; l < count_; ++l) {
+    const Candidate& c = at(l);
+    const std::uint32_t slot =
+        tree_.insert_slot(Key{c.expiry, c.hash, c.element}, 0);
+    index_.insert(c.element, slot, at_fn);
+  }
+  head_ = 0;
+  count_ = 0;
+  flat_ = false;
+  ++migrations_;
+  invalidate_front();
+}
+
+void DominanceSet::maybe_demote() {
+  if (flat_ || tree_.size() >= hybrid_.migrate_down) return;
+  const auto n = static_cast<std::uint32_t>(tree_.size());
+  if (ring_.size() < n + 1u) ring_grow(n + 1);
+  head_ = 0;
+  std::uint32_t l = 0;
+  tree_.for_each([&](const Key& k, char) {
+    ring_[l++] = Candidate{k.element, k.hash, k.expiry};
+  });
+  count_ = l;
+  tree_.clear();   // keeps the pool's storage; next promote reuses it
+  index_.clear();  // same for the probe table
+  flat_ = true;
+  ++migrations_;
+  invalidate_front();
+}
+
+// ----------------------------------------------------------- public API --
+
+void DominanceSet::observe(std::uint64_t element, std::uint64_t hash,
+                           sim::Slot expiry) {
+  if (flat_) [[likely]] {
+    flat_update(element, hash, expiry, /*newest=*/true);
+  } else {
+    tree_update(element, hash, expiry, /*newest=*/true);
+  }
+}
+
+void DominanceSet::insert(std::uint64_t element, std::uint64_t hash,
+                          sim::Slot expiry) {
+  if (flat_) [[likely]] {
+    flat_update(element, hash, expiry, /*newest=*/false);
+  } else {
+    tree_update(element, hash, expiry, /*newest=*/false);
+  }
+}
+
+void DominanceSet::expire(sim::Slot now) {
+  if (flat_) [[likely]] {
+    // Expired tuples are a prefix; dropping them is a head advance.
+    while (count_ > 0 && at(0).expiry <= now) {
+      head_ = (head_ + 1) & mask_;
+      --count_;
+    }
+    return;
+  }
+  tree_.remove_prefix_while(
+      [now](const Key& k, char) { return k.expiry <= now; },
+      [this](const Key& k, char) {
+        index_.erase(k.element,
+                     [this](std::uint32_t s) { return element_at(s); });
+        invalidate_front();
+      });
+  maybe_demote();
+}
+
 std::optional<Candidate> DominanceSet::min_hash() const {
+  if (flat_) [[likely]] {
+    if (count_ == 0) return std::nullopt;
+    return at(0);
+  }
   if (!front_fresh_) {
     front_cache_.reset();
     if (const auto f = tree_.front()) {
@@ -64,33 +254,91 @@ std::optional<Candidate> DominanceSet::min_hash() const {
   return front_cache_;
 }
 
+bool DominanceSet::contains(std::uint64_t element) const {
+  if (flat_) [[likely]] {
+    for (std::uint32_t l = 0; l < count_; ++l) {
+      if (at(l).element == element) return true;
+    }
+    return false;
+  }
+  return index_.find(element, [this](std::uint32_t s) {
+           return element_at(s);
+         }) != SlotIndex::kNoSlot;
+}
+
 std::vector<Candidate> DominanceSet::snapshot() const {
   std::vector<Candidate> out;
-  out.reserve(tree_.size());
+  out.reserve(size());
+  if (flat_) [[likely]] {
+    for (std::uint32_t l = 0; l < count_; ++l) out.push_back(at(l));
+    return out;
+  }
   tree_.for_each([&out](const Key& k, char) {
     out.push_back(Candidate{k.element, k.hash, k.expiry});
   });
   return out;
 }
 
+void DominanceSet::load_snapshot(const std::vector<Candidate>& items) {
+  tree_.clear();
+  index_.clear();
+  head_ = 0;
+  count_ = 0;
+  invalidate_front();
+  flat_ = hybrid_.migrate_up > 0 && items.size() <= hybrid_.migrate_up;
+  if (flat_) [[likely]] {
+    const auto n = static_cast<std::uint32_t>(items.size());
+    if (ring_.size() < n + 1u) ring_grow(n + 1);
+    for (std::uint32_t l = 0; l < n; ++l) ring_[l] = items[l];
+    count_ = n;
+    return;
+  }
+  const auto at_fn = [this](std::uint32_t s) { return element_at(s); };
+  for (const Candidate& c : items) {
+    const std::uint32_t slot =
+        tree_.insert_slot(Key{c.expiry, c.hash, c.element}, 0);
+    index_.insert(c.element, slot, at_fn);
+  }
+}
+
 bool DominanceSet::check_invariants() const {
+  if (flat_) [[likely]] {
+    if (!tree_.empty() || !index_.empty()) return false;
+    if (count_ > hybrid_.migrate_up) return false;
+    for (std::uint32_t l = 0; l < count_; ++l) {
+      const Candidate& c = at(l);
+      if (l > 0) {
+        const Candidate& prev = at(l - 1);
+        if (!sample_key_less(prev, c)) return false;  // strict key order
+        if (c.hash < prev.hash) return false;       // staircase
+      }
+      for (std::uint32_t m = l + 1; m < count_; ++m) {
+        if (at(m).element == c.element) return false;  // unique elements
+      }
+    }
+    return true;
+  }
   if (!tree_.check_invariants()) return false;
   if (tree_.size() != index_.size()) return false;
-  // Staircase: in (expiry, hash) key order, hashes are non-decreasing,
-  // and no tuple is dominated by a later one.
+  if (tree_.size() < hybrid_.migrate_down) return false;  // missed demotion
+  // Staircase: in (expiry, hash) key order, hashes are non-decreasing;
+  // every key must be indexed at its own pool slot.
   bool ok = true;
   bool have_prev = false;
   Candidate prev{};
+  const auto at_fn = [this](std::uint32_t s) { return element_at(s); };
   tree_.for_each([&](const Key& k, char) {
     const Candidate cur{k.element, k.hash, k.expiry};
-    if (have_prev) {
-      if (cur.hash < prev.hash) ok = false;
-      if (cur.expiry > prev.expiry && cur.hash < prev.hash) ok = false;
-    }
-    auto idx = index_.find(cur.element);
-    if (idx == index_.end() || idx->second.expiry != cur.expiry ||
-        idx->second.hash != cur.hash) {
+    if (have_prev && cur.hash < prev.hash) ok = false;
+    const std::uint32_t slot = index_.find(k.element, at_fn);
+    if (slot == SlotIndex::kNoSlot) {
       ok = false;
+    } else {
+      const Key& stored = tree_.key_at(slot);
+      if (stored.expiry != k.expiry || stored.hash != k.hash ||
+          stored.element != k.element) {
+        ok = false;
+      }
     }
     prev = cur;
     have_prev = true;
@@ -106,36 +354,6 @@ bool DominanceSet::check_invariants() const {
     return false;
   }
   return ok;
-}
-
-void DominanceSet::prune_dominated_by(std::uint64_t hash, sim::Slot expiry) {
-  // Dominated tuples have expiry' < expiry and hash' > hash. Tuples with
-  // expiry' < expiry are exactly the keys below (expiry, 0, 0); by the
-  // staircase those among them with hash' > hash form a suffix, which
-  // the fused treap operation detaches without leaving the node pool.
-  tree_.remove_suffix_of_lower_while(
-      Key{expiry, kU64Min, kU64Min},
-      [hash](const Key& k, char) { return k.hash > hash; },
-      [this](const Key& k, char) {
-        index_.erase(k.element);
-        invalidate_front();
-      });
-}
-
-bool DominanceSet::is_dominated(std::uint64_t hash, sim::Slot expiry) const {
-  // A dominating tuple has expiry' > expiry and hash' < hash. Keys with
-  // expiry' > expiry form a suffix whose minimum hash sits at its front
-  // (staircase), which lower_bound finds directly.
-  if (expiry == std::numeric_limits<sim::Slot>::max()) return false;
-  auto lb = tree_.lower_bound_key(Key{expiry + 1, kU64Min, kU64Min});
-  return lb.has_value() && lb->hash < hash;
-}
-
-void DominanceSet::erase_key(const Key& key) {
-  const bool removed = tree_.erase(key);
-  assert(removed);
-  (void)removed;
-  invalidate_front();
 }
 
 }  // namespace dds::treap

@@ -1,21 +1,15 @@
 #include "treap/s_dominance_set.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace dds::treap {
 
-namespace {
-
-bool key_less(const Candidate& a, const Candidate& b) noexcept {
-  if (a.expiry != b.expiry) return a.expiry < b.expiry;
-  if (a.hash != b.hash) return a.hash < b.hash;
-  return a.element < b.element;
-}
-
-}  // namespace
-
-SDominanceSet::SDominanceSet(std::size_t sample_size) : s_(sample_size) {
+SDominanceSet::SDominanceSet(std::size_t sample_size, std::uint64_t seed)
+    : s_(sample_size),
+      by_expiry_(util::mix64(seed ^ 0x65787069727956ULL)),
+      by_hash_(util::mix64(seed ^ 0x68617368ULL)) {
   if (sample_size == 0) {
     throw std::invalid_argument("SDominanceSet: sample size must be positive");
   }
@@ -23,133 +17,245 @@ SDominanceSet::SDominanceSet(std::size_t sample_size) : s_(sample_size) {
 
 void SDominanceSet::observe(std::uint64_t element, std::uint64_t hash,
                             sim::Slot expiry) {
-  auto it = std::find_if(items_.begin(), items_.end(), [&](const Candidate& c) {
-    return c.element == element;
-  });
-  if (it != items_.end()) {
-    if (it->expiry >= expiry) return;
-    items_.erase(it);
-  }
-  const Candidate fresh{element, hash, expiry};
-  items_.insert(std::upper_bound(items_.begin(), items_.end(), fresh, key_less),
-                fresh);
-  prune();
+  update(element, hash, expiry, /*newest=*/true);
 }
 
 void SDominanceSet::insert(std::uint64_t element, std::uint64_t hash,
                            sim::Slot expiry) {
-  auto it = std::find_if(items_.begin(), items_.end(), [&](const Candidate& c) {
-    return c.element == element;
+  update(element, hash, expiry, /*newest=*/false);
+}
+
+// The dominance sweep. Walk equal-expiry groups in descending expiry
+// order, maintaining the s smallest hashes of the strictly-later
+// SURVIVORS twice: `w_old_` for the pre-update state (every stored
+// tuple survives it, by the standing invariant) and `w_new_` for the
+// state with the newcomer virtually inserted. A stored tuple is newly
+// prunable iff the working set is full and its hash exceeds
+// max(w_new_); the newcomer itself is dominated iff it fails the same
+// test at its own position. Correctness of the early exit: pruned
+// tuples never appear in any lower position's working set (each has s
+// smaller-hash, later-expiry dominators that also precede every lower
+// tuple), so the two sets can only differ by the newcomer's hash —
+// once w_new_ == w_old_, every judgment below is identical to the
+// pre-update state, which satisfied the invariant. Equal-expiry groups
+// are judged atomically against the strictly-later working set, then
+// folded, matching the "strictly later expiry" dominance rule.
+void SDominanceSet::update(std::uint64_t element, std::uint64_t hash,
+                           sim::Slot expiry, bool newest) {
+  ++stat_updates_;
+  const auto at_fn = [this](std::uint32_t s) { return element_at(s); };
+  const std::uint32_t slot = index_.find(element, at_fn);
+  if (slot != SlotIndex::kNoSlot) {
+    const ExpKey old = by_expiry_.key_at(slot);
+    if (old.expiry >= expiry) return;  // stored copy is fresher
+    erase_tuple(old);
+  }
+
+  w_old_.clear();
+  w_new_.clear();
+  victims_.clear();
+  group_.clear();
+  bool placed = false;    // newcomer judged at its position?
+  bool rejected = false;  // newcomer found s-dominated (insert path)
+  bool stop = false;
+  sim::Slot group_expiry = 0;
+  bool have_group = false;
+
+  const auto fold = [this](std::vector<std::uint64_t>& w, std::uint64_t h) {
+    if (w.size() < s_) {
+      w.insert(std::upper_bound(w.begin(), w.end(), h), h);
+    } else if (h < w.back()) {
+      w.pop_back();
+      w.insert(std::upper_bound(w.begin(), w.end(), h), h);
+    }
+  };
+  const auto judged_out = [this](std::uint64_t h) {
+    return w_new_.size() == s_ && h > w_new_.back();
+  };
+
+  // Judges the buffered equal-expiry group against the strictly-later
+  // working sets, records victims, then folds the group in.
+  const auto close_group = [&]() {
+    const bool with_new = !placed && expiry == group_expiry;
+    stat_swept_ += group_.size();
+    group_victim_.clear();
+    for (const Candidate& c : group_) {
+      group_victim_.push_back(judged_out(c.hash) ? 1 : 0);
+    }
+    if (with_new) {
+      placed = true;
+      if (judged_out(hash)) rejected = true;
+    }
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      fold(w_old_, group_[i].hash);
+      if (group_victim_[i]) {
+        victims_.push_back(
+            ExpKey{group_[i].expiry, group_[i].hash, group_[i].element});
+      } else {
+        fold(w_new_, group_[i].hash);
+      }
+    }
+    if (with_new && !rejected) fold(w_new_, hash);
+    group_.clear();
+    if (rejected || (placed && w_old_ == w_new_)) stop = true;
+  };
+
+  by_expiry_.for_each_reverse_while([&](const ExpKey& k, char) {
+    if (have_group && k.expiry == group_expiry) {
+      group_.push_back(Candidate{k.element, k.hash, k.expiry});
+      return true;
+    }
+    if (have_group) {
+      close_group();
+      if (stop) return false;
+    }
+    // The newcomer forms its own virtual group when its expiry falls
+    // strictly between the previous group and this key.
+    if (!placed && expiry > k.expiry &&
+        (!have_group || expiry < group_expiry)) {
+      placed = true;
+      if (judged_out(hash)) {
+        rejected = true;
+        stop = true;
+        return false;
+      }
+      fold(w_new_, hash);
+      if (w_old_ == w_new_) {  // the hash did not enter the working set
+        stop = true;
+        return false;
+      }
+    }
+    group_expiry = k.expiry;
+    have_group = true;
+    group_.push_back(Candidate{k.element, k.hash, k.expiry});
+    return true;
   });
-  if (it != items_.end()) {
-    if (it->expiry >= expiry) return;
-    items_.erase(it);
+  if (!stop) {
+    if (have_group) close_group();
+    if (!stop && !placed) {
+      // The newcomer expires before everything stored.
+      placed = true;
+      if (judged_out(hash)) rejected = true;
+    }
   }
-  // Reject if already s-dominated by stored tuples.
-  std::size_t dominators = 0;
-  for (const Candidate& c : items_) {
-    if (c.expiry > expiry && c.hash < hash) ++dominators;
+
+  if (rejected) {
+    // Only the coordinator-feedback path may offer a dominated tuple;
+    // observe()'s newcomer has the newest expiry, hence no dominators.
+    assert(!newest);
+    assert(victims_.empty());
+    return;
   }
-  if (dominators >= s_) return;
-  const Candidate fresh{element, hash, expiry};
-  items_.insert(std::upper_bound(items_.begin(), items_.end(), fresh, key_less),
-                fresh);
-  prune();
+  (void)newest;
+  for (const ExpKey& v : victims_) erase_tuple(v);
+  const ExpKey key{expiry, hash, element};
+  const std::uint32_t fresh = by_expiry_.insert_slot(key, 0);
+  index_.insert(element, fresh, at_fn);
+  by_hash_.insert(HashKey{hash, element}, expiry);
+}
+
+void SDominanceSet::erase_tuple(const ExpKey& key) {
+  // Index first: its probes read elements out of the by_expiry_ pool,
+  // so the slot must still be live.
+  const bool unindexed = index_.erase(
+      key.element, [this](std::uint32_t s) { return element_at(s); });
+  const bool removed = by_expiry_.erase(key);
+  const bool unhashed = by_hash_.erase(HashKey{key.hash, key.element});
+  assert(unindexed && removed && unhashed);  // the three views must agree
+  (void)unindexed;
+  (void)removed;
+  (void)unhashed;
 }
 
 void SDominanceSet::expire(sim::Slot now) {
-  // Sorted by expiry: expired tuples form a prefix.
-  auto first_live = std::find_if(
-      items_.begin(), items_.end(),
-      [now](const Candidate& c) { return c.expiry > now; });
-  items_.erase(items_.begin(), first_live);
+  // Sorted by expiry: expired tuples are a prefix, detached in bulk.
+  // Removals cannot create new dominators, so no re-prune is needed.
+  by_expiry_.remove_prefix_while(
+      [now](const ExpKey& k, char) { return k.expiry <= now; },
+      [this](const ExpKey& k, char) {
+        index_.erase(k.element,
+                     [this](std::uint32_t s) { return element_at(s); });
+        by_hash_.erase(HashKey{k.hash, k.element});
+      });
 }
 
 std::vector<Candidate> SDominanceSet::bottom_s() const {
-  std::vector<Candidate> out = items_;
-  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
-    return a.hash < b.hash;
-  });
-  if (out.size() > s_) out.resize(s_);
+  std::vector<Candidate> out;
+  bottom_s_into(out);
   return out;
 }
 
-std::optional<Candidate> SDominanceSet::min_hash() const {
-  if (items_.empty()) return std::nullopt;
-  return *std::min_element(
-      items_.begin(), items_.end(),
-      [](const Candidate& a, const Candidate& b) { return a.hash < b.hash; });
-}
-
-bool SDominanceSet::contains(std::uint64_t element) const {
-  return std::any_of(items_.begin(), items_.end(), [&](const Candidate& c) {
-    return c.element == element;
+void SDominanceSet::bottom_s_into(std::vector<Candidate>& out) const {
+  out.clear();
+  by_hash_.for_each_while([&](const HashKey& k, const sim::Slot& e) {
+    out.push_back(Candidate{k.element, k.hash, e});
+    return out.size() < s_;
   });
 }
 
-std::vector<Candidate> SDominanceSet::snapshot() const { return items_; }
+std::optional<Candidate> SDominanceSet::min_hash() const {
+  const auto f = by_hash_.front();
+  if (!f) return std::nullopt;
+  return Candidate{f->first.element, f->first.hash, f->second};
+}
+
+std::optional<Candidate> SDominanceSet::kth_smallest(std::size_t k) const {
+  const auto e = by_hash_.kth(k);
+  if (!e) return std::nullopt;
+  return Candidate{e->first.element, e->first.hash, e->second};
+}
+
+std::size_t SDominanceSet::hash_rank(std::uint64_t hash) const {
+  return by_hash_.rank_of(HashKey{hash, 0});
+}
+
+bool SDominanceSet::contains(std::uint64_t element) const {
+  return index_.find(element, [this](std::uint32_t s) {
+           return element_at(s);
+         }) != SlotIndex::kNoSlot;
+}
+
+std::vector<Candidate> SDominanceSet::snapshot() const {
+  std::vector<Candidate> out;
+  out.reserve(by_expiry_.size());
+  by_expiry_.for_each([&out](const ExpKey& k, char) {
+    out.push_back(Candidate{k.element, k.hash, k.expiry});
+  });
+  return out;
+}
 
 bool SDominanceSet::check_invariants() const {
-  if (!std::is_sorted(items_.begin(), items_.end(), key_less)) return false;
-  for (std::size_t i = 0; i < items_.size(); ++i) {
+  if (!by_expiry_.check_invariants()) return false;
+  if (!by_hash_.check_invariants()) return false;
+  if (by_expiry_.size() != by_hash_.size()) return false;
+  if (by_expiry_.size() != index_.size()) return false;
+  const auto items = snapshot();
+  const auto at_fn = [this](std::uint32_t s) { return element_at(s); };
+  for (std::size_t i = 0; i < items.size(); ++i) {
     std::size_t dominators = 0;
     std::size_t same_element = 0;
-    for (std::size_t j = 0; j < items_.size(); ++j) {
-      if (items_[j].element == items_[i].element) ++same_element;
-      if (items_[j].expiry > items_[i].expiry &&
-          items_[j].hash < items_[i].hash) {
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      if (items[j].element == items[i].element) ++same_element;
+      if (items[j].expiry > items[i].expiry &&
+          items[j].hash < items[i].hash) {
         ++dominators;
       }
     }
     if (same_element != 1) return false;
     if (dominators >= s_) return false;
+    // Cross-structure agreement, tuple by tuple.
+    const std::uint32_t slot = index_.find(items[i].element, at_fn);
+    if (slot == SlotIndex::kNoSlot) return false;
+    const ExpKey& stored = by_expiry_.key_at(slot);
+    if (stored.expiry != items[i].expiry || stored.hash != items[i].hash ||
+        stored.element != items[i].element) {
+      return false;
+    }
+    const sim::Slot* expiry =
+        by_hash_.find(HashKey{items[i].hash, items[i].element});
+    if (expiry == nullptr || *expiry != items[i].expiry) return false;
   }
   return true;
-}
-
-void SDominanceSet::prune() {
-  // Single backward sweep over expiry groups: a tuple survives iff fewer
-  // than s surviving strictly-later-expiry tuples have a smaller hash.
-  // (Counting survivors only is exact: a pruned dominator's own s
-  // dominators also dominate anything it dominated.)
-  std::vector<std::uint64_t> later_hashes;  // sorted, survivors only
-  std::vector<Candidate> kept_reversed;
-  kept_reversed.reserve(items_.size());
-
-  std::size_t group_end = items_.size();
-  while (group_end > 0) {
-    // Identify the equal-expiry group [group_begin, group_end).
-    std::size_t group_begin = group_end;
-    const sim::Slot expiry = items_[group_end - 1].expiry;
-    while (group_begin > 0 && items_[group_begin - 1].expiry == expiry) {
-      --group_begin;
-    }
-    // Judge each group member against strictly-later survivors. Walk the
-    // group backwards so the final global reverse restores ascending
-    // (expiry, hash) order.
-    std::vector<std::uint64_t> group_survivor_hashes;
-    for (std::size_t i = group_end; i-- > group_begin;) {
-      const auto below = static_cast<std::size_t>(
-          std::lower_bound(later_hashes.begin(), later_hashes.end(),
-                           items_[i].hash) -
-          later_hashes.begin());
-      if (below < s_) {
-        kept_reversed.push_back(items_[i]);
-        group_survivor_hashes.push_back(items_[i].hash);
-      }
-    }
-    // Fold the group's survivors into the later-hash set.
-    for (std::uint64_t h : group_survivor_hashes) {
-      later_hashes.insert(
-          std::lower_bound(later_hashes.begin(), later_hashes.end(), h), h);
-    }
-    group_end = group_begin;
-  }
-
-  if (kept_reversed.size() != items_.size()) {
-    std::reverse(kept_reversed.begin(), kept_reversed.end());
-    items_ = std::move(kept_reversed);
-  }
 }
 
 }  // namespace dds::treap

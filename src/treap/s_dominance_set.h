@@ -1,4 +1,5 @@
-// SDominanceSet — the bottom-s generalization of the dominance set.
+// SDominanceSet — the bottom-s generalization of the dominance set, on
+// the pooled order-statistic treap.
 //
 // The paper handles window sample sizes s > 1 by running s independent
 // copies of the single-sample protocol (a with-replacement sample; see
@@ -12,17 +13,36 @@
 // again be among the s smallest in-window hashes (its s dominators all
 // outlive it). For s = 1 this degenerates to DominanceSet's rule.
 //
-// Two structural facts keep maintenance cheap:
-//   * a dominator always expires after its dominated tuple, so counts
-//     of live dominators never decrease through expiry;
-//   * if a dominator is itself prunable, the dominated tuple already
-//     has s other (smaller-hash, later-expiry) dominators, so pruning
-//     order cannot strand an unprunable tuple.
+// Representation. Two pooled treaps over the same logical tuple set:
+//
+//   * `by_expiry_` — keyed (expiry, hash, element). Window expiry is a
+//     bulk prefix detach, O(log n + expired); the dominance sweep walks
+//     it in descending key order.
+//   * `by_hash_`  — keyed (hash, element), valued by expiry. Because
+//     the pooled treap maintains subtree sizes, this is an
+//     order-statistic tree: bottom_s() reads the first s entries
+//     straight off an in-order walk (O(log n + s), already
+//     hash-ascending — no snapshot copy, no sort), kth_smallest() and
+//     hash_rank() answer rank queries in O(log n).
+//
+// A SlotIndex (open addressing over by_expiry_'s pool slots) replaces
+// the former O(|T|) linear scan for duplicate refresh.
+//
+// Updates use an early-terminating dominance sweep instead of the old
+// full O(|T| log |T|) re-prune: walk equal-expiry groups in descending
+// expiry order, maintaining the s smallest later-survivor hashes twice
+// — once for the pre-update state (W_old), once with the newcomer
+// virtually inserted (W_new). A tuple is newly prunable iff it fails
+// against W_new; the instant W_new == W_old every judgment below is
+// unchanged from the pre-update state (which satisfied the invariant),
+// so the sweep stops. The newcomer's hash falls out of the working set
+// after s smaller later hashes have been seen, so sweeps are short in
+// practice — the abl7 bench measures tuples-swept-per-update staying
+// sublinear in |T| (docs/substrates.md).
+//
 // The expected size is O(s(1 + log(M/s))) for M distinct in-window
-// elements (the bottom-s analogue of Lemma 10), so this implementation
-// stores tuples in a flat expiry-sorted vector and pays an O(|T|) scan
-// per update — tiny in practice and trivially correct; the fuzz suite
-// checks it against an O(n^2) reference.
+// elements (the bottom-s analogue of Lemma 10). The fuzz suite checks
+// behaviour against an O(n^2) reference.
 #pragma once
 
 #include <cstdint>
@@ -30,12 +50,22 @@
 #include <vector>
 
 #include "treap/dominance_set.h"
+#include "treap/slot_index.h"
+#include "treap/treap.h"
 
 namespace dds::treap {
 
+/// The bottom-s candidate set: every tuple that could still belong to
+/// the bottom-s of some current or future window (a tuple dies once s
+/// later-expiring, smaller-hash tuples exist). Two pooled treaps —
+/// by-expiry for expiry/sweeps, by-hash as an order-statistic tree for
+/// bottom-s and rank queries — plus a SlotIndex for duplicate refresh.
 class SDominanceSet {
  public:
-  explicit SDominanceSet(std::size_t sample_size);
+  /// `sample_size` is s (> 0, throws std::invalid_argument otherwise);
+  /// `seed` salts the treap priorities.
+  explicit SDominanceSet(std::size_t sample_size,
+                         std::uint64_t seed = 0x73646f6dULL);
 
   /// Fresh arrival with the newest expiry (>= everything stored).
   /// Refreshes the tuple if the element is already tracked, then prunes
@@ -46,34 +76,87 @@ class SDominanceSet {
   /// itself is already s-dominated.
   void insert(std::uint64_t element, std::uint64_t hash, sim::Slot expiry);
 
-  /// Drops tuples with expiry <= now.
+  /// Drops tuples with expiry <= now. O(log n + expired).
   void expire(sim::Slot now);
 
-  /// The up-to-s smallest-hash candidates, hash-ascending.
+  /// The up-to-s smallest-hash candidates, hash-ascending: the first s
+  /// entries of the order-statistic tree, O(log n + s). (Historically
+  /// this copied the full snapshot and sorted it.)
   std::vector<Candidate> bottom_s() const;
 
-  /// Smallest-hash candidate (convenience; == bottom_s().front()).
+  /// Appends the bottom-s into `out` (cleared first) without returning
+  /// a fresh vector — the allocation-free variant for per-slot callers.
+  void bottom_s_into(std::vector<Candidate>& out) const;
+
+  /// Smallest-hash candidate (== bottom_s().front()); O(log n).
   std::optional<Candidate> min_hash() const;
 
-  std::size_t size() const noexcept { return items_.size(); }
-  bool empty() const noexcept { return items_.empty(); }
+  /// The k-th smallest-hash candidate (0-based), or nullopt if
+  /// k >= size(). O(log n) via subtree sizes.
+  std::optional<Candidate> kth_smallest(std::size_t k) const;
+
+  /// Number of stored tuples with hash strictly below `hash`. O(log n).
+  std::size_t hash_rank(std::uint64_t hash) const;
+
+  std::size_t size() const noexcept { return by_expiry_.size(); }
+  bool empty() const noexcept { return by_expiry_.empty(); }
   std::size_t sample_size() const noexcept { return s_; }
   bool contains(std::uint64_t element) const;
 
   /// All tuples in (expiry, hash, element) order.
   std::vector<Candidate> snapshot() const;
 
-  /// Checks that no stored tuple is s-dominated and that every stored
-  /// element is unique. O(n^2) test hook.
+  /// Checks that no stored tuple is s-dominated, elements are unique,
+  /// and the two treaps + slot index agree tuple for tuple. O(n^2)
+  /// test hook.
   bool check_invariants() const;
 
+  // ---- instrumentation (abl7 sublinearity rows) ---------------------
+  /// Stored tuples examined by dominance sweeps so far; divide by
+  /// updates() for the mean per-update sweep length.
+  std::uint64_t swept_tuples() const noexcept { return stat_swept_; }
+  /// observe()/insert() calls so far.
+  std::uint64_t updates() const noexcept { return stat_updates_; }
+
  private:
-  /// Removes every tuple with >= s strictly-later-expiry smaller-hash
-  /// dominators. O(n log n).
-  void prune();
+  using ExpKey = SampleKey;
+
+  struct HashKey {
+    std::uint64_t hash;
+    std::uint64_t element;
+
+    friend bool operator<(const HashKey& a, const HashKey& b) noexcept {
+      if (a.hash != b.hash) return a.hash < b.hash;
+      return a.element < b.element;
+    }
+  };
+
+  std::uint64_t element_at(std::uint32_t slot) const {
+    return by_expiry_.key_at(slot).element;
+  }
+
+  /// Shared observe/insert body; `newest` marks observe()'s
+  /// max-expiry precondition (its newcomer can never be dominated).
+  void update(std::uint64_t element, std::uint64_t hash, sim::Slot expiry,
+              bool newest);
+
+  /// Removes one tuple from both treaps and the index.
+  void erase_tuple(const ExpKey& key);
 
   std::size_t s_;
-  std::vector<Candidate> items_;  // kept sorted by (expiry, hash, element)
+  Treap<ExpKey, char> by_expiry_;
+  Treap<HashKey, sim::Slot> by_hash_;  ///< value: the tuple's expiry
+  SlotIndex index_;                    ///< element -> by_expiry_ slot
+
+  // Sweep scratch, reused across updates (allocation-free steady state).
+  std::vector<std::uint64_t> w_old_;      ///< s smallest later hashes, pre-update
+  std::vector<std::uint64_t> w_new_;      ///< same, with the newcomer inserted
+  std::vector<Candidate> group_;          ///< current equal-expiry group
+  std::vector<unsigned char> group_victim_;
+  std::vector<ExpKey> victims_;
+
+  std::uint64_t stat_swept_ = 0;
+  std::uint64_t stat_updates_ = 0;
 };
 
 }  // namespace dds::treap

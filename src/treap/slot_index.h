@@ -1,0 +1,159 @@
+// SlotIndex — an element -> pool-slot side-index folded into the treap's
+// own storage.
+//
+// The dominance sets need to answer "is element e already tracked, and
+// where?" on every arrival (the duplicate-refresh path). The original
+// implementation kept a std::unordered_map<element, Key> next to the
+// treap: a second full key copy per node, a chained hash bucket
+// allocation per insert, and a second hash lookup per refresh. This
+// class replaces it with open addressing OVER THE POOL SLOTS: the table
+// is a flat power-of-two array of u64 entries, each packing the
+// element's 32-bit home hash next to a u32 slot index into the treap
+// pool. Probes compare home hashes inside the flat table and only
+// dereference the pool to confirm a candidate hit, so a lookup touches
+// the node the subsequent tree operation is about to touch anyway —
+// and nothing else. Nothing is stored twice and the table never
+// allocates after it reaches its high-water capacity.
+//
+// Probing is linear with backward-shift deletion (no tombstones, and
+// the stored home hash means deletion never reads the pool), so
+// steady-state churn cannot degrade the table. Load is kept under 1/2:
+// linear probing clusters sharply past that, and at eight bytes per
+// entry the halved occupancy still costs less memory than one
+// chained-map bucket node per element did.
+//
+// The owner supplies an `ElementAt` callable (slot -> element) with
+// every operation, because only the owner knows which treap pool the
+// slots point into. Slot indices must be stable while indexed — the
+// pooled Treap guarantees exactly that (see treap.h).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace dds::treap {
+
+/// Open-addressed element -> pool-slot index over a treap's node pool:
+/// flat power-of-two table of (home-hash, slot) entries, linear probing,
+/// backward-shift deletion, load < 1/2. Allocation-free in steady state.
+class SlotIndex {
+ public:
+  /// "Not indexed" sentinel, == Treap::kNoSlot.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Slot holding `element`, or kNoSlot.
+  template <typename ElementAt>
+  std::uint32_t find(std::uint64_t element, ElementAt at) const {
+    if (count_ == 0) return kNoSlot;
+    const std::uint32_t mask = this->mask();
+    const std::uint64_t h = home_hash(element);
+    for (std::uint32_t i = static_cast<std::uint32_t>(h) & mask;;
+         i = (i + 1) & mask) {
+      const std::uint64_t entry = table_[i];
+      if (entry == kEmpty) return kNoSlot;
+      if ((entry >> 32) == h) {
+        const auto slot = static_cast<std::uint32_t>(entry);
+        if (at(slot) == element) return slot;
+      }
+    }
+  }
+
+  /// Indexes `element` at `slot`. The element must not be indexed yet
+  /// (refresh paths erase first).
+  template <typename ElementAt>
+  void insert(std::uint64_t element, std::uint32_t slot, ElementAt at) {
+    if ((count_ + 1) * 2 > table_.size()) grow(at);
+    const std::uint32_t mask = this->mask();
+    const std::uint64_t h = home_hash(element);
+    std::uint32_t i = static_cast<std::uint32_t>(h) & mask;
+    while (table_[i] != kEmpty) i = (i + 1) & mask;
+    table_[i] = (h << 32) | slot;
+    ++count_;
+  }
+
+  /// Unindexes `element`. Returns false if it was not indexed.
+  /// Backward-shift deletion: later entries of the probe run slide into
+  /// the hole, so lookups never need tombstones.
+  template <typename ElementAt>
+  bool erase(std::uint64_t element, ElementAt at) {
+    if (count_ == 0) return false;
+    const std::uint32_t mask = this->mask();
+    const std::uint64_t h = home_hash(element);
+    std::uint32_t i = static_cast<std::uint32_t>(h) & mask;
+    while (true) {
+      const std::uint64_t entry = table_[i];
+      if (entry == kEmpty) return false;
+      if ((entry >> 32) == h &&
+          at(static_cast<std::uint32_t>(entry)) == element) {
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+    std::uint32_t hole = i;
+    for (std::uint32_t j = (hole + 1) & mask; table_[j] != kEmpty;
+         j = (j + 1) & mask) {
+      // The entry at j may move into the hole iff its home position is
+      // cyclically outside (hole, j] — i.e. the probe run from its home
+      // reaches the hole before reaching j.
+      const std::uint32_t home =
+          static_cast<std::uint32_t>(table_[j] >> 32) & mask;
+      if (((j - home) & mask) >= ((j - hole) & mask)) {
+        table_[hole] = table_[j];
+        hole = j;
+      }
+    }
+    table_[hole] = kEmpty;
+    --count_;
+    return true;
+  }
+
+  /// Drops every entry but keeps the table storage (no deallocation —
+  /// demote/promote cycles must stay allocation-free).
+  void clear() noexcept {
+    for (auto& e : table_) e = kEmpty;
+    count_ = 0;
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Table slots currently allocated; test hook for the zero-allocation
+  /// steady state (churn must not change it once warmed up).
+  std::size_t capacity() const noexcept { return table_.size(); }
+
+ private:
+  /// Empty marker: the slot half is kNoSlot, which no live entry has.
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+  std::uint32_t mask() const noexcept {
+    return static_cast<std::uint32_t>(table_.size() - 1);
+  }
+
+  /// Fibonacci (multiplicative) hashing: one multiply, and sequential
+  /// element ids — common in synthetic streams — spread perfectly.
+  /// The high 32 bits are stored in the entry, so probes and deletions
+  /// compare/rehome without touching the pool.
+  static std::uint64_t home_hash(std::uint64_t element) noexcept {
+    return (element * 0x9E3779B97F4A7C15ULL) >> 32;
+  }
+
+  template <typename ElementAt>
+  void grow(ElementAt /*at*/) {
+    std::vector<std::uint64_t> old = std::move(table_);
+    const std::size_t cap = old.empty() ? 16 : old.size() * 2;
+    table_.assign(cap, kEmpty);
+    const std::uint32_t mask = this->mask();
+    for (std::uint64_t entry : old) {
+      if (entry == kEmpty) continue;
+      std::uint32_t i = static_cast<std::uint32_t>(entry >> 32) & mask;
+      while (table_[i] != kEmpty) i = (i + 1) & mask;
+      table_[i] = entry;
+    }
+  }
+
+  std::vector<std::uint64_t> table_;  // power-of-two, kEmpty = empty
+  std::size_t count_ = 0;
+};
+
+}  // namespace dds::treap

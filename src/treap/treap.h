@@ -41,9 +41,23 @@ namespace dds::treap {
 /// K must be strictly ordered by Compare; both K and V must be
 /// copy-assignable (slots are recycled in place). Capacity is bounded
 /// by ~4 billion live nodes (32-bit indices).
+///
+/// Every node occupies a stable pool slot: the slot index returned by
+/// insert_slot() keeps addressing the same node until that node is
+/// erased (or clear() is called), no matter how the tree rotates. This
+/// is what lets callers build side-indexes keyed by slot — see
+/// slot_index.h — instead of owning a second element->key hash map.
+///
+/// Subtree sizes are maintained on every path, so the treap doubles as
+/// an order-statistic tree: kth() selects by rank and rank_of() counts
+/// keys below a bound, both in O(log n).
 template <typename K, typename V, typename Compare = std::less<K>>
 class Treap {
  public:
+  /// Slot sentinel: "no such node". Returned by insert_slot() on
+  /// duplicate keys and by find_slot() on misses.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   explicit Treap(std::uint64_t seed = 0x7265617021ULL)
       : prio_salt_(util::mix64(seed)) {}
 
@@ -58,11 +72,19 @@ class Treap {
   std::size_t pool_slots() const noexcept { return pool_.size(); }
 
   /// Inserts key->value. Returns false (and leaves the key set
-  /// unchanged) if the key is already present. Single root-to-leaf
+  /// unchanged) if the key is already present.
+  bool insert(const K& key, const V& value) {
+    return insert_slot(key, value) != kNoSlot;
+  }
+
+  /// Inserts key->value and returns the new node's pool slot, or
+  /// kNoSlot (key set unchanged) if the key is already present. The
+  /// slot stays valid — and key_at(slot)/value_at(slot) keep naming
+  /// this entry — until the key is erased. Single root-to-leaf
   /// traversal: descend while ancestors out-prioritize the new node,
   /// then split only the subtree below the insertion point — the
   /// existence check rides along the same pass.
-  bool insert(const K& key, const V& value) {
+  std::uint32_t insert_slot(const K& key, const V& value) {
     const std::uint64_t prio = next_priority();
     path_.clear();
     std::uint32_t parent = kNil;
@@ -81,7 +103,7 @@ class Treap {
         went_left = false;
         node = n.right;
       } else {
-        return false;  // present above the insertion point; untouched
+        return kNoSlot;  // present above the insertion point; untouched
       }
     }
     bool found = false;
@@ -103,9 +125,9 @@ class Treap {
     } else {
       pool_[parent].right = replacement;
     }
-    if (found) return false;
+    if (found) return kNoSlot;
     for (std::uint32_t idx : path_) ++pool_[idx].size;
-    return true;
+    return replacement;
   }
 
   /// Removes a key. Returns false if absent.
@@ -138,6 +160,12 @@ class Treap {
   /// Pointer to the value for key, or nullptr. Valid until the next
   /// mutation (slots may move when the pool grows).
   const V* find(const K& key) const {
+    const std::uint32_t slot = find_slot(key);
+    return slot == kNoSlot ? nullptr : &pool_[slot].value;
+  }
+
+  /// Pool slot holding `key`, or kNoSlot. O(log n).
+  std::uint32_t find_slot(const K& key) const {
     std::uint32_t cur = root_;
     while (cur != kNil) {
       const Node& n = pool_[cur];
@@ -146,10 +174,106 @@ class Treap {
       } else if (cmp_(n.key, key)) {
         cur = n.right;
       } else {
-        return &n.value;
+        return cur;
       }
     }
-    return nullptr;
+    return kNoSlot;
+  }
+
+  /// Key stored in `slot`. The slot must be live (obtained from
+  /// insert_slot/find_slot and not erased since). The reference is
+  /// valid until the next mutation — the pool may move when it grows.
+  const K& key_at(std::uint32_t slot) const { return pool_[slot].key; }
+
+  /// Value stored in `slot`; same validity rules as key_at().
+  const V& value_at(std::uint32_t slot) const { return pool_[slot].value; }
+
+  /// The i-th smallest entry (0-based), or nullopt if i >= size().
+  /// O(log n) via the subtree-size counters.
+  std::optional<std::pair<K, V>> kth(std::size_t i) const {
+    if (i >= size()) return std::nullopt;
+    std::uint32_t cur = root_;
+    while (true) {
+      const Node& n = pool_[cur];
+      const std::size_t left = size_of(n.left);
+      if (i < left) {
+        cur = n.left;
+      } else if (i == left) {
+        return std::make_pair(n.key, n.value);
+      } else {
+        i -= left + 1;
+        cur = n.right;
+      }
+    }
+  }
+
+  /// Number of stored keys strictly below `key` (== the rank `key`
+  /// would have). O(log n) via the subtree-size counters.
+  std::size_t rank_of(const K& key) const {
+    std::size_t rank = 0;
+    std::uint32_t cur = root_;
+    while (cur != kNil) {
+      const Node& n = pool_[cur];
+      if (cmp_(n.key, key)) {
+        rank += size_of(n.left) + 1;
+        cur = n.right;
+      } else {
+        cur = n.left;
+      }
+    }
+    return rank;
+  }
+
+  /// Ascending in-order traversal that stops early: `fn(key, value)`
+  /// returns true to continue, false to stop. Returns true iff the
+  /// traversal visited every entry. The scratch stack is used as an
+  /// arena, so fn may start another while-traversal of this same treap
+  /// (it must still not mutate it); not thread-safe.
+  template <typename Fn>
+  bool for_each_while(Fn fn) const {
+    const std::size_t base = walk_.size();
+    std::uint32_t cur = root_;
+    bool complete = true;
+    while (cur != kNil || walk_.size() > base) {
+      while (cur != kNil) {
+        walk_.push_back(cur);
+        cur = pool_[cur].left;
+      }
+      cur = walk_.back();
+      walk_.pop_back();
+      if (!fn(pool_[cur].key, pool_[cur].value)) {
+        complete = false;
+        break;
+      }
+      cur = pool_[cur].right;
+    }
+    walk_.resize(base);
+    return complete;
+  }
+
+  /// Descending in-order traversal that stops early; mirror of
+  /// for_each_while (same re-entrancy rules). Returns true iff every
+  /// entry was visited.
+  template <typename Fn>
+  bool for_each_reverse_while(Fn fn) const {
+    const std::size_t base = walk_.size();
+    std::uint32_t cur = root_;
+    bool complete = true;
+    while (cur != kNil || walk_.size() > base) {
+      while (cur != kNil) {
+        walk_.push_back(cur);
+        cur = pool_[cur].right;
+      }
+      cur = walk_.back();
+      walk_.pop_back();
+      if (!fn(pool_[cur].key, pool_[cur].value)) {
+        complete = false;
+        break;
+      }
+      cur = pool_[cur].left;
+    }
+    walk_.resize(base);
+    return complete;
   }
 
   /// Smallest key with its value, or nullopt if empty.
@@ -563,6 +687,11 @@ class Treap {
   /// two are live at the same time inside insert, never deeper.
   std::vector<std::uint32_t> path_;
   std::vector<std::uint32_t> scratch_;
+  /// Scratch arena for the const while-traversals (for_each_while /
+  /// for_each_reverse_while): each traversal operates above the size it
+  /// found on entry and truncates back on exit, so traversals nest.
+  /// Grows to (max depth x nesting) once, then reused.
+  mutable std::vector<std::uint32_t> walk_;
   std::uint64_t prio_salt_;
   std::uint64_t prio_counter_ = 0;
   Compare cmp_{};

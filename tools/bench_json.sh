@@ -47,3 +47,12 @@ if [[ -x "$build/abl11_sharding" ]]; then
     > /dev/null
   echo "bench_json: wrote $outdir/abl11_sharding_*.json"
 fi
+
+# Substrate trajectory: abl7's A7b table records the order-statistic
+# SDominanceSet's swept-tuples-per-update and ns/update vs |T| — the
+# "bottom-s update cost sublinear in |T|" record.
+if [[ -x "$build/abl7_bottom_s_window" ]]; then
+  "$build/abl7_bottom_s_window" --runs 1 --outdir "$outdir" --json \
+    > /dev/null
+  echo "bench_json: wrote $outdir/abl7_order_stats.json"
+fi
