@@ -48,6 +48,9 @@ int main(int argc, char** argv) {
   cli.flag("sample-size", "sample size s", "16");
   cli.flag("thread-list", "comma-separated worker-thread sweep", "1,2,4");
   cli.flag("shard-list", "comma-separated coordinator-shard sweep", "1,2,4");
+  cli.boolean("wakeup-ablation",
+              "also measure threads>1 rows with per-message replay wakeups "
+              "(before/after the wakeup-coalescing optimization)");
   if (!cli.parse(argc, argv)) return 1;
   const auto args = bench::read_common(cli);
   const auto k = static_cast<std::uint32_t>(cli.get_uint("sites"));
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
   const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
   const auto threads_sweep = cli.get_uint_list("thread-list");
   const auto shards_sweep = cli.get_uint_list("shard-list");
+  const bool wakeup_ablation = cli.get_bool("wakeup-ablation");
   bench::banner("Ablation A11: sharded coordinator x threaded engine", args);
   std::cout << "k=" << k << ", n=" << n << ", domain=" << domain
             << ", s=" << s << "\n";
@@ -84,60 +88,78 @@ int main(int argc, char** argv) {
   };
 
   for (const Protocol& protocol : protocols) {
-    util::Table table({"threads", "shards", "engine", "Marr/s", "speedup",
-                       "msgs", "msgs/arrival", "shard max/min"});
+    util::Table table({"threads", "shards", "engine", "wakeups", "Marr/s",
+                       "speedup", "msgs", "msgs/arrival", "shard max/min",
+                       "route hit%"});
     double serial_rate = 0.0;
     for (const std::uint64_t shards : shards_sweep) {
       for (const std::uint64_t threads : threads_sweep) {
-        core::SystemConfig config{k, s, args.hash_kind, args.seed};
-        config.num_shards = static_cast<std::uint32_t>(shards);
-        config.num_threads = static_cast<std::uint32_t>(threads);
-        double best_seconds = 0.0;
-        std::uint64_t msgs = 0;
-        double balance = 1.0;
-        const char* engine_name = "?";
-        for (std::uint64_t run = 0; run < args.runs; ++run) {
-          auto run_one = [&](auto& system) {
-            engine_name = system.runner().name();
-            VectorSource source(arrivals);
-            util::Timer timer;
-            system.run(source);
-            const double seconds = timer.elapsed_seconds();
-            if (run == 0 || seconds < best_seconds) best_seconds = seconds;
-            msgs = system.bus().counters().total;
-            std::uint64_t mx = 0, mn = ~0ULL;
-            for (std::uint32_t j = 0; j < system.bus().num_coordinators();
-                 ++j) {
-              const std::uint64_t t =
-                  system.bus().coordinator_counters(j).total;
-              mx = std::max(mx, t);
-              mn = std::min(mn, t);
+        // The wakeup ablation only touches the run-ahead handshake, so
+        // it adds a second row for threads > 1 points only.
+        std::vector<bool> wakeup_modes{true};
+        if (wakeup_ablation && threads > 1) wakeup_modes.push_back(false);
+        for (const bool coalesce : wakeup_modes) {
+          core::SystemConfig config{k, s, args.hash_kind, args.seed};
+          config.num_shards = static_cast<std::uint32_t>(shards);
+          config.num_threads = static_cast<std::uint32_t>(threads);
+          config.coalesce_wakeups = coalesce;
+          double best_seconds = 0.0;
+          std::uint64_t msgs = 0;
+          double balance = 1.0;
+          double route_hit = -1.0;
+          const char* engine_name = "?";
+          for (std::uint64_t run = 0; run < args.runs; ++run) {
+            auto run_one = [&](auto& system) {
+              engine_name = system.runner().name();
+              VectorSource source(arrivals);
+              util::Timer timer;
+              system.run(source);
+              const double seconds = timer.elapsed_seconds();
+              if (run == 0 || seconds < best_seconds) best_seconds = seconds;
+              msgs = system.bus().counters().total;
+              std::uint64_t mx = 0, mn = ~0ULL;
+              for (std::uint32_t j = 0; j < system.bus().num_coordinators();
+                   ++j) {
+                const std::uint64_t t =
+                    system.bus().coordinator_counters(j).total;
+                mx = std::max(mx, t);
+                mn = std::min(mn, t);
+              }
+              balance = mn == 0 ? 0.0
+                                : static_cast<double>(mx) /
+                                      static_cast<double>(mn);
+              if (system.route_cache_lookups() > 0) {
+                route_hit = 100.0 *
+                            static_cast<double>(system.route_cache_hits()) /
+                            static_cast<double>(system.route_cache_lookups());
+              }
+            };
+            if (protocol.with_replacement) {
+              core::WithReplacementSystem system(config);
+              run_one(system);
+            } else {
+              core::InfiniteSystem system(config, /*eager_threshold=*/false,
+                                          args.suppress_duplicates);
+              run_one(system);
             }
-            balance = mn == 0 ? 0.0
-                              : static_cast<double>(mx) /
-                                    static_cast<double>(mn);
-          };
-          if (protocol.with_replacement) {
-            core::WithReplacementSystem system(config);
-            run_one(system);
-          } else {
-            core::InfiniteSystem system(config, /*eager_threshold=*/false,
-                                        args.suppress_duplicates);
-            run_one(system);
           }
+          const double rate = static_cast<double>(n) / best_seconds / 1e6;
+          if (shards == shards_sweep.front() &&
+              threads == threads_sweep.front() && coalesce) {
+            serial_rate = rate;
+          }
+          const char* wakeups =
+              threads == 1 ? "-" : (coalesce ? "coalesced" : "per-msg");
+          table.add_row({std::to_string(threads), std::to_string(shards),
+                         engine_name, wakeups, util::fmt(rate, 3),
+                         util::fmt(rate / serial_rate, 3),
+                         std::to_string(msgs),
+                         util::fmt(static_cast<double>(msgs) /
+                                       static_cast<double>(n),
+                                   4),
+                         util::fmt(balance, 3),
+                         route_hit < 0.0 ? "-" : util::fmt_fixed(route_hit, 1)});
         }
-        const double rate = static_cast<double>(n) / best_seconds / 1e6;
-        if (shards == shards_sweep.front() && threads == threads_sweep.front()) {
-          serial_rate = rate;
-        }
-        table.add_row({std::to_string(threads), std::to_string(shards),
-                       engine_name, util::fmt(rate, 3),
-                       util::fmt(rate / serial_rate, 3),
-                       std::to_string(msgs),
-                       util::fmt(static_cast<double>(msgs) /
-                                     static_cast<double>(n),
-                                 4),
-                       util::fmt(balance, 3)});
       }
     }
     bench::emit(table,

@@ -14,6 +14,7 @@
 #include "baseline/sliding_fullsync.h"
 #include "core/deployment.h"
 #include "core/system.h"
+#include "query/merge.h"
 #include "sim/runner.h"
 
 namespace dds::baseline {
@@ -131,7 +132,12 @@ struct FullSyncSlidingTraits {
     hash::HashFunction hash_fn;
   };
   static constexpr bool kInvokeSlotBegin = true;
-  static constexpr bool kShardableCoordinator = false;
+  /// Shard j's coordinator holds every site's current partition-j
+  /// minimum, so its answer is the EXACT window minimum of partition j
+  /// at every slot; the validity-aware merge of the shard minima is
+  /// therefore the exact global window minimum — per-slot bit-identical
+  /// to the unsharded coordinator.
+  static constexpr bool kShardableCoordinator = true;
   static constexpr bool kShardableSites = true;
 
   static Shared make_shared(const core::SystemConfig& config) {
@@ -157,6 +163,17 @@ struct FullSyncSlidingTraits {
                                   util::derive_seed(config.seed, 0xF00 + id),
                                   config.substrate);
   }
+  /// Exact global window minimum: validity-aware min over the shards'
+  /// exact partition minima at `now`.
+  static std::optional<treap::Candidate> merge_samples_at(
+      const std::vector<std::unique_ptr<Coordinator>>& coordinators,
+      const core::SystemConfig& /*config*/, sim::Slot now) {
+    query::SlidingValidityMerger merger(/*sample_size=*/1, now);
+    for (const auto& coordinator : coordinators) {
+      merger.offer(coordinator->sample(now));
+    }
+    return merger.min_hash();
+  }
 };
 
 /// Exact distributed bottom-s sliding-window baseline (full-sync).
@@ -168,7 +185,14 @@ struct BottomSSlidingTraits {
     hash::HashFunction hash_fn;
   };
   static constexpr bool kInvokeSlotBegin = true;
-  static constexpr bool kShardableCoordinator = false;
+  /// Shard j's coordinator pools partition j's local-bottom-s reports
+  /// (an SDominanceSet), so its answer is the EXACT window bottom-s of
+  /// partition j at every slot. Every member of the global window
+  /// bottom-s is in its own partition's bottom-s, so the validity-aware
+  /// bottom-s of the shard answers' union is per-slot bit-identical to
+  /// the unsharded coordinator — the exactness proof test lives in
+  /// tests/sliding_shard_test.cpp.
+  static constexpr bool kShardableCoordinator = true;
   static constexpr bool kShardableSites = true;
 
   static Shared make_shared(const core::SystemConfig& config) {
@@ -192,6 +216,19 @@ struct BottomSSlidingTraits {
     return std::make_unique<Site>(id, coordinator, config.sample_size,
                                   config.window, shared.hash_fn,
                                   util::derive_seed(config.seed, 0xB05 + id));
+  }
+  /// Exact global window bottom-s: validity-aware bottom-s of the
+  /// shards' exact partition bottom-s answers. `now` must be
+  /// non-decreasing across queries — each shard's pool sweeps expiry
+  /// at query time (see BottomSSlidingCoordinator::sample).
+  static std::vector<treap::Candidate> merge_samples_at(
+      const std::vector<std::unique_ptr<Coordinator>>& coordinators,
+      const core::SystemConfig& config, sim::Slot now) {
+    query::SlidingValidityMerger merger(config.sample_size, now);
+    for (const auto& coordinator : coordinators) {
+      merger.add(coordinator->sample(now));
+    }
+    return merger.bottom_s();
   }
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/rng.h"
+
 namespace dds::baseline {
 
 BottomSSlidingSite::BottomSSlidingSite(sim::NodeId id, sim::NodeId coordinator,
@@ -47,41 +49,32 @@ void BottomSSlidingSite::sync(sim::Slot now, net::Transport& bus) {
   shipped_.swap(still_);
 }
 
-BottomSSlidingCoordinator::BottomSSlidingCoordinator(sim::NodeId /*id*/,
+BottomSSlidingCoordinator::BottomSSlidingCoordinator(sim::NodeId id,
                                                      std::size_t sample_size)
-    : sample_size_(sample_size) {}
+    : pool_(sample_size, util::derive_seed(0x62735363ULL /*"bsSc"*/, id)) {}
 
 void BottomSSlidingCoordinator::on_message(const sim::Message& msg,
                                            net::Transport& bus) {
   if (msg.type != sim::MsgType::kSlidingReport) return;
-  const treap::Candidate incoming{msg.a, msg.b,
-                                  static_cast<sim::Slot>(msg.c)};
-  auto [it, inserted] = pool_.emplace(msg.a, incoming);
-  if (!inserted && it->second.expiry < incoming.expiry) {
-    it->second = incoming;
-  }
-  // Opportunistic garbage collection keeps the pool near k*s entries.
-  const sim::Slot now = bus.now();
-  if (pool_.size() > 4 * sample_size_ + 64) {
-    std::erase_if(pool_, [now](const auto& kv) {
-      return kv.second.expiry <= now;
-    });
-  }
+  // Expired tuples leave first so the dominance sweep never walks them.
+  pool_.expire(bus.now());
+  // insert() keeps the freshest expiry for a re-reported element and
+  // drops tuples (incoming or stored) once s smaller-hash, later-expiry
+  // reports dominate them — they can never re-enter the bottom-s.
+  pool_.insert(msg.a, msg.b, static_cast<sim::Slot>(msg.c));
 }
 
 std::vector<treap::Candidate> BottomSSlidingCoordinator::sample(
     sim::Slot now) const {
-  std::vector<treap::Candidate> live;
-  live.reserve(pool_.size());
-  for (const auto& [element, c] : pool_) {
-    if (c.expiry > now) live.push_back(c);
-  }
-  std::sort(live.begin(), live.end(),
-            [](const treap::Candidate& a, const treap::Candidate& b) {
-              return a.hash < b.hash;
-            });
-  if (live.size() > sample_size_) live.resize(sample_size_);
-  return live;
+  std::vector<treap::Candidate> out;
+  sample_into(now, out);
+  return out;
+}
+
+void BottomSSlidingCoordinator::sample_into(
+    sim::Slot now, std::vector<treap::Candidate>& out) const {
+  pool_.expire(now);
+  pool_.bottom_s_into(out);
 }
 
 }  // namespace dds::baseline

@@ -23,6 +23,7 @@
 #include "hash/hash_function.h"
 #include "net/transport.h"
 #include "sim/node.h"
+#include "treap/s_dominance_set.h"
 
 namespace dds::baseline {
 
@@ -63,13 +64,25 @@ class BottomSSlidingCoordinator final : public sim::Node {
   void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override { return pool_.size(); }
 
-  /// Exact window bottom-s at slot `now`, hash-ascending.
+  /// Exact window bottom-s at slot `now`, hash-ascending. `now` must be
+  /// non-decreasing across queries (it advances the pool's expiry
+  /// sweep), which every slot-clock-driven caller satisfies.
   std::vector<treap::Candidate> sample(sim::Slot now) const;
 
+  /// sample() into a reused buffer — allocation-free per-slot queries.
+  void sample_into(sim::Slot now, std::vector<treap::Candidate>& out) const;
+
  private:
-  std::size_t sample_size_;
-  /// element -> freshest reported candidate (across sites).
-  std::unordered_map<stream::Element, treap::Candidate> pool_;
+  /// The reported-tuple pool as a bottom-s dominance set: tuples whose
+  /// s dominators (smaller hash, later expiry) have all been reported
+  /// can never re-enter the window bottom-s, so the pool keeps
+  /// O(s log(M/s)) expected state instead of every live report, and
+  /// bottom_s() is an O(log n + s) ordered walk instead of a
+  /// filter+sort over the full pool. In a sharded deployment this is
+  /// the per-shard coordinator state. Mutable: queries advance the
+  /// expiry sweep (a cache-style mutation — answers depend only on
+  /// `now`).
+  mutable treap::SDominanceSet pool_;
 };
 
 }  // namespace dds::baseline

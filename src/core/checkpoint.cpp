@@ -8,6 +8,8 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x4444535F434B5054ULL;  // "DDS_CKPT"
 constexpr std::uint64_t kVersion = 1;
+constexpr std::uint64_t kSlidingMagic = 0x4444535F53434B50ULL;  // "DDS_SCKP"
+constexpr std::uint64_t kSlidingVersion = 1;
 
 void put_u64(CheckpointImage& out, std::uint64_t value) {
   for (int b = 0; b < 8; ++b) {
@@ -80,6 +82,80 @@ std::unique_ptr<InfiniteWindowCoordinator> restore_coordinator(
       id, contents->sample_size, instance, eager_threshold);
   coordinator->restore(contents->entries, contents->threshold);
   return coordinator;
+}
+
+CheckpointImage checkpoint(const MultiSlidingCoordinator& coordinator) {
+  CheckpointImage out;
+  const std::size_t copies = coordinator.num_copies();
+  out.reserve(8 * (3 + 4 * copies));
+  put_u64(out, kSlidingMagic);
+  put_u64(out, kSlidingVersion);
+  put_u64(out, copies);
+  for (std::size_t j = 0; j < copies; ++j) {
+    const auto stored = coordinator.copy(j).raw_sample();
+    put_u64(out, stored ? 1 : 0);
+    put_u64(out, stored ? stored->element : 0);
+    put_u64(out, stored ? stored->hash : 0);
+    put_u64(out, stored ? static_cast<std::uint64_t>(stored->expiry) : 0);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::optional<treap::Candidate>>>
+parse_sliding_checkpoint(const CheckpointImage& image) {
+  std::size_t pos = 0;
+  const auto magic = get_u64(image, pos);
+  const auto version = get_u64(image, pos);
+  const auto copies = get_u64(image, pos);
+  if (!magic || *magic != kSlidingMagic) return std::nullopt;
+  if (!version || *version != kSlidingVersion) return std::nullopt;
+  // Validate the copy count against the image's actual size BEFORE
+  // sizing anything by it: a corrupted count must yield nullopt, not a
+  // length_error out of reserve(). The bound check comes first so the
+  // exact-size formula cannot overflow on a huge count.
+  if (!copies || *copies == 0 || *copies > image.size() / 32 ||
+      image.size() != 8 * (3 + 4 * *copies)) {
+    return std::nullopt;
+  }
+  std::vector<std::optional<treap::Candidate>> out;
+  out.reserve(static_cast<std::size_t>(*copies));
+  for (std::uint64_t j = 0; j < *copies; ++j) {
+    const auto has = get_u64(image, pos);
+    const auto element = get_u64(image, pos);
+    const auto hash = get_u64(image, pos);
+    const auto expiry = get_u64(image, pos);
+    if (!has || !element || !hash || !expiry || *has > 1) return std::nullopt;
+    if (*has == 1) {
+      out.push_back(treap::Candidate{*element, *hash,
+                                     static_cast<sim::Slot>(*expiry)});
+    } else {
+      out.push_back(std::nullopt);
+    }
+  }
+  if (pos != image.size()) return std::nullopt;
+  return out;
+}
+
+std::unique_ptr<MultiSlidingCoordinator> restore_sliding_coordinator(
+    sim::NodeId id, const CheckpointImage& image) {
+  const auto contents = parse_sliding_checkpoint(image);
+  if (!contents) return nullptr;
+  auto coordinator =
+      std::make_unique<MultiSlidingCoordinator>(id, contents->size());
+  for (std::size_t j = 0; j < contents->size(); ++j) {
+    coordinator->restore_copy(j, (*contents)[j]);
+  }
+  return coordinator;
+}
+
+bool restore_into(MultiSlidingCoordinator& coordinator,
+                  const CheckpointImage& image) {
+  const auto contents = parse_sliding_checkpoint(image);
+  if (!contents || contents->size() != coordinator.num_copies()) return false;
+  for (std::size_t j = 0; j < contents->size(); ++j) {
+    coordinator.restore_copy(j, (*contents)[j]);
+  }
+  return true;
 }
 
 void resync_sites(sim::NodeId coordinator_id, net::Transport& bus,

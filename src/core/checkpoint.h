@@ -20,6 +20,24 @@
 // The wire format is versioned and endian-stable (little-endian u64s):
 //   [magic u64][version u64][sample_size u64][count u64]
 //   [element u64, hash u64] * count   [u u64]
+//
+// Sliding-window coordinators checkpoint too (their own magic):
+//   [magic u64][version u64][num_copies u64]
+//   [has u64, element u64, hash u64, expiry u64] * num_copies
+// A sharded deployment's coordinator ensemble is simply one image per
+// shard (checkpoint_ensemble / restore_ensemble below): shards are
+// independent protocol instances, so per-shard images compose without
+// any cross-shard coordination, and a restored ensemble answers merged
+// queries at the checkpoint slot exactly as the original did.
+//
+// Sliding failover semantics: the restored coordinator serves queries
+// for tuples that were valid at checkpoint time; anything adopted
+// between checkpoint and crash is lost, but the lazy scheme self-heals
+// without a resync broadcast — every site's sample view expires within
+// one window, and an expired view makes the site re-offer its local
+// minimum (Algorithm 3 lines 21-25), refilling the coordinator. So the
+// answer is fully caught up after at most w slots of re-exposure,
+// which the restore tests exercise.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +45,7 @@
 #include <vector>
 
 #include "core/infinite_coordinator.h"
+#include "core/multi_sliding.h"
 #include "net/transport.h"
 
 namespace dds::core {
@@ -57,5 +76,53 @@ std::unique_ptr<InfiniteWindowCoordinator> restore_coordinator(
 /// messages.
 void resync_sites(sim::NodeId coordinator_id, net::Transport& bus,
                   std::uint32_t instance = 0);
+
+// ---- sliding-window coordinators ------------------------------------
+
+/// Captures the s per-copy (e*, u*, t*) tuples of a (possibly sharded)
+/// sliding coordinator.
+CheckpointImage checkpoint(const MultiSlidingCoordinator& coordinator);
+
+/// Parsed view of a sliding image; nullopt if malformed. One optional
+/// tuple per protocol copy.
+std::optional<std::vector<std::optional<treap::Candidate>>>
+parse_sliding_checkpoint(const CheckpointImage& image);
+
+/// Builds a fresh sliding coordinator from an image (nullptr if
+/// malformed).
+std::unique_ptr<MultiSlidingCoordinator> restore_sliding_coordinator(
+    sim::NodeId id, const CheckpointImage& image);
+
+/// Writes an image's tuples into an existing coordinator (a fresh
+/// deployment's shard). Returns false — leaving the coordinator
+/// untouched — if the image is malformed or its copy count differs.
+bool restore_into(MultiSlidingCoordinator& coordinator,
+                  const CheckpointImage& image);
+
+/// Checkpoints every coordinator shard of a sliding deployment — the
+/// sharded-ensemble image is one independent image per shard.
+template <typename Deployment>
+std::vector<CheckpointImage> checkpoint_ensemble(const Deployment& deployment) {
+  std::vector<CheckpointImage> images;
+  images.reserve(deployment.num_shards());
+  for (std::uint32_t j = 0; j < deployment.num_shards(); ++j) {
+    images.push_back(checkpoint(deployment.coordinator(j)));
+  }
+  return images;
+}
+
+/// Restores a sharded ensemble image into a fresh deployment of the
+/// same shape (same num_shards and sample_size). Returns false — with
+/// no guarantee about partially restored shards — on a shape mismatch
+/// or a malformed image.
+template <typename Deployment>
+bool restore_ensemble(Deployment& deployment,
+                      const std::vector<CheckpointImage>& images) {
+  if (images.size() != deployment.num_shards()) return false;
+  for (std::uint32_t j = 0; j < deployment.num_shards(); ++j) {
+    if (!restore_into(deployment.coordinator_mut(j), images[j])) return false;
+  }
+  return true;
+}
 
 }  // namespace dds::core

@@ -60,8 +60,12 @@ struct SystemConfig {
   std::uint32_t num_shards = 1;
   /// Site worker threads; >1 deploys on the ShardedEngine when the
   /// protocol and transport allow (see sim::make_engine), and falls
-  /// back to the serial engine otherwise.
+  /// back to the serial engine otherwise. Realistic wires with a
+  /// positive delivery horizon run the engine's lockstep mode.
   std::uint32_t num_threads = 1;
+  /// ShardedEngine replay->worker wakeup coalescing (see
+  /// sim::EngineConfig::coalesce_wakeups; abl11 ablates it).
+  bool coalesce_wakeups = true;
   /// Hybrid-substrate migration thresholds for the sliding-window
   /// per-site candidate sets (flat ring below, pooled treap above; see
   /// treap/dominance_set.h). The defaults fit the Lemma-10 steady
@@ -80,9 +84,12 @@ struct SlidingSystemConfig : SystemConfig {
 
 /// Site wrapper for sharded-coordinator deployments: one inner protocol
 /// site per coordinator shard. Arrivals route by element through the
-/// ShardRouter (so shard j sees exactly its partition's substream);
-/// coordinator replies route back by sender id. Per-slot expiry runs on
-/// every copy.
+/// ShardRouter (so shard j sees exactly its partition's substream),
+/// fronted by a per-site ShardCache — real streams repeat elements, so
+/// most ring lookups come out of the cache (the bench tables surface
+/// the hit rate). Coordinator replies route back by sender id. Per-slot
+/// expiry runs on every copy. A RoutedSite is driven by exactly one
+/// engine thread, so the cache needs no synchronization.
 template <typename Site>
 class RoutedSite final : public sim::StreamNode {
  public:
@@ -95,7 +102,7 @@ class RoutedSite final : public sim::StreamNode {
 
   void on_element(std::uint64_t element, sim::Slot t,
                   net::Transport& bus) override {
-    copies_[router_.shard_of(element)]->on_element(element, t, bus);
+    copies_[route_cache_.owner(router_, element)]->on_element(element, t, bus);
   }
 
   void on_slot_begin(sim::Slot t, net::Transport& bus) override {
@@ -115,10 +122,13 @@ class RoutedSite final : public sim::StreamNode {
   Site& copy(std::size_t shard) { return *copies_[shard]; }
   const Site& copy(std::size_t shard) const { return *copies_[shard]; }
 
+  const ShardCache& route_cache() const noexcept { return route_cache_; }
+
  private:
   const ShardRouter& router_;
   sim::NodeId first_coordinator_;
   std::vector<std::unique_ptr<Site>> copies_;
+  ShardCache route_cache_;
 };
 
 /// Assembles one complete deployment — transport, coordinator shard(s),
@@ -173,6 +183,7 @@ class Deployment {
     sim::EngineConfig engine_config;
     engine_config.num_threads =
         Traits::kShardableSites ? config_.num_threads : 1;
+    engine_config.coalesce_wakeups = config_.coalesce_wakeups;
     engine_ = sim::make_engine(*transport_, stream_nodes_,
                                Traits::kInvokeSlotBegin, engine_config);
   }
@@ -204,6 +215,11 @@ class Deployment {
 
   // ---- node access -------------------------------------------------
   const Coordinator& coordinator(std::size_t shard = 0) const {
+    return *coordinators_[shard];
+  }
+  /// Mutable coordinator access — the checkpoint/restore path writes
+  /// restored state straight into a fresh deployment's shards.
+  Coordinator& coordinator_mut(std::size_t shard = 0) {
     return *coordinators_[shard];
   }
 
@@ -242,6 +258,36 @@ class Deployment {
   /// single-coordinator answer when num_shards == 1; see shard_router.h
   /// for why the merge is exact).
   auto sample() const { return Traits::merge_samples(coordinators_, config_); }
+
+  /// Validity-window-aware merge at slot `now` (sliding protocols):
+  /// per-shard window samples are merged through query::merge with
+  /// every tuple's expiry checked against the query slot. Same answer
+  /// shape as the protocol's unsharded coordinator query. `now` must
+  /// be non-decreasing across queries: coordinators whose pools sweep
+  /// expiry at query time (the bottom-s window protocol) drop tuples
+  /// for good once a later slot has been queried, so asking about the
+  /// past returns an under-full sample. Slot-clock-driven callers
+  /// satisfy this by construction.
+  auto sample(sim::Slot now) const {
+    return Traits::merge_samples_at(coordinators_, config_, now);
+  }
+
+  // ---- routing-cache statistics (sharded deployments) --------------
+  /// ShardCache hits across all routed sites (0 when num_shards == 1 —
+  /// unsharded deployments route nothing).
+  std::uint64_t route_cache_hits() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& site : routed_sites_) total += site->route_cache().hits();
+    return total;
+  }
+  /// ShardCache lookups across all routed sites (== arrivals routed).
+  std::uint64_t route_cache_lookups() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& site : routed_sites_) {
+      total += site->route_cache().lookups();
+    }
+    return total;
+  }
 
  private:
   static std::uint32_t checked_shards(const SystemConfig& config) {

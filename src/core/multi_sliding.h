@@ -48,6 +48,14 @@ class MultiSlidingCoordinator final : public sim::Node {
   const SlidingWindowCoordinator& copy(std::size_t j) const {
     return copies_[j];
   }
+  std::size_t num_copies() const noexcept { return copies_.size(); }
+
+  /// Overwrites copy `j`'s stored tuple from a checkpoint image (see
+  /// core/checkpoint.h).
+  void restore_copy(std::size_t j,
+                    const std::optional<treap::Candidate>& stored) {
+    copies_[j].restore(stored);
+  }
 
  private:
   std::vector<SlidingWindowCoordinator> copies_;

@@ -40,6 +40,34 @@ std::uint32_t ShardRouter::shard_of(stream::Element e) const noexcept {
   return it->shard;
 }
 
+ShardCache::ShardCache(std::size_t entries) {
+  std::size_t sets = 1;
+  while (sets * 2 < std::max<std::size_t>(entries, 2)) sets *= 2;
+  set_mask_ = sets - 1;
+  ways_.resize(2 * sets);
+  mru_.resize(sets, 0);
+}
+
+std::uint32_t ShardCache::owner(const ShardRouter& router, stream::Element e) {
+  ++lookups_;
+  // Mix so clustered element keys spread over the sets; cheap relative
+  // to the ring's mix64 + binary search.
+  const std::size_t set = (e ^ (e >> 17) ^ (e >> 41)) & set_mask_;
+  Entry* const way0 = &ways_[2 * set];
+  for (std::size_t w = 0; w < 2; ++w) {
+    if (way0[w].valid && way0[w].element == e) {
+      ++hits_;
+      mru_[set] = static_cast<std::uint8_t>(w);
+      return way0[w].shard;
+    }
+  }
+  const std::uint32_t shard = router.owner(e);
+  const std::size_t victim = mru_[set] ^ 1;  // evict the LRU way
+  way0[victim] = Entry{e, shard, true};
+  mru_[set] = static_cast<std::uint8_t>(victim);
+  return shard;
+}
+
 double ShardRouter::disagreement(const ShardRouter& other,
                                  std::uint64_t probes) const {
   std::uint64_t moved = 0;

@@ -44,4 +44,12 @@ std::optional<treap::Candidate> SlidingWindowCoordinator::raw_sample() const {
   return treap::Candidate{element_, u_, expiry_};
 }
 
+void SlidingWindowCoordinator::restore(
+    const std::optional<treap::Candidate>& stored) {
+  has_ = stored.has_value();
+  element_ = stored ? stored->element : 0;
+  u_ = stored ? stored->hash : hash::kHashMax;
+  expiry_ = stored ? stored->expiry : 0;
+}
+
 }  // namespace dds::core

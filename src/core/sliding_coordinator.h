@@ -46,8 +46,14 @@ class SlidingWindowCoordinator final : public sim::Node {
   /// (unexpired) sample is held.
   std::optional<treap::Candidate> sample(sim::Slot now) const;
 
-  /// Raw stored tuple regardless of expiry; test hook.
+  /// Raw stored tuple regardless of expiry; test hook and the
+  /// checkpoint image source.
   std::optional<treap::Candidate> raw_sample() const;
+
+  /// Overwrites the stored tuple from a checkpoint image (nullopt
+  /// restores the no-sample-yet state). See core/checkpoint.h for the
+  /// failover semantics.
+  void restore(const std::optional<treap::Candidate>& stored);
 
  private:
   sim::NodeId id_;

@@ -19,6 +19,7 @@
 #include "hash/hash_function.h"
 #include "net/config.h"
 #include "net/transport.h"
+#include "query/merge.h"
 #include "sim/runner.h"
 
 namespace dds::core {
@@ -62,17 +63,15 @@ struct InfiniteTraits {
   }
   /// Exact global bottom-s: each shard's sample is the bottom-s of its
   /// element partition, so the bottom-s of their union is the bottom-s
-  /// of everything.
+  /// of everything (query::BottomSMerger).
   static BottomSSample merge_samples(
       const std::vector<std::unique_ptr<Coordinator>>& coordinators,
       const SystemConfig& config) {
-    BottomSSample merged(config.sample_size);
+    query::BottomSMerger merger(config.sample_size);
     for (const auto& coordinator : coordinators) {
-      for (const auto& entry : coordinator->sample().entries()) {
-        merged.offer(entry.element, entry.hash);
-      }
+      merger.add(coordinator->sample());
     }
-    return merged;
+    return merger.result();
   }
 };
 
@@ -107,25 +106,21 @@ struct WithReplacementTraits {
                                   config.sample_size);
   }
   /// Copy j's global sample element is the min-hash element of copy j
-  /// across shards (each shard holds the min over its own partition).
+  /// across shards (each shard holds the min over its own partition;
+  /// query::PerCopyMinMerger).
   static std::vector<stream::Element> merge_samples(
       const std::vector<std::unique_ptr<Coordinator>>& coordinators,
       const SystemConfig& config) {
-    std::vector<stream::Element> out;
-    out.reserve(config.sample_size);
-    for (std::size_t j = 0; j < config.sample_size; ++j) {
-      bool found = false;
-      BottomSSample::Entry best{};
-      for (const auto& coordinator : coordinators) {
+    query::PerCopyMinMerger merger(config.sample_size);
+    for (const auto& coordinator : coordinators) {
+      for (std::size_t j = 0; j < config.sample_size; ++j) {
         const auto entries = coordinator->copy(j).sample().entries();
-        if (!entries.empty() && (!found || entries.front().hash < best.hash)) {
-          found = true;
-          best = entries.front();
+        if (!entries.empty()) {
+          merger.offer(j, entries.front().element, entries.front().hash);
         }
       }
-      if (found) out.push_back(best.element);
     }
-    return out;
+    return merger.elements();
   }
 };
 
@@ -139,9 +134,19 @@ struct SlidingTraits {
     hash::HashFamily family;
   };
   static constexpr bool kInvokeSlotBegin = true;
-  /// Sharding the coordinator needs an element-partitioned expiry story
-  /// at query time; not implemented — deploy one coordinator.
-  static constexpr bool kShardableCoordinator = false;
+  /// Sharded coordinator: shard j runs the unmodified lazy protocol
+  /// over its element partition (per-shard site copies carry their own
+  /// candidate sets and expiry); queries merge per copy through the
+  /// validity-window-aware merger. Note the lazy protocol's documented
+  /// transient (sliding_coordinator.h) applies per shard: each shard's
+  /// answer is a valid element of its partition's window but may lag
+  /// the partition minimum briefly after an expiry, so the merged
+  /// answer carries the same guarantee per copy — exact whenever every
+  /// shard is in its exact regime (always for k = 1, and in the common
+  /// case otherwise; tests/sliding_shard_test.cpp quantifies it). The
+  /// bottom-s window protocols (baseline_system.h) shard with full
+  /// per-slot exactness.
+  static constexpr bool kShardableCoordinator = true;
   static constexpr bool kShardableSites = true;
 
   static Shared make_shared(const SystemConfig& config) {
@@ -161,6 +166,24 @@ struct SlidingTraits {
     return std::make_unique<Site>(
         id, coordinator, config.window, shared.family, config.sample_size,
         util::derive_seed(config.seed, 0xD800ULL + id), config.substrate);
+  }
+  /// Validity-aware per-copy merge at slot `now`: copy j's answer is
+  /// the smallest copy-j hash among the shards' still-valid samples —
+  /// each copy respects its own expiry independently. Same shape as
+  /// MultiSlidingCoordinator::sample(now).
+  static std::vector<stream::Element> merge_samples_at(
+      const std::vector<std::unique_ptr<Coordinator>>& coordinators,
+      const SystemConfig& config, sim::Slot now) {
+    std::vector<stream::Element> out;
+    out.reserve(config.sample_size);
+    for (std::size_t j = 0; j < config.sample_size; ++j) {
+      query::SlidingValidityMerger merger(/*sample_size=*/1, now);
+      for (const auto& coordinator : coordinators) {
+        merger.offer(coordinator->copy(j).sample(now));
+      }
+      if (const auto best = merger.min_hash()) out.push_back(best->element);
+    }
+    return out;
   }
 };
 

@@ -60,4 +60,29 @@ std::vector<Batch> Batcher::take_all() {
   return out;
 }
 
+std::vector<Batch> Batcher::take_for_shard(std::uint32_t shard) {
+  if (shard >= num_coordinators_) {
+    throw std::out_of_range("Batcher::take_for_shard");
+  }
+  std::vector<Batch> out;
+  for (std::uint32_t site = 0; site < num_sites_; ++site) {
+    const std::size_t i =
+        static_cast<std::size_t>(site) * num_coordinators_ + shard;
+    if (!buffers_[i].msgs.empty()) out.push_back(take(i));
+  }
+  return out;
+}
+
+std::size_t Batcher::buffered_for_shard(std::uint32_t shard) const {
+  if (shard >= num_coordinators_) {
+    throw std::out_of_range("Batcher::buffered_for_shard");
+  }
+  std::size_t n = 0;
+  for (std::uint32_t site = 0; site < num_sites_; ++site) {
+    n += buffers_[static_cast<std::size_t>(site) * num_coordinators_ + shard]
+             .msgs.size();
+  }
+  return n;
+}
+
 }  // namespace dds::net

@@ -57,6 +57,17 @@ class Batcher {
   /// Flushes everything, due or not (end of run).
   std::vector<Batch> take_all();
 
+  /// Flushes every batch destined to coordinator shard `shard`, due or
+  /// not, in site order — the per-shard flush hook behind
+  /// SimNetwork::flush_shard(): a caller about to read shard `shard`'s
+  /// answer can push that coordinator's pending reports onto the wire
+  /// without disturbing the other shards' batches. Nothing calls it
+  /// automatically — queries do NOT flush (see flush_shard()'s note).
+  std::vector<Batch> take_for_shard(std::uint32_t shard);
+
+  /// Reports buffered for coordinator shard `shard` across all sites.
+  std::size_t buffered_for_shard(std::uint32_t shard) const;
+
   /// Reports buffered at `site` across all destination shards.
   std::size_t buffered(sim::NodeId site) const {
     std::size_t n = 0;

@@ -28,6 +28,23 @@ void SimNetwork::set_link_model(sim::NodeId from, sim::NodeId to,
   link_overrides_[link_key(from, to)] = std::move(model);
 }
 
+double SimNetwork::delivery_horizon() const noexcept {
+  double horizon = default_link_->min_delay();
+  for (const auto& [key, model] : link_overrides_) {
+    horizon = std::min(horizon, model->min_delay());
+  }
+  return horizon;
+}
+
+double SimNetwork::next_delivery_time() const noexcept {
+  return queue_.empty() ? std::numeric_limits<double>::infinity()
+                        : queue_.top().time;
+}
+
+void SimNetwork::flush_shard(std::uint32_t shard) {
+  if (config_.batch_interval > 0) flush_batches(batcher_.take_for_shard(shard));
+}
+
 LinkModel& SimNetwork::link_for(sim::NodeId from, sim::NodeId to) {
   auto it = link_overrides_.find(link_key(from, to));
   return it == link_overrides_.end() ? *default_link_ : *it->second;

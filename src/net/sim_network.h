@@ -51,11 +51,36 @@ class SimNetwork final : public Transport {
   void drain() override;
   void finish() override;
 
+  /// Minimum flight time across every link model in play (default +
+  /// overrides): a positive value certifies no send can be delivered
+  /// within that many slots, which is what the ShardedEngine's lockstep
+  /// mode needs for its wave barrier. Zero-latency or normal-jitter
+  /// links report 0 (no positive bound) and keep lockstep off.
+  double delivery_horizon() const noexcept override;
+
+  /// Earliest scheduled event (delivery or retransmission), or
+  /// +infinity with an empty queue. Batched reports still buffering are
+  /// excluded: they only become events at a flush, which happens at
+  /// clock advances and always lands at least delivery_horizon() later.
+  double next_delivery_time() const noexcept override;
+
   /// Overrides the wire model of the directed link from -> to. Links
   /// without an override use the model NetworkConfig::link describes.
   /// Retransmission policy (timeout, attempt cap) stays global.
   void set_link_model(sim::NodeId from, sim::NodeId to,
                       std::unique_ptr<LinkModel> model);
+
+  /// Force-flushes every pending batch destined to coordinator shard
+  /// `shard` onto its link, regardless of deadline — the per-shard
+  /// flush hook for query staleness control: flushed reports reach the
+  /// coordinator one link flight later, so the NEXT slot's answer
+  /// reflects them instead of waiting out the batch deadline
+  /// (examples/sharded_sliding_lossy.cpp shows the pattern). This is
+  /// an explicit opt-in: Deployment queries never touch the wire, so
+  /// nothing flushes automatically — the batching-staleness trade
+  /// stays visible in abl10/abl12 rather than being silently papered
+  /// over at query time.
+  void flush_shard(std::uint32_t shard);
 
   /// Protocol-level counters: one count per send(), regardless of
   /// batching or retransmission. counters() is the wire-level view;

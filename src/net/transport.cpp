@@ -1,10 +1,15 @@
 #include "net/transport.h"
 
+#include <limits>
 #include <stdexcept>
 
 #include "sim/node.h"
 
 namespace dds::net {
+
+double Transport::next_delivery_time() const noexcept {
+  return std::numeric_limits<double>::infinity();
+}
 
 BusCounters BusCounters::operator-(const BusCounters& rhs) const noexcept {
   BusCounters out;

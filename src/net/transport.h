@@ -82,8 +82,27 @@ class Transport {
 
   /// True when a send's full cascade (delivery, replies, their
   /// deliveries) completes within the same drain() — the paper's
-  /// zero-delay wire. The ShardedEngine requires this.
+  /// zero-delay wire. The ShardedEngine's run-ahead fast path requires
+  /// this; non-synchronous transports deploy its lockstep mode instead
+  /// when delivery_horizon() is positive.
   virtual bool synchronous() const noexcept { return false; }
+
+  /// A strictly positive lower bound, in slots, on the flight time of
+  /// every message sent from now on: a send() at time t has delivery
+  /// time >= t + delivery_horizon(), i.e. delivery strictly before the
+  /// horizon is impossible (delivery exactly AT t + horizon can and
+  /// does happen — fixed-latency links always deliver there). 0.0
+  /// means "no positive bound exists" (zero-latency links, or a
+  /// synchronous transport where the question is moot). The
+  /// ShardedEngine's lockstep mode sizes its waves STRICTLY below the
+  /// horizon, so all deliveries land at wave barriers and site work
+  /// inside a wave cannot be interrupted.
+  virtual double delivery_horizon() const noexcept { return 0.0; }
+
+  /// Timestamp of the earliest already-scheduled delivery or
+  /// retransmission event, or +infinity when nothing is in flight.
+  /// Lockstep wave planning caps a wave just short of this.
+  virtual double next_delivery_time() const noexcept;
 
   /// Current slot, maintained by the Runner. The paper's model has all
   /// nodes time-synchronized (Chapter 2), so the coordinator may read

@@ -1,0 +1,51 @@
+#include "query/merge.h"
+
+#include <algorithm>
+
+namespace dds::query {
+
+SlidingValidityMerger::SlidingValidityMerger(std::size_t sample_size,
+                                            sim::Slot now)
+    : s_(sample_size), now_(now) {
+  best_.reserve(sample_size);
+}
+
+void SlidingValidityMerger::offer(const treap::Candidate& candidate) {
+  if (candidate.expiry <= now_) return;  // left the window (expiry == now
+                                         // means "not in the window at now")
+  // Same element from two shards: refresh to the freshest expiry (the
+  // hash is a function of the element, so the pair is otherwise equal).
+  for (treap::Candidate& held : best_) {
+    if (held.element == candidate.element) {
+      held.expiry = std::max(held.expiry, candidate.expiry);
+      return;
+    }
+  }
+  const auto at = std::lower_bound(
+      best_.begin(), best_.end(), candidate,
+      [](const treap::Candidate& a, const treap::Candidate& b) {
+        if (a.hash != b.hash) return a.hash < b.hash;
+        return a.element < b.element;
+      });
+  if (best_.size() == s_) {
+    if (at == best_.end()) return;  // larger than everything kept
+    best_.pop_back();
+  }
+  best_.insert(at, candidate);
+}
+
+void SlidingValidityMerger::add(const std::vector<treap::Candidate>& shard_sample) {
+  for (const treap::Candidate& candidate : shard_sample) offer(candidate);
+}
+
+double estimate_window_distinct(const std::vector<treap::Candidate>& bottom_s,
+                                std::size_t sample_size) {
+  if (bottom_s.size() < sample_size) {
+    return static_cast<double>(bottom_s.size());
+  }
+  const double u = hash::unit_interval(bottom_s.back().hash);
+  if (u <= 0.0) return static_cast<double>(bottom_s.size());
+  return (static_cast<double>(bottom_s.size()) - 1.0) / u;
+}
+
+}  // namespace dds::query

@@ -1,0 +1,147 @@
+// The query-time merge layer for sharded coordinators.
+//
+// A sharded deployment runs N independent coordinator instances, each
+// owning a consistent-hash partition of the element space (see
+// core/shard_router.h). Queries therefore need a merge step: combine
+// the N per-shard answers into the one answer the unsharded coordinator
+// would give. This module holds that step as typed mergers, one per
+// answer shape, so the protocol Traits declare *which* merge they need
+// instead of hand-rolling union loops inside core::Deployment::sample():
+//
+//   * BottomSMerger — plain bottom-s of the union of per-shard bottom-s
+//     samples (infinite-window protocol). Exact: every member of the
+//     global bottom-s is, within its own partition, among the s
+//     smallest hashes, so it appears in its shard's sample.
+//   * PerCopyMinMerger — per-copy min-hash (with-replacement sampler:
+//     s independent copies, copy j's sample is the min-hash element of
+//     copy j's hash function, which is partition-independent).
+//   * SlidingValidityMerger — the validity-window-aware merger for the
+//     sliding protocols: per-shard window samples carry expiry slots,
+//     and a tuple whose expiry is at or before the query slot has left
+//     the window and must not be merged. Exact for the bottom-s window
+//     protocols by the same partition argument, applied to the valid
+//     tuples only; the s-copy lazy protocol merges one instance per
+//     copy so each copy's expiry is respected independently.
+//
+// All mergers are tiny value types: construct at query time, feed every
+// shard's answer, read the result. None of them allocate beyond the
+// result container.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/bottom_s_sample.h"
+#include "stream/element.h"
+#include "treap/dominance_set.h"
+
+namespace dds::query {
+
+/// Bottom-s of the union of per-shard bottom-s samples — the exact
+/// global bottom-s when the shards partition the element space.
+class BottomSMerger {
+ public:
+  explicit BottomSMerger(std::size_t sample_size) : merged_(sample_size) {}
+
+  /// Feeds one shard's whole sample.
+  void add(const core::BottomSSample& shard_sample) {
+    for (const auto& entry : shard_sample.entries()) {
+      merged_.offer(entry.element, entry.hash);
+    }
+  }
+  /// Feeds a single entry (restore/replay paths).
+  void offer(stream::Element element, std::uint64_t hash) {
+    merged_.offer(element, hash);
+  }
+
+  const core::BottomSSample& result() const noexcept { return merged_; }
+
+ private:
+  core::BottomSSample merged_;
+};
+
+/// Per-copy minimum-hash merge for the s-parallel-copies samplers: copy
+/// j's global sample element is the smallest copy-j hash across shards
+/// (each shard holds the minimum over its own partition).
+class PerCopyMinMerger {
+ public:
+  explicit PerCopyMinMerger(std::size_t num_copies) : copies_(num_copies) {}
+
+  /// Offers shard's copy-`copy` winner; keeps the smaller hash.
+  void offer(std::size_t copy, stream::Element element, std::uint64_t hash) {
+    Slot& slot = copies_[copy];
+    if (!slot.has || hash < slot.hash) {
+      slot.has = true;
+      slot.element = element;
+      slot.hash = hash;
+    }
+  }
+
+  /// Winners of the copies that received any offer, in copy order — the
+  /// same shape MultiSlidingCoordinator/WithReplacement queries return.
+  std::vector<stream::Element> elements() const {
+    std::vector<stream::Element> out;
+    out.reserve(copies_.size());
+    for (const Slot& slot : copies_) {
+      if (slot.has) out.push_back(slot.element);
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    bool has = false;
+    stream::Element element = 0;
+    std::uint64_t hash = 0;
+  };
+  std::vector<Slot> copies_;
+};
+
+/// Validity-window-aware merge of per-shard sliding-window samples: the
+/// bottom-s (by hash) of the offered tuples that are still inside the
+/// window at the query slot. A tuple expiring exactly AT the query slot
+/// is out — window membership is t_expiry > now, matching every site's
+/// and coordinator's own expiry test. Duplicate elements (possible when
+/// merging restored ensembles) keep their freshest expiry.
+class SlidingValidityMerger {
+ public:
+  SlidingValidityMerger(std::size_t sample_size, sim::Slot now);
+
+  /// Offers one per-shard candidate; expired tuples are discarded.
+  void offer(const treap::Candidate& candidate);
+  void offer(const std::optional<treap::Candidate>& candidate) {
+    if (candidate) offer(*candidate);
+  }
+  /// Feeds a shard's whole bottom-s answer.
+  void add(const std::vector<treap::Candidate>& shard_sample);
+
+  /// The merged bottom-s, hash-ascending. Exact global window bottom-s
+  /// when each shard offered its partition's window bottom-s.
+  const std::vector<treap::Candidate>& bottom_s() const noexcept {
+    return best_;
+  }
+  /// The merged minimum (== bottom_s().front()), or nullopt when every
+  /// offered tuple had expired.
+  std::optional<treap::Candidate> min_hash() const {
+    if (best_.empty()) return std::nullopt;
+    return best_.front();
+  }
+
+  sim::Slot now() const noexcept { return now_; }
+  std::size_t sample_size() const noexcept { return s_; }
+
+ private:
+  std::size_t s_;
+  sim::Slot now_;
+  std::vector<treap::Candidate> best_;  // hash-ascending, <= s_ entries
+};
+
+/// KMV distinct-count estimate over a merged window bottom-s (the
+/// sliding analogue of estimate_distinct): exact while fewer than
+/// `sample_size` tuples are in the window, (s-1)/u_s once the sample is
+/// full. `bottom_s` must be hash-ascending (as the mergers return it).
+double estimate_window_distinct(const std::vector<treap::Candidate>& bottom_s,
+                                std::size_t sample_size);
+
+}  // namespace dds::query

@@ -58,7 +58,9 @@ std::unique_ptr<Engine> make_engine(net::Transport& net,
                                     std::vector<StreamNode*> sites,
                                     bool invoke_slot_begin,
                                     const EngineConfig& config) {
-  if (config.num_threads > 1 && net.synchronous() && sites.size() >= 2) {
+  const bool wire_allows =
+      net.synchronous() || net.delivery_horizon() > 0.0;
+  if (config.num_threads > 1 && wire_allows && sites.size() >= 2) {
     return std::make_unique<ShardedEngine>(net, std::move(sites),
                                            invoke_slot_begin, config);
   }

@@ -57,6 +57,12 @@ struct EngineConfig {
   std::uint32_t num_threads = 1;
   /// Max arrivals a ShardedEngine buffers per wave between barriers.
   std::size_t max_wave = 1 << 16;
+  /// Coalesce replay->worker wakeups: all of an exchange's coordinator
+  /// messages are enqueued silently and the worker is woken once, at
+  /// the end-of-exchange sentinel, instead of once per message. Purely
+  /// a syscall/handoff optimization — the delivered sequence is
+  /// identical either way; abl11's wakeup ablation measures the gap.
+  bool coalesce_wakeups = true;
 };
 
 /// Drives an arrival stream through a deployed protocol. Owns the slot
@@ -124,8 +130,10 @@ class Engine {
 };
 
 /// Builds the strongest engine the deployment supports: a ShardedEngine
-/// when `config.num_threads > 1`, the transport is synchronous
-/// (zero-delay), and there are at least two sites to partition;
+/// when `config.num_threads > 1`, there are at least two sites to
+/// partition, and the transport is either synchronous (zero-delay —
+/// the run-ahead fast path) or certifies a positive delivery horizon
+/// (realistic wires — the lockstep path; see sharded_engine.h);
 /// otherwise the SerialEngine. Callers that cannot tolerate sharded
 /// execution (protocols with coordinator->everyone traffic) simply pass
 /// num_threads = 1.

@@ -11,10 +11,13 @@ ShardedEngine::ShardedEngine(net::Transport& net,
                              bool invoke_slot_begin,
                              const EngineConfig& config)
     : Engine(net, std::move(sites), invoke_slot_begin),
-      max_wave_(std::max<std::size_t>(1, config.max_wave)) {
-  if (!net.synchronous()) {
+      max_wave_(std::max<std::size_t>(1, config.max_wave)),
+      lockstep_(!net.synchronous()),
+      coalesce_wakeups_(config.coalesce_wakeups) {
+  if (lockstep_ && !(net.delivery_horizon() > 0.0)) {
     throw std::invalid_argument(
-        "ShardedEngine: requires a synchronous (zero-delay) transport");
+        "ShardedEngine: transport must be synchronous or certify a "
+        "positive delivery horizon (lockstep mode)");
   }
   const auto num_workers = static_cast<std::uint32_t>(std::clamp<std::size_t>(
       config.num_threads, 1, sites_.size()));
@@ -92,8 +95,11 @@ void ShardedEngine::process_wave(std::uint32_t shard_index) {
     shard.done.store(l + 1, std::memory_order_release);
     // A reporting arrival pauses the shard until the replay thread has
     // run the exchange — the serial engine's drain-to-quiescence point —
-    // so the site's next decision sees the coordinator's reply.
-    if (emitted) await_replies(shard);
+    // so the site's next decision sees the coordinator's reply. In
+    // lockstep mode no reply can land inside the wave (the delivery
+    // horizon guarantees it arrives at a later barrier), so the shard
+    // runs straight through.
+    if (emitted && !lockstep_) await_replies(shard);
   }
 }
 
@@ -152,6 +158,11 @@ void ShardedEngine::deliver_to_site(std::uint32_t shard_index,
     site->on_message(msg, net);
     return;
   }
+  if (lockstep_) {
+    throw std::logic_error(
+        "ShardedEngine: a site delivery landed inside a lockstep wave; "
+        "the transport's delivery_horizon() certificate is wrong");
+  }
   if (msg.to != replay_site_) {
     throw std::logic_error(
         "ShardedEngine: coordinator messaged a site other than the one "
@@ -163,7 +174,9 @@ void ShardedEngine::deliver_to_site(std::uint32_t shard_index,
     std::lock_guard<std::mutex> g(shard.in_mutex);
     shard.inbox.push_back(InboundEntry{msg, false});
   }
-  shard.in_cv.notify_one();
+  // Under wakeup coalescing the worker sleeps until the end-of-exchange
+  // sentinel: one notify per exchange instead of one per message.
+  if (!coalesce_wakeups_) shard.in_cv.notify_one();
 }
 
 std::uint64_t ShardedEngine::run(ArrivalSource& source) {
@@ -184,6 +197,7 @@ std::uint64_t ShardedEngine::run(ArrivalSource& source) {
     Slot wave_last_slot = current_slot_;
     bool have_wave_slot = false;
     Slot wave_slot = 0;
+    double wave_limit = 0.0;  // lockstep: admit arrivals with slot < limit
     for (;;) {
       if (!pending) {
         pending = source.next();
@@ -198,10 +212,30 @@ std::uint64_t ShardedEngine::run(ArrivalSource& source) {
       }
       if (invoke_slot_begin_) {
         // Slot barrier: expiry sweeps run between waves, so a wave never
-        // spans slots when per-slot callbacks are on.
+        // spans slots when per-slot callbacks are on. (This also covers
+        // lockstep: the boundary drain cleared everything due through
+        // the wave's slot, and in-wave sends land at least the delivery
+        // horizon later — at a later barrier.)
         if (have_wave_slot && pending->slot != wave_slot) break;
         wave_slot = pending->slot;
         have_wave_slot = true;
+      } else if (lockstep_) {
+        // Delivery-horizon barrier: the wave may span slots only as far
+        // as nothing — already in flight or sent inside the wave — can
+        // become due at any drain the replay performs.
+        if (!have_wave_slot) {
+          // First arrival: advance the clock through its slot on the
+          // main thread (deliveries are direct here — the serial path),
+          // then freeze the wave's delivery window.
+          begin_slots_through(pending->slot);
+          wave_limit = std::min(
+              net_.next_delivery_time(),
+              static_cast<double>(pending->slot) + net_.delivery_horizon());
+          wave_slot = pending->slot;
+          have_wave_slot = true;
+        } else if (static_cast<double>(pending->slot) >= wave_limit) {
+          break;
+        }
       }
       wave_last_slot = pending->slot;
       const auto shard = shard_of_site_[pending->site];
@@ -295,11 +329,16 @@ void ShardedEngine::replay() {
       replay_site_ = plan_site_[s];
       for (const Message& msg : msgs) net_.send(msg);
       net_.drain();
-      {
-        std::lock_guard<std::mutex> g(shard.in_mutex);
-        shard.inbox.push_back(InboundEntry{Message{}, true});
+      if (!lockstep_) {
+        // End of this arrival's exchange: wake the paused worker. In
+        // lockstep mode the worker never paused (the drain above cannot
+        // deliver anything before the next barrier), so no handshake.
+        {
+          std::lock_guard<std::mutex> g(shard.in_mutex);
+          shard.inbox.push_back(InboundEntry{Message{}, true});
+        }
+        shard.in_cv.notify_one();
       }
-      shard.in_cv.notify_one();
     }
     ++processed_;
   }

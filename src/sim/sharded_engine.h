@@ -31,10 +31,29 @@
 // infinite, with-replacement, sliding, centralized, DRS, and full-sync
 // protocols; NOT for the broadcast baseline, which therefore deploys on
 // the serial engine). A violation is detected at delivery time and
-// raises std::logic_error rather than silently diverging. The engine
-// also requires a synchronous (zero-delay) transport, where a report's
-// reply lands in the same drain; make_engine() falls back to the serial
-// engine otherwise.
+// raises std::logic_error rather than silently diverging.
+//
+// Two wire modes share the replay machinery:
+//  * Run-ahead (synchronous transports): a report's reply lands in the
+//    same drain, so a reporting shard pauses until the replay thread
+//    has run that arrival's exchange, then continues.
+//  * Lockstep (realistic wires with a positive delivery horizon): on a
+//    net::SimNetwork no send at time t can be delivered at or before
+//    t + horizon (Transport::delivery_horizon()), so NOTHING lands
+//    mid-wave — the wave barrier is the delivery horizon. Waves are
+//    sized so every drain inside them is empty: one slot per wave when
+//    per-slot callbacks are on (the boundary drain already cleared
+//    everything due), and otherwise capped strictly below
+//    min(next_delivery_time, first_slot + horizon). Workers therefore
+//    never pause for replies; all deliveries (coordinator reports,
+//    replies, retransmissions, batch flushes) happen either on the
+//    replay thread in the serial order or between waves on the main
+//    thread with direct delivery — making traces, counters, and RNG
+//    consumption bit-identical to SerialEngine on the same network. A
+//    mid-wave site delivery would mean the horizon certificate was
+//    wrong and raises std::logic_error. Wires with no positive horizon
+//    (zero latency, normal jitter's zero clamp) fall back to serial in
+//    make_engine().
 //
 // Slot-boundary work (on_slot_begin expiry sweeps, advance_to_slot) and
 // end-of-stream finish() run on the main thread between waves with
@@ -119,8 +138,13 @@ class ShardedEngine final : public Engine {
     // published by the release store on `done` (count of finished
     // arrivals) and read by the replay thread after an acquire load.
     std::vector<std::uint8_t> emitted;
-    std::atomic<std::size_t> done{0};
-    std::mutex out_mutex;
+    // The wave progress counter: stored by the worker after every
+    // arrival, spun on by the replay thread. Aligned to its own cache
+    // line so the replay thread's polling never collides with the
+    // worker's writes to the surrounding wave state (and padded on the
+    // far side by the alignment of `out_mutex` below).
+    alignas(64) std::atomic<std::size_t> done{0};
+    alignas(64) std::mutex out_mutex;
     // Message batches of the wave's reporting arrivals, in local arrival
     // order; replay consumes them with the reports_taken cursor (the
     // emitted[] bitmap says which arrivals contributed one).
@@ -144,6 +168,13 @@ class ShardedEngine final : public Engine {
   void abort_wave() noexcept;
 
   std::size_t max_wave_;
+  /// Realistic-wire mode: workers never pause for replies; waves are
+  /// bounded by the transport's delivery horizon instead of slots'
+  /// being synchronous (see the file comment).
+  bool lockstep_ = false;
+  /// One replay->worker notify per exchange instead of per message
+  /// (EngineConfig::coalesce_wakeups; run-ahead mode only).
+  bool coalesce_wakeups_ = true;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<SiteProxy>> proxies_;
   std::vector<std::uint32_t> shard_of_site_;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
@@ -190,5 +191,11 @@ std::string fmt(double value, int digits) {
 
 std::string fmt(std::uint64_t value) { return std::to_string(value); }
 std::string fmt(std::int64_t value) { return std::to_string(value); }
+
+std::string fmt_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
 
 }  // namespace dds::util

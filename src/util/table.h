@@ -53,4 +53,9 @@ std::string fmt(double value, int digits = 6);
 std::string fmt(std::uint64_t value);
 std::string fmt(std::int64_t value);
 
+/// Fixed-point formatting with exactly `decimals` digits after the
+/// point — for percentages and other columns where fmt()'s
+/// significant-digit precision would collapse 99.7 into "1e+02".
+std::string fmt_fixed(double value, int decimals);
+
 }  // namespace dds::util

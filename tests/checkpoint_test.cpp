@@ -8,6 +8,7 @@
 
 #include "core/checkpoint.h"
 #include "sim/bus.h"
+#include "sim/sources.h"
 #include "core/system.h"
 #include "stream/generators.h"
 #include "stream/partitioner.h"
@@ -16,20 +17,8 @@
 namespace dds::core {
 namespace {
 
+using sim::ListSource;
 using stream::Element;
-
-class ListSource final : public sim::ArrivalSource {
- public:
-  explicit ListSource(std::vector<sim::Arrival> a) : a_(std::move(a)) {}
-  std::optional<sim::Arrival> next() override {
-    if (pos_ >= a_.size()) return std::nullopt;
-    return a_[pos_++];
-  }
-
- private:
-  std::vector<sim::Arrival> a_;
-  std::size_t pos_ = 0;
-};
 
 std::vector<sim::Arrival> arrivals_of(const std::vector<Element>& elements,
                                       std::uint32_t sites, sim::Slot base) {

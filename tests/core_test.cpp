@@ -16,27 +16,14 @@
 #include "core/system.h"
 #include "stream/generators.h"
 #include "stream/partitioner.h"
+#include "sim/sources.h"
 #include "util/stats.h"
 
 namespace dds::core {
 namespace {
 
+using sim::ListSource;
 using stream::Element;
-
-/// Fixed arrival list source (test helper).
-class ListSource final : public sim::ArrivalSource {
- public:
-  explicit ListSource(std::vector<sim::Arrival> arrivals)
-      : arrivals_(std::move(arrivals)) {}
-  std::optional<sim::Arrival> next() override {
-    if (pos_ >= arrivals_.size()) return std::nullopt;
-    return arrivals_[pos_++];
-  }
-
- private:
-  std::vector<sim::Arrival> arrivals_;
-  std::size_t pos_ = 0;
-};
 
 /// Oracle: the bottom-s of hashes over the distinct elements fed.
 std::vector<Element> oracle_bottom_s(const std::vector<Element>& elements,

@@ -17,25 +17,15 @@
 #include "baseline/baseline_system.h"
 #include "core/shard_router.h"
 #include "core/system.h"
+#include "net/sim_network.h"
 #include "query/estimators.h"
+#include "sim/sources.h"
 #include "util/rng.h"
 
 namespace dds {
 namespace {
 
-class ListSource final : public sim::ArrivalSource {
- public:
-  explicit ListSource(std::vector<sim::Arrival> arrivals)
-      : arrivals_(std::move(arrivals)) {}
-  std::optional<sim::Arrival> next() override {
-    if (pos_ >= arrivals_.size()) return std::nullopt;
-    return arrivals_[pos_++];
-  }
-
- private:
-  std::vector<sim::Arrival> arrivals_;
-  std::size_t pos_ = 0;
-};
+using sim::ListSource;
 
 /// Infinite-window shaped stream: slot == arrival index (the
 /// partitioner's convention), uniform sites, duplicate-heavy domain.
@@ -281,12 +271,26 @@ TEST(ShardedEngine, BroadcastFallsBackToSerial) {
   EXPECT_STREQ(system.runner().name(), "serial");
 }
 
-TEST(ShardedEngine, NontrivialNetworkFallsBackToSerial) {
+TEST(ShardedEngine, PositiveHorizonWireDeploysLockstep) {
+  // A latency wire certifies a positive delivery horizon, so the
+  // sharded engine's lockstep mode takes it — no serial fallback.
   core::SystemConfig config{8, 8, hash::HashKind::kMurmur2, 3};
   config.num_threads = 4;
   config.network.link.latency = 1.5;
   core::InfiniteSystem system(config);
+  EXPECT_STREQ(system.runner().name(), "sharded");
+  EXPECT_GT(system.bus().delivery_horizon(), 0.0);
+}
+
+TEST(ShardedEngine, ZeroHorizonWireFallsBackToSerial) {
+  // Normal jitter clamps at zero delay — no positive bound exists, so
+  // lockstep is ineligible and the deployment stays serial.
+  core::SystemConfig config{8, 8, hash::HashKind::kMurmur2, 3};
+  config.num_threads = 4;
+  config.network.link.jitter_stddev = 0.5;
+  core::InfiniteSystem system(config);
   EXPECT_STREQ(system.runner().name(), "serial");
+  EXPECT_EQ(system.bus().delivery_horizon(), 0.0);
 }
 
 TEST(ShardedEngine, ThreadsClampToSiteCount) {
@@ -441,10 +445,176 @@ TEST(ShardedCoordinator, ShardedPlusThreadedStaysDeterministic) {
   EXPECT_EQ(serial, sharded);
 }
 
-TEST(ShardedCoordinator, SlidingRejectsShards) {
-  core::SlidingSystemConfig config;
+TEST(ShardedCoordinator, UnshardableProtocolsRejectShards) {
+  // Broadcast replies fan out to every site and DRS draws a fresh tag
+  // per occurrence — neither has an element partition to shard over.
+  // (The sliding protocols DO shard now; see sliding_shard_test.cpp.)
+  core::SystemConfig config{8, 8, hash::HashKind::kMurmur2, 3};
   config.num_shards = 2;
-  EXPECT_THROW(core::SlidingSystem system(config), std::invalid_argument);
+  EXPECT_THROW(baseline::BroadcastSystem system(config),
+               std::invalid_argument);
+  EXPECT_THROW(baseline::DrsSystem system(config), std::invalid_argument);
+}
+
+// ---------------------------------------------- lockstep (real wires) --
+
+/// Fingerprint of a run on a realistic wire: the full logical message
+/// trace (every send, in order, via the tap), wire + logical counters,
+/// and the network pathology statistics. Lockstep's contract is that
+/// every entry matches the serial engine bit for bit.
+struct WireFingerprint {
+  std::vector<std::uint64_t> trace;
+  std::uint64_t wire_total = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t logical_total = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t batches_flushed = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sample;
+
+  bool operator==(const WireFingerprint&) const = default;
+};
+
+template <typename System, typename SampleFn>
+WireFingerprint wire_fingerprint_run(System& system,
+                                     const std::vector<sim::Arrival>& arrivals,
+                                     SampleFn sample_fn) {
+  WireFingerprint fp;
+  system.bus().set_tap([&fp](const sim::Message& m) {
+    fp.trace.push_back((static_cast<std::uint64_t>(m.from) << 40) |
+                       (static_cast<std::uint64_t>(m.to) << 8) |
+                       static_cast<std::uint64_t>(m.type));
+    fp.trace.push_back(m.a ^ (m.b * 3) ^ (m.c * 7) ^ m.instance);
+  });
+  ListSource source(arrivals);
+  system.run(source);
+  fp.wire_total = system.bus().counters().total;
+  fp.wire_bytes = system.bus().counters().bytes;
+  auto* net = dynamic_cast<net::SimNetwork*>(&system.bus());
+  fp.logical_total = net->logical_counters().total;
+  fp.drops = net->stats().drops;
+  fp.retransmissions = net->stats().retransmissions;
+  fp.batches_flushed = net->stats().batches_flushed;
+  fp.sample = sample_fn(system);
+  return fp;
+}
+
+TEST(ShardedEngineLockstep, SlidingOverLossyWireMatchesSerial) {
+  // The acceptance wire: latency + jitter + Bernoulli loss with
+  // retransmission. Traces, counters, and samples must equal the
+  // serial engine's, and the engine must actually be the sharded one.
+  for (const std::uint64_t seed : kSeeds) {
+    const auto arrivals =
+        slotted_stream(kSites, /*slots=*/250, /*per_slot=*/5, 300, seed * 7);
+    auto run_once = [&](std::uint32_t threads) {
+      core::SlidingSystemConfig config;
+      config.num_sites = kSites;
+      config.window = 30;
+      config.sample_size = 2;
+      config.seed = seed;
+      config.num_threads = threads;
+      config.network.link.latency = 1.5;
+      config.network.link.jitter = 0.75;
+      config.network.link.drop_rate = 0.05;
+      config.network.link.retransmit = true;
+      core::SlidingSystem system(config);
+      EXPECT_STREQ(system.runner().name(), threads > 1 ? "sharded" : "serial");
+      return wire_fingerprint_run(
+          system, arrivals, [](core::SlidingSystem& s) {
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+            for (const auto e :
+                 s.coordinator().sample(s.runner().current_slot())) {
+              out.emplace_back(e, 0);
+            }
+            return out;
+          });
+    };
+    const WireFingerprint want = run_once(1);
+    const WireFingerprint got = run_once(4);
+    EXPECT_GT(want.drops, 0u) << "wire not lossy enough to prove anything";
+    EXPECT_EQ(want, got);
+  }
+}
+
+TEST(ShardedEngineLockstep, InfiniteOverLatencyJitterWireMatchesSerial) {
+  // The slot-per-arrival shape: lockstep waves span slots up to the
+  // delivery horizon instead of one slot each.
+  for (const std::uint64_t seed : kSeeds) {
+    const auto arrivals = infinite_stream(kSites, 6000, 900, seed * 13 + 2);
+    auto run_once = [&](std::uint32_t threads) {
+      core::SystemConfig config{kSites, 8, hash::HashKind::kMurmur2, seed};
+      config.num_threads = threads;
+      config.network.link.latency = 2.0;
+      config.network.link.jitter = 1.0;
+      config.network.link.drop_rate = 0.03;
+      core::InfiniteSystem system(config);
+      EXPECT_STREQ(system.runner().name(), threads > 1 ? "sharded" : "serial");
+      return wire_fingerprint_run(
+          system, arrivals, [](core::InfiniteSystem& s) {
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+            for (const auto& e : s.coordinator().sample().entries()) {
+              out.emplace_back(e.element, e.hash);
+            }
+            return out;
+          });
+    };
+    EXPECT_EQ(run_once(1), run_once(4));
+  }
+}
+
+TEST(ShardedEngineLockstep, BatchedShardedSlidingOverWireMatchesSerial) {
+  // Everything at once: report batching + coordinator sharding + the
+  // lossy wire + worker threads — the end-to-end "sharded sliding over
+  // a realistic wire" configuration abl12 measures.
+  const auto arrivals = slotted_stream(kSites, 220, 5, 260, 77);
+  auto run_once = [&](std::uint32_t threads) {
+    core::SlidingSystemConfig config;
+    config.num_sites = kSites;
+    config.window = 25;
+    config.sample_size = 2;
+    config.seed = 5;
+    config.num_threads = threads;
+    config.num_shards = 2;
+    config.network.link.latency = 1.25;
+    config.network.link.drop_rate = 0.04;
+    config.network.batch_interval = 3;
+    config.network.batch_max_msgs = 8;
+    core::SlidingSystem system(config);
+    EXPECT_STREQ(system.runner().name(), threads > 1 ? "sharded" : "serial");
+    return wire_fingerprint_run(system, arrivals, [](core::SlidingSystem& s) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+      for (const auto e : s.sample(s.runner().current_slot())) {
+        out.emplace_back(e, 0);
+      }
+      return out;
+    });
+  };
+  const WireFingerprint want = run_once(1);
+  const WireFingerprint got = run_once(4);
+  EXPECT_GT(want.batches_flushed, 0u);
+  EXPECT_EQ(want, got);
+}
+
+TEST(ShardedEngineLockstep, PerMessageWakeupsStayDeterministic) {
+  // The wakeup-coalescing knob is a handoff optimization only; both
+  // settings must produce the serial fingerprint (run-ahead mode).
+  const auto arrivals = infinite_stream(kSites, 8000, 1200, 21);
+  auto run_once = [&](std::uint32_t threads, bool coalesce) {
+    core::SystemConfig config{kSites, 10, hash::HashKind::kMurmur2, 9};
+    config.num_threads = threads;
+    config.coalesce_wakeups = coalesce;
+    core::InfiniteSystem system(config);
+    return fingerprint_run(system, arrivals, [](core::InfiniteSystem& s) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+      for (const auto& e : s.coordinator().sample().entries()) {
+        out.emplace_back(e.element, e.hash);
+      }
+      return out;
+    });
+  };
+  const Fingerprint want = run_once(1, true);
+  EXPECT_EQ(want, run_once(4, true));
+  EXPECT_EQ(want, run_once(4, false));
 }
 
 }  // namespace

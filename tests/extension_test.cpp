@@ -19,6 +19,7 @@
 #include "core/system.h"
 #include "core/windowed_bottom_s.h"
 #include "query/hyperloglog.h"
+#include "sim/sources.h"
 #include "query/set_operations.h"
 #include "stream/churn.h"
 #include "stream/file_stream.h"
@@ -29,6 +30,8 @@
 
 namespace dds {
 namespace {
+
+using sim::ListSource;
 
 using stream::Element;
 
@@ -511,19 +514,6 @@ TEST(CrashRecovery, SiteResetNeverCorruptsTheSample) {
   std::vector<Element> all;
   util::Xoshiro256StarStar rng(42);
   sim::Slot slot = 0;
-
-  class ListSource final : public sim::ArrivalSource {
-   public:
-    explicit ListSource(std::vector<sim::Arrival> a) : a_(std::move(a)) {}
-    std::optional<sim::Arrival> next() override {
-      if (pos_ >= a_.size()) return std::nullopt;
-      return a_[pos_++];
-    }
-
-   private:
-    std::vector<sim::Arrival> a_;
-    std::size_t pos_ = 0;
-  };
 
   for (int phase = 0; phase < 5; ++phase) {
     std::vector<sim::Arrival> arrivals;

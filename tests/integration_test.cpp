@@ -8,6 +8,7 @@
 #include "baseline/baseline_system.h"
 #include "core/system.h"
 #include "query/estimators.h"
+#include "sim/sources.h"
 #include "stream/generators.h"
 #include "stream/partitioner.h"
 #include "stream/trace_synth.h"
@@ -15,6 +16,8 @@
 
 namespace dds {
 namespace {
+
+using sim::ListSource;
 
 using core::InfiniteSystem;
 using core::SystemConfig;
@@ -111,19 +114,6 @@ TEST(Shapes, DominateRateReducesMessages) {
 // identity hashes never change, while DRS keeps drawing fresh tags per
 // occurrence and keeps reporting the lucky ones (~ s ln growth).
 TEST(Shapes, DdsQuietsDownOnDuplicatesDrsDoesNot) {
-  class ListSource final : public sim::ArrivalSource {
-   public:
-    explicit ListSource(std::vector<sim::Arrival> a) : a_(std::move(a)) {}
-    std::optional<sim::Arrival> next() override {
-      if (pos_ >= a_.size()) return std::nullopt;
-      return a_[pos_++];
-    }
-
-   private:
-    std::vector<sim::Arrival> a_;
-    std::size_t pos_ = 0;
-  };
-
   SystemConfig config{5, 10, hash::HashKind::kMurmur2, 13};
   core::InfiniteSystem dds(config, /*eager_threshold=*/false,
                            /*suppress_duplicates=*/true);

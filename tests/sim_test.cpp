@@ -10,6 +10,7 @@
 #include "sim/metrics.h"
 #include "sim/node.h"
 #include "sim/runner.h"
+#include "sim/sources.h"
 
 namespace dds::sim {
 namespace {
@@ -76,20 +77,6 @@ class SinkSite final : public StreamNode {
 };
 
 /// Fixed arrival list as a source.
-class ListSource final : public ArrivalSource {
- public:
-  explicit ListSource(std::vector<Arrival> arrivals)
-      : arrivals_(std::move(arrivals)) {}
-  std::optional<Arrival> next() override {
-    if (pos_ >= arrivals_.size()) return std::nullopt;
-    return arrivals_[pos_++];
-  }
-
- private:
-  std::vector<Arrival> arrivals_;
-  std::size_t pos_ = 0;
-};
-
 // ---------------------------------------------------------------- bus --
 
 TEST(Bus, CountsDirectionsAndTypes) {

@@ -4,11 +4,17 @@
 #   tools/bench_json.sh [build-dir] [outdir] [min-time-seconds]
 #
 # Runs the Google-Benchmark micro suites (micro_substrates, abl4_treap)
-# with JSON output into <outdir>/BENCH_<name>.json. These files are the
-# per-PR perf record: CI archives them as artifacts so the trajectory of
-# the hot paths is comparable across commits. The figure/ablation
-# binaries emit the same machine-readable form via their --json flag
-# (tables mirrored to <outdir>/*.json next to the CSVs).
+# with JSON output into <outdir>/BENCH_<name>.json, then the table
+# benches whose --json mirrors belong in the trajectory (abl11 sharding,
+# abl12 sliding sharding over wires, abl7 order statistics). These files
+# are the per-PR perf record: CI archives them as artifacts so the
+# trajectory of the hot paths is comparable across commits.
+#
+# Failure policy: any required bench that is missing or exits nonzero
+# fails this script LOUDLY (a silently dropped point would read as "no
+# regression" in the trajectory). Only the Google-Benchmark micros may
+# be skipped, since the library is an optional dependency — and even
+# then at least one must run.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,6 +23,11 @@ outdir="${2:-$build/bench_results}"
 min_time="${3:-0.05}"
 
 mkdir -p "$outdir"
+
+fail() {
+  echo "bench_json: ERROR: $*" >&2
+  exit 1
+}
 
 ran=0
 for micro in micro_substrates abl4_treap; do
@@ -30,29 +41,38 @@ for micro in micro_substrates abl4_treap; do
   "$bin" --benchmark_min_time="$min_time" \
          --benchmark_format=console \
          --benchmark_out_format=json \
-         --benchmark_out="$outdir/BENCH_${micro}.json"
+         --benchmark_out="$outdir/BENCH_${micro}.json" \
+    || fail "$micro exited nonzero"
   echo "bench_json: wrote $outdir/BENCH_${micro}.json"
   ran=$((ran + 1))
 done
 
 if [[ "$ran" -eq 0 ]]; then
-  echo "bench_json: no micro benches available" >&2
-  exit 1
+  fail "no micro benches available"
 fi
 
+# A table bench in the trajectory: must exist and must succeed.
+run_table_bench() {
+  local name="$1"
+  shift
+  local bin="$build/$name"
+  [[ -x "$bin" ]] || fail "required bench binary $name is not built"
+  "$bin" "$@" --outdir "$outdir" --json > /dev/null \
+    || fail "$name exited nonzero"
+  echo "bench_json: wrote $outdir/${name%%_*}*.json ($name)"
+}
+
 # Execution-engine trajectory: the sharding ablation's JSON mirror
-# records throughput and message cost per (threads, shards) point.
-if [[ -x "$build/abl11_sharding" ]]; then
-  "$build/abl11_sharding" --runs 2 --n 100000 --outdir "$outdir" --json \
-    > /dev/null
-  echo "bench_json: wrote $outdir/abl11_sharding_*.json"
-fi
+# records throughput, message cost, wakeup-coalescing before/after, and
+# route-cache hit rate per (threads, shards) point.
+run_table_bench abl11_sharding --runs 2 --n 100000 --wakeup-ablation
+
+# Sharded sliding windows over realistic wires: merged-query agreement
+# (the exact protocol must stay at 100), message cost vs shards, and
+# lockstep throughput.
+run_table_bench abl12_sliding_sharding --runs 1 --slots 250 --threads 2
 
 # Substrate trajectory: abl7's A7b table records the order-statistic
 # SDominanceSet's swept-tuples-per-update and ns/update vs |T| — the
 # "bottom-s update cost sublinear in |T|" record.
-if [[ -x "$build/abl7_bottom_s_window" ]]; then
-  "$build/abl7_bottom_s_window" --runs 1 --outdir "$outdir" --json \
-    > /dev/null
-  echo "bench_json: wrote $outdir/abl7_order_stats.json"
-fi
+run_table_bench abl7_bottom_s_window --runs 1

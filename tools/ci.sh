@@ -23,10 +23,16 @@ ctest --test-dir "$build" --output-on-failure -j
 "$build/lossy_network" >/dev/null
 
 # Sharding smoke: the execution-engine ablation across a small
-# threads x shards grid (the determinism suite itself runs under ctest).
+# threads x shards grid, plus the sharded-sliding-over-the-wire ablation
+# (the determinism suites themselves run under ctest; `ctest -L
+# sharding` is the targeted sub-2-minute loop for engine work).
 "$build/abl11_sharding" --runs 1 --n 20000 --sites 8 \
-  --thread-list 1,4 --shard-list 1,2 \
+  --thread-list 1,4 --shard-list 1,2 --wakeup-ablation \
   --outdir "$build/bench_results" --json
+"$build/abl12_sliding_sharding" --runs 1 --slots 120 --shard-list 1,2 \
+  --threads 4 \
+  --outdir "$build/bench_results" --json
+"$build/sharded_sliding_lossy" >/dev/null
 
 # Bench smoke: short micro-bench run, JSON into bench_results/ — the
 # per-commit point on the perf trajectory (archived by CI).
