@@ -103,6 +103,12 @@ int main(int argc, char** argv) {
           config.num_shards = static_cast<std::uint32_t>(shards);
           config.num_threads = static_cast<std::uint32_t>(threads);
           config.coalesce_wakeups = coalesce;
+          // The message-cost columns read the metrics registry, not the
+          // raw component counters: the bench doubles as a smoke test
+          // that the pull-based bindings agree with the ground truth
+          // (registration is bind-time-only, so the timed loop is
+          // unchanged — BM_ObsOverhead in micro_substrates pins that).
+          config.observability.metrics = true;
           double best_seconds = 0.0;
           std::uint64_t msgs = 0;
           double balance = 1.0;
@@ -116,22 +122,28 @@ int main(int argc, char** argv) {
               system.run(source);
               const double seconds = timer.elapsed_seconds();
               if (run == 0 || seconds < best_seconds) best_seconds = seconds;
-              msgs = system.bus().counters().total;
+              const obs::MetricsSnapshot snap =
+                  system.observability().snapshot();
+              msgs = snap.counter_or("net.wire.msgs");
               std::uint64_t mx = 0, mn = ~0ULL;
               for (std::uint32_t j = 0; j < system.bus().num_coordinators();
                    ++j) {
-                const std::uint64_t t =
-                    system.bus().coordinator_counters(j).total;
+                const std::uint64_t t = snap.counter_or(
+                    "net.shard" + std::to_string(j) + ".msgs");
                 mx = std::max(mx, t);
                 mn = std::min(mn, t);
               }
               balance = mn == 0 ? 0.0
                                 : static_cast<double>(mx) /
                                       static_cast<double>(mn);
-              if (system.route_cache_lookups() > 0) {
-                route_hit = 100.0 *
-                            static_cast<double>(system.route_cache_hits()) /
-                            static_cast<double>(system.route_cache_lookups());
+              const std::uint64_t lookups =
+                  snap.counter_or("deployment.route_cache.lookups");
+              if (lookups > 0) {
+                route_hit =
+                    100.0 *
+                    static_cast<double>(
+                        snap.counter_or("deployment.route_cache.hits")) /
+                    static_cast<double>(lookups);
               }
             };
             if (protocol.with_replacement) {

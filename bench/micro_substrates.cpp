@@ -213,6 +213,56 @@ void BM_HybridThresholdSweep(benchmark::State& state) {
   state.SetLabel(set.is_flat() ? "flat-mode" : "treap-mode");
 }
 
+/// Observability cost on the end-to-end sliding-window hot path: the
+/// same per-element workload with the instruments off (0), the metrics
+/// registry bound (1), and registry + tracer (2). Mode 0 vs an
+/// uninstrumented build is the <2%-overhead budget the layer is held
+/// to; mode 1 vs 0 isolates the pull-based registry (bind-time-only
+/// work, so the delta should be noise); mode 2 adds the per-delivery
+/// trace emission, the one genuinely per-message cost.
+void BM_ObsOverhead(benchmark::State& state) {
+  const auto mode = static_cast<int>(state.range(0));
+  core::SlidingSystemConfig config;
+  config.num_sites = 8;
+  config.sample_size = 4;
+  config.window = 256;
+  config.seed = 5;
+  config.observability.metrics = mode >= 1;
+  config.observability.tracing = mode >= 2;
+  core::SlidingSystem system(config);
+  util::Xoshiro256StarStar rng(9);
+
+  class OneShot final : public sim::ArrivalSource {
+   public:
+    OneShot(sim::Slot slot, sim::NodeId site, std::uint64_t e)
+        : a_{slot, site, e} {}
+    std::optional<sim::Arrival> next() override {
+      if (done_) return std::nullopt;
+      done_ = true;
+      return a_;
+    }
+
+   private:
+    sim::Arrival a_;
+    bool done_ = false;
+  };
+  // Warm a full window so expiry is on the steady-state path.
+  sim::Slot t = 0;
+  for (; t < 256; ++t) {
+    OneShot src(t, static_cast<sim::NodeId>(rng.next_below(8)),
+                1 + rng.next_below(100000));
+    system.run(src);
+  }
+  for (auto _ : state) {
+    OneShot src(++t, static_cast<sim::NodeId>(rng.next_below(8)),
+                1 + rng.next_below(100000));
+    system.run(src);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(mode == 0 ? "obs-off"
+                           : (mode == 1 ? "metrics" : "metrics+tracing"));
+}
+
 void BM_ZipfDraw(benchmark::State& state) {
   stream::ZipfStream s(~0ULL, 1'000'000, 1.0, 17);
   for (auto _ : state) {
@@ -241,6 +291,7 @@ BENCHMARK(BM_DominanceChurnPR2)
 BENCHMARK(BM_HybridThresholdSweep)
     ->Args({48, 16})->Args({48, 32})->Args({48, 64})->Args({48, 128})
     ->Args({192, 64})->Args({192, 128})->Args({192, 256});
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_ZipfDraw);
 
 BENCHMARK_MAIN();

@@ -12,11 +12,20 @@
 // Queries go through the validity-window-aware merge layer
 // (query::SlidingValidityMerger via Deployment::sample(now)): each
 // shard's window sample is merged with per-copy expiry respected.
+//
+// Observability (the CI smoke drives these):
+//   --metrics PATH   enable the metrics registry; write the final
+//                    snapshot as Prometheus text to PATH
+//   --json PATH      also write the structured-JSON snapshot to PATH
+//   --trace PATH     enable tracing; write the Chrome trace to PATH
+#include <fstream>
 #include <iostream>
 
 #include "core/system.h"
 #include "net/sim_network.h"
+#include "obs/observability.h"
 #include "query/merge.h"
+#include "util/cli.h"
 #include "util/rng.h"
 
 namespace {
@@ -41,8 +50,17 @@ class SlotSource final : public dds::sim::ArrivalSource {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dds;
+
+  util::Cli cli;
+  cli.flag("metrics", "write the final Prometheus snapshot here", "");
+  cli.flag("json", "write the final JSON snapshot here", "");
+  cli.flag("trace", "write the Chrome trace here", "");
+  if (!cli.parse(argc, argv)) return 1;
+  const std::string metrics_path = cli.get("metrics");
+  const std::string json_path = cli.get("json");
+  const std::string trace_path = cli.get("trace");
 
   core::SlidingSystemConfig config;
   config.num_sites = 8;
@@ -57,6 +75,8 @@ int main() {
   config.network.link.retransmit = true;
   config.network.batch_interval = 4;  // coalesce reports up to 4 slots
   config.network.seed = 42;
+  config.observability.metrics = !metrics_path.empty() || !json_path.empty();
+  config.observability.tracing = !trace_path.empty();
   core::SlidingSystem system(config);
 
   std::cout << "engine: " << system.runner().name() << " ("
@@ -88,6 +108,9 @@ int main() {
       }
     }
     if ((t + 1) % 150 == 0) {
+      // Query time is a quiesced point: bridge the counters into the
+      // trace timeline (no-op unless both instruments are on).
+      system.observability().sample_counters(static_cast<double>(t));
       const auto sample = system.sample(t);  // merged across the 4 shards
       std::cout << "slot " << t << ": window sample {";
       for (std::size_t i = 0; i < sample.size(); ++i) {
@@ -112,5 +135,21 @@ int main() {
   const auto& net = dynamic_cast<const net::SimNetwork&>(system.bus());
   std::cout << "drops / retransmissions: " << net.stats().drops << " / "
             << net.stats().retransmissions << "\n";
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << system.observability().prometheus();
+    std::cout << "metrics snapshot written to " << metrics_path << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << system.observability().json();
+    std::cout << "JSON snapshot written to " << json_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    system.observability().write_trace(trace_path);
+    std::cout << "trace written to " << trace_path << " ("
+              << system.observability().tracer()->size() << " events)\n";
+  }
   return 0;
 }

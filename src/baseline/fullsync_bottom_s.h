@@ -72,6 +72,10 @@ class BottomSSlidingCoordinator final : public sim::Node {
   /// sample() into a reused buffer — allocation-free per-slot queries.
   void sample_into(sim::Slot now, std::vector<treap::Candidate>& out) const;
 
+  /// Read access to the pooled dominance set (the observability layer
+  /// polls its occupancy and expiry-sweep statistics).
+  const treap::SDominanceSet& pool() const noexcept { return pool_; }
+
  private:
   /// The reported-tuple pool as a bottom-s dominance set: tuples whose
   /// s dominators (smaller hash, later expiry) have all been reported

@@ -47,6 +47,7 @@
 #include "core/infinite_coordinator.h"
 #include "core/multi_sliding.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 
 namespace dds::core {
 
@@ -105,8 +106,17 @@ template <typename Deployment>
 std::vector<CheckpointImage> checkpoint_ensemble(const Deployment& deployment) {
   std::vector<CheckpointImage> images;
   images.reserve(deployment.num_shards());
+  std::size_t bytes = 0;
   for (std::uint32_t j = 0; j < deployment.num_shards(); ++j) {
     images.push_back(checkpoint(deployment.coordinator(j)));
+    bytes += images.back().size();
+  }
+  if (obs::Tracer* tracer = deployment.observability().tracer()) {
+    tracer->instant(
+        "ckpt", "checkpoint",
+        static_cast<double>(deployment.engine().current_slot()), 0,
+        {{"shards", static_cast<double>(images.size())},
+         {"bytes", static_cast<double>(bytes)}});
   }
   return images;
 }
@@ -121,6 +131,12 @@ bool restore_ensemble(Deployment& deployment,
   if (images.size() != deployment.num_shards()) return false;
   for (std::uint32_t j = 0; j < deployment.num_shards(); ++j) {
     if (!restore_into(deployment.coordinator_mut(j), images[j])) return false;
+  }
+  if (obs::Tracer* tracer = deployment.observability().tracer()) {
+    tracer->instant(
+        "ckpt", "restore",
+        static_cast<double>(deployment.engine().current_slot()), 0,
+        {{"shards", static_cast<double>(images.size())}});
   }
   return true;
 }

@@ -35,6 +35,7 @@
 #include "net/config.h"
 #include "net/factory.h"
 #include "net/transport.h"
+#include "obs/observability.h"
 #include "sim/engine.h"
 #include "treap/dominance_set.h"
 #include "util/rng.h"
@@ -71,6 +72,9 @@ struct SystemConfig {
   /// treap/dominance_set.h). The defaults fit the Lemma-10 steady
   /// state; benches override them to ablate the substrates.
   treap::HybridConfig substrate{};
+  /// Observability switches (off by default: nothing is registered and
+  /// no tracer exists — see obs/observability.h for the cost argument).
+  obs::ObservabilityConfig observability{};
 };
 
 /// The sliding-window protocols share the unified config; this type
@@ -149,6 +153,7 @@ class Deployment {
 
   Deployment(const SystemConfig& config, Options options)
       : config_(config),
+        obs_(std::make_unique<obs::Observability>(config.observability)),
         shared_(Traits::make_shared(config)),
         router_(checked_shards(config),
                 util::derive_seed(config.seed, 0x5168D5ULL)),
@@ -186,6 +191,7 @@ class Deployment {
     engine_config.coalesce_wakeups = config_.coalesce_wakeups;
     engine_ = sim::make_engine(*transport_, stream_nodes_,
                                Traits::kInvokeSlotBegin, engine_config);
+    if (obs_->config().enabled()) bind_observability();
   }
 
   /// Compat sugar: protocol options passed positionally, e.g.
@@ -289,7 +295,127 @@ class Deployment {
     return total;
   }
 
+  // ---- observability -----------------------------------------------
+  /// The deployment's metrics registry + tracer bundle. Always present;
+  /// with SystemConfig::observability all-off it holds neither
+  /// instrument and snapshot()/prometheus()/json() return empty.
+  obs::Observability& observability() noexcept { return *obs_; }
+  const obs::Observability& observability() const noexcept { return *obs_; }
+
  private:
+  /// Registers every layer with the registry and hands the tracer down:
+  /// transport (wire counters, delivery/flush/drop events), engine
+  /// (waves/stalls, "engine." prefix), deployment (route cache, site
+  /// state), and — when the protocol's node types expose them — the
+  /// hybrid-substrate and pooled-sweep statistics.
+  void bind_observability() {
+    obs::MetricsRegistry* registry = obs_->registry();
+    obs::Tracer* tracer = obs_->tracer();
+    transport_->bind_observability(registry, tracer);
+    engine_->bind_observability(registry, tracer);
+    if (registry == nullptr) return;
+    registry->counter_fn("deployment.route_cache.hits",
+                         [this] { return route_cache_hits(); });
+    registry->counter_fn("deployment.route_cache.lookups",
+                         [this] { return route_cache_lookups(); });
+    registry->gauge("site.state.total", [this] {
+      return static_cast<double>(total_site_state());
+    });
+    registry->gauge("site.state.max", [this] {
+      return static_cast<double>(max_site_state());
+    });
+    bind_substrate_metrics(*registry);
+  }
+
+  /// Applies `f` to every protocol-level Site object (each shard copy
+  /// of every routed site; the site itself when unsharded).
+  template <typename F>
+  void for_each_protocol_site(F&& f) const {
+    if (routed_sites_.empty()) {
+      for (const auto& site : sites_) f(*site);
+    } else {
+      for (const auto& routed : routed_sites_) {
+        for (std::uint32_t j = 0; j < router_.num_shards(); ++j) {
+          f(routed->copy(j));
+        }
+      }
+    }
+  }
+
+  /// Substrate metrics are polled gauges/counter_fns — never hooks in
+  /// the substrates themselves (worker threads own them mid-wave, and
+  /// the dominance sets should not know about metrics). The registry
+  /// only reads at snapshot time, from quiesced points, so the reads
+  /// are race-free. `if constexpr` + requires keeps this generic: only
+  /// protocols whose node types expose the introspection surface get
+  /// the metrics.
+  void bind_substrate_metrics(obs::MetricsRegistry& registry) {
+    constexpr bool kMultiHybrid = requires(const Site& site) {
+      site.copy(std::size_t{0}).candidates().migrations();
+      site.num_copies();
+    };
+    constexpr bool kDirectHybrid = requires(const Site& site) {
+      site.candidates().migrations();
+    };
+    if constexpr (kMultiHybrid || kDirectHybrid) {
+      // Sums a per-dominance-set statistic across every hybrid set in
+      // the deployment (s copies per protocol site when multi-instance).
+      const auto sum_sets = [this](auto stat) {
+        std::uint64_t total = 0;
+        for_each_protocol_site([&](const Site& site) {
+          if constexpr (kMultiHybrid) {
+            for (std::size_t j = 0; j < site.num_copies(); ++j) {
+              total += static_cast<std::uint64_t>(stat(site.copy(j).candidates()));
+            }
+          } else {
+            total += static_cast<std::uint64_t>(stat(site.candidates()));
+          }
+        });
+        return total;
+      };
+      registry.counter_fn("substrate.migrations", [sum_sets] {
+        return sum_sets([](const auto& set) { return set.migrations(); });
+      });
+      registry.gauge("substrate.occupancy", [sum_sets] {
+        return static_cast<double>(
+            sum_sets([](const auto& set) { return set.size(); }));
+      });
+      registry.gauge("substrate.ring.capacity", [sum_sets] {
+        return static_cast<double>(
+            sum_sets([](const auto& set) { return set.ring_capacity(); }));
+      });
+      registry.gauge("substrate.tree.pool_slots", [sum_sets] {
+        return static_cast<double>(
+            sum_sets([](const auto& set) { return set.tree_pool_slots(); }));
+      });
+      registry.gauge("substrate.flat_sets", [sum_sets] {
+        return static_cast<double>(sum_sets(
+            [](const auto& set) { return set.is_flat() ? 1 : 0; }));
+      });
+    }
+    if constexpr (requires(const Coordinator& c) {
+                    c.pool().swept_tuples();
+                  }) {
+      const auto sum_pools = [this](auto stat) {
+        std::uint64_t total = 0;
+        for (const auto& coordinator : coordinators_) {
+          total += static_cast<std::uint64_t>(stat(coordinator->pool()));
+        }
+        return total;
+      };
+      registry.counter_fn("substrate.sweep.tuples", [sum_pools] {
+        return sum_pools(
+            [](const auto& pool) { return pool.swept_tuples(); });
+      });
+      registry.counter_fn("substrate.sweep.updates", [sum_pools] {
+        return sum_pools([](const auto& pool) { return pool.updates(); });
+      });
+      registry.gauge("substrate.pool.size", [sum_pools] {
+        return static_cast<double>(
+            sum_pools([](const auto& pool) { return pool.size(); }));
+      });
+    }
+  }
   static std::uint32_t checked_shards(const SystemConfig& config) {
     const std::uint32_t shards = config.num_shards == 0 ? 1 : config.num_shards;
     if (shards > 1 && !Traits::kShardableCoordinator) {
@@ -300,6 +426,10 @@ class Deployment {
   }
 
   SystemConfig config_;
+  /// Declared before every instrumented member: the registry holds
+  /// pointers INTO those members, but only reads them at snapshot time,
+  /// and being first-declared makes obs_ the last member destroyed.
+  std::unique_ptr<obs::Observability> obs_;
   typename Traits::Shared shared_;
   ShardRouter router_;
   std::unique_ptr<net::Transport> transport_;

@@ -29,6 +29,7 @@ class MultiSlidingSite final : public sim::StreamNode {
   std::size_t state_size() const noexcept override;
 
   const SlidingWindowSite& copy(std::size_t j) const { return copies_[j]; }
+  std::size_t num_copies() const noexcept { return copies_.size(); }
 
  private:
   std::vector<SlidingWindowSite> copies_;

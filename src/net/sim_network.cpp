@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace dds::net {
 
 namespace {
@@ -65,6 +67,11 @@ void SimNetwork::send(const sim::Message& msg) {
       // Size-triggered flush: the batch leaves immediately.
       Batch full = batcher_.take_for(msg);
       net_stats_.batches_flushed += 1;
+      if (tracer_ != nullptr) {
+        tracer_->instant("net", "batch.flush", vtime_, full.msgs.front().to,
+                         {{"msgs", static_cast<double>(full.msgs.size())},
+                          {"size_triggered", 1.0}});
+      }
       transmit(WireUnit{std::move(full.msgs), true}, vtime_, 1);
     }
     return;
@@ -77,9 +84,21 @@ void SimNetwork::transmit(WireUnit unit, double at, int attempt) {
   const LinkFate fate = link_for(head.from, head.to).transmit(head, rng_);
   count_wire(head, batch_wire_bytes(unit.msgs.size()));
   net_stats_.transmissions += 1;
+  if (metrics_bound_) {
+    batch_size_hist_.observe(unit.msgs.size());
+  }
   if (fate.dropped) {
     net_stats_.drops += 1;
-    if (config_.link.retransmit && attempt < config_.link.max_attempts) {
+    const bool retry =
+        config_.link.retransmit && attempt < config_.link.max_attempts;
+    if (tracer_ != nullptr) {
+      tracer_->instant("net", retry ? "drop.retransmit" : "drop.lost", at,
+                       head.to,
+                       {{"from", static_cast<double>(head.from)},
+                        {"msgs", static_cast<double>(unit.msgs.size())},
+                        {"attempt", static_cast<double>(attempt)}});
+    }
+    if (retry) {
       net_stats_.retransmissions += 1;
       schedule(at + config_.link.retransmit_timeout, EventKind::kTransmit,
                std::move(unit), attempt + 1);
@@ -87,6 +106,10 @@ void SimNetwork::transmit(WireUnit unit, double at, int attempt) {
       net_stats_.lost_messages += unit.msgs.size();
     }
     return;
+  }
+  if (metrics_bound_) {
+    flight_us_hist_.observe(
+        static_cast<std::uint64_t>(fate.delay * obs::Tracer::kUsPerSlot));
   }
   schedule(at + fate.delay, EventKind::kDeliver, std::move(unit), attempt);
 }
@@ -103,6 +126,11 @@ void SimNetwork::deliver_unit(const WireUnit& unit) {
 void SimNetwork::flush_batches(std::vector<Batch> batches) {
   for (Batch& batch : batches) {
     net_stats_.batches_flushed += 1;
+    if (tracer_ != nullptr) {
+      tracer_->instant("net", "batch.flush", vtime_, batch.msgs.front().to,
+                       {{"msgs", static_cast<double>(batch.msgs.size())},
+                        {"size_triggered", 0.0}});
+    }
     transmit(WireUnit{std::move(batch.msgs), true}, vtime_, 1);
   }
 }
@@ -138,6 +166,26 @@ void SimNetwork::run_due(double horizon) {
 }
 
 void SimNetwork::drain() { run_due(static_cast<double>(now())); }
+
+void SimNetwork::bind_observability(obs::MetricsRegistry* registry,
+                                    obs::Tracer* tracer) {
+  Transport::bind_observability(registry, tracer);
+  if (registry == nullptr) return;
+  registry->counter("net.transmissions", &net_stats_.transmissions);
+  registry->counter("net.drops", &net_stats_.drops);
+  registry->counter("net.retransmissions", &net_stats_.retransmissions);
+  registry->counter("net.lost_messages", &net_stats_.lost_messages);
+  registry->counter("net.batches_flushed", &net_stats_.batches_flushed);
+  registry->counter("net.batched_messages", &net_stats_.batched_messages);
+  registry->counter("net.logical.msgs", &logical_.total);
+  registry->counter("net.logical.bytes", &logical_.bytes);
+  registry->gauge("net.in_flight", [this] {
+    return static_cast<double>(queue_.size());
+  });
+  registry->histogram("net.batch.msgs", &batch_size_hist_);
+  registry->histogram("net.flight.us", &flight_us_hist_);
+  metrics_bound_ = true;
+}
 
 void SimNetwork::finish() {
   // Deliveries may send fresh batchable messages, so alternate flushing

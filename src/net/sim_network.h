@@ -28,6 +28,7 @@
 #include "net/config.h"
 #include "net/link_model.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace dds::net {
@@ -100,8 +101,17 @@ class SimNetwork final : public Transport {
   /// retransmission); excludes batched messages still buffering.
   std::size_t in_flight() const noexcept { return queue_.size(); }
 
+  /// Base registrations plus the NetStats cells (net.drops, ...), the
+  /// logical counters (net.logical.*), an in-flight gauge, and wire
+  /// pathology histograms (batch sizes, flight times in trace us).
+  void bind_observability(obs::MetricsRegistry* registry,
+                          obs::Tracer* tracer) override;
+
  protected:
   void on_clock_advance(sim::Slot now) override;
+
+  /// Trace events ride the fractional event clock, not the slot clock.
+  double trace_time() const noexcept override { return vtime_; }
 
  private:
   /// One wire unit: a single message or a coalesced batch.
@@ -147,6 +157,12 @@ class SimNetwork final : public Transport {
   bool draining_ = false;
   BusCounters logical_;
   NetStats net_stats_;
+  /// True once a registry holds references into the histograms below;
+  /// the hot paths only observe() when set, so disabled observability
+  /// costs a single predictable branch per transmission.
+  bool metrics_bound_ = false;
+  obs::Histogram batch_size_hist_;  ///< logical msgs per wire unit
+  obs::Histogram flight_us_hist_;   ///< delivery delay, trace us
 };
 
 }  // namespace dds::net

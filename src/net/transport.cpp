@@ -2,7 +2,10 @@
 
 #include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/node.h"
 
 namespace dds::net {
@@ -71,7 +74,38 @@ void Transport::deliver(const sim::Message& msg) {
   if (node == nullptr) {
     throw std::logic_error("Transport::deliver: message to unattached node");
   }
+  if (tracer_ != nullptr) {
+    // Both engines call deliver() on the main/replay thread in the same
+    // global order, so these instants are deterministic across engines.
+    tracer_->instant("net", sim::msg_type_name(msg.type), trace_time(),
+                     msg.to,
+                     {{"from", static_cast<double>(msg.from)},
+                      {"instance", static_cast<double>(msg.instance)}});
+  }
   node->on_message(msg, *this);
+}
+
+void Transport::bind_observability(obs::MetricsRegistry* registry,
+                                   obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) return;
+  registry->counter("net.wire.msgs", &wire_.total);
+  registry->counter("net.wire.bytes", &wire_.bytes);
+  registry->counter("net.wire.site_to_coordinator",
+                    &wire_.site_to_coordinator);
+  registry->counter("net.wire.coordinator_to_site",
+                    &wire_.coordinator_to_site);
+  for (std::size_t t = 0; t < sim::kNumMsgTypes; ++t) {
+    registry->counter(
+        std::string("proto.msgs.") +
+            sim::msg_type_name(static_cast<sim::MsgType>(t)),
+        &wire_.by_type[t]);
+  }
+  for (std::uint32_t j = 0; j < num_coordinators_; ++j) {
+    const std::string prefix = "net.shard" + std::to_string(j);
+    registry->counter(prefix + ".msgs", &per_coordinator_[j].total);
+    registry->counter(prefix + ".bytes", &per_coordinator_[j].bytes);
+  }
 }
 
 std::uint64_t Transport::sent_by(sim::NodeId id) const {

@@ -24,6 +24,11 @@ namespace dds::sim {
 class Node;
 }  // namespace dds::sim
 
+namespace dds::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace dds::obs
+
 namespace dds::net {
 
 /// Counter snapshot; subtraction gives per-interval deltas.
@@ -150,6 +155,15 @@ class Transport {
     tap_ = std::move(tap);
   }
 
+  /// Registers the wire counters (net.wire.*, proto.msgs.*, per-shard
+  /// net.shard<j>.*) with `registry` and stores `tracer` for delivery
+  /// instants. Either pointer may be null ("that instrument is off");
+  /// the registry only ever *reads* the counters at snapshot time, so
+  /// this adds no hot-path cost. Subclasses extend with their own cells
+  /// and must call the base.
+  virtual void bind_observability(obs::MetricsRegistry* registry,
+                                  obs::Tracer* tracer);
+
  protected:
   /// Hook invoked whenever the Runner advances the slot clock.
   virtual void on_clock_advance(sim::Slot now) { (void)now; }
@@ -170,6 +184,13 @@ class Transport {
   /// destination was never attached.
   void deliver(const sim::Message& msg);
 
+  /// Timestamp (in slots) stamped onto trace events. The zero-delay Bus
+  /// lives on the slot clock; SimNetwork overrides with its continuous
+  /// virtual time.
+  virtual double trace_time() const noexcept {
+    return static_cast<double>(now_);
+  }
+
   /// Index of msg's coordinator endpoint (its shard). Site<->site
   /// traffic does not exist in this model; a message with two
   /// coordinator endpoints is attributed to the sender.
@@ -179,6 +200,11 @@ class Transport {
   }
 
   BusCounters wire_;
+  /// Non-owning; null when tracing is off. Delivery instants are emitted
+  /// in deliver(), which both engines invoke on the main/replay thread
+  /// in the same global order — so traces are deterministic across
+  /// serial and sharded-lockstep execution.
+  obs::Tracer* tracer_ = nullptr;
 
  private:
   std::uint32_t num_sites_;

@@ -1,0 +1,225 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace dds::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void json_escape(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "dds_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " counter\n"
+       << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << " " << format_double(value) << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      cumulative += h.buckets[b];
+      // Only the buckets that separate values are emitted (plus +Inf):
+      // empty tail buckets would repeat the same cumulative count.
+      if (h.buckets[b] == 0 && b + 1 != Histogram::kBuckets) continue;
+      if (b + 1 == Histogram::kBuckets) break;  // +Inf carries the total
+      os << prom << "_bucket{le=\""
+         << HistogramSnapshot::upper_bound(b) << "\"} " << cumulative
+         << "\n";
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << prom << "_sum " << h.sum << "\n"
+       << prom << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "" : ",") << "\n    ";
+    json_escape(os, name);
+    os << ": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << (first ? "" : ",") << "\n    ";
+    json_escape(os, name);
+    os << ": " << format_double(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << (first ? "" : ",") << "\n    ";
+    json_escape(os, name);
+    os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      os << (first_bucket ? "" : ", ") << "["
+         << HistogramSnapshot::upper_bound(b) << ", " << h.buckets[b]
+         << "]";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::optional<std::vector<PromSample>> parse_prometheus(
+    std::string_view text) {
+  std::vector<PromSample> samples;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Trim trailing CR / surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    PromSample sample;
+    std::size_t i = 0;
+    // Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_' || line[i] == ':')) {
+      ++i;
+    }
+    if (i == 0) return std::nullopt;
+    sample.name = std::string(line.substr(0, i));
+    // Optional label set.
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      if (close == std::string_view::npos) return std::nullopt;
+      std::string_view labels = line.substr(i + 1, close - i - 1);
+      while (!labels.empty()) {
+        const std::size_t eq = labels.find('=');
+        if (eq == std::string_view::npos ||
+            eq + 1 >= labels.size() || labels[eq + 1] != '"') {
+          return std::nullopt;
+        }
+        const std::size_t endq = labels.find('"', eq + 2);
+        if (endq == std::string_view::npos) return std::nullopt;
+        sample.labels.emplace(std::string(labels.substr(0, eq)),
+                              std::string(labels.substr(eq + 2,
+                                                        endq - eq - 2)));
+        std::size_t next = endq + 1;
+        if (next < labels.size() && labels[next] == ',') ++next;
+        labels.remove_prefix(next);
+      }
+      i = close + 1;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) return std::nullopt;
+    const std::string value_str(line.substr(i));
+    if (value_str == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_str.c_str(), &end);
+      if (end == value_str.c_str() || *end != '\0') return std::nullopt;
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::string prometheus_round_trip_error(const MetricsSnapshot& snapshot) {
+  const auto parsed = parse_prometheus(to_prometheus(snapshot));
+  if (!parsed) return "exposition does not parse";
+  std::map<std::string, double> values;
+  for (const PromSample& s : *parsed) {
+    std::string key = s.name;
+    if (!s.labels.empty()) {
+      key += "{";
+      for (const auto& [k, v] : s.labels) key += k + "=" + v + ",";
+      key += "}";
+    }
+    values[key] = s.value;
+  }
+  const auto expect = [&](const std::string& key,
+                          double want) -> std::string {
+    auto it = values.find(key);
+    if (it == values.end()) return "missing sample " + key;
+    if (it->second != want) {
+      return "value mismatch for " + key + ": " +
+             format_double(it->second) + " != " + format_double(want);
+    }
+    return "";
+  };
+  std::string err;
+  for (const auto& [name, v] : snapshot.counters) {
+    err = expect(prometheus_name(name), static_cast<double>(v));
+    if (!err.empty()) return err;
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    err = expect(prometheus_name(name), v);
+    if (!err.empty()) return err;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    err = expect(prometheus_name(name) + "_count",
+                 static_cast<double>(h.count));
+    if (!err.empty()) return err;
+    err = expect(prometheus_name(name) + "_sum",
+                 static_cast<double>(h.sum));
+    if (!err.empty()) return err;
+  }
+  return "";
+}
+
+}  // namespace dds::obs

@@ -1,0 +1,46 @@
+// Snapshot exporters: Prometheus text exposition format and structured
+// JSON, plus a Prometheus parser used by the round-trip format check
+// (tools/obs_report and the CI observability smoke).
+//
+// Metric names are dotted internally ("net.wire.msgs"); the Prometheus
+// rendering sanitizes them to the [a-zA-Z0-9_:] charset and prefixes
+// "dds_" ("dds_net_wire_msgs"). Histograms export the standard
+// `_bucket{le="..."}` / `_sum` / `_count` triplet with cumulative
+// bucket counts over the log2 bounds.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dds::obs {
+
+/// "net.wire.msgs" -> "dds_net_wire_msgs".
+std::string prometheus_name(std::string_view name);
+
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// One sample line of a Prometheus exposition.
+struct PromSample {
+  std::string name;  ///< metric name (labels stripped into `labels`)
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Parses Prometheus text format (the subset to_prometheus emits plus
+/// arbitrary labels). Returns nullopt on any malformed line — the CI
+/// round-trip check treats that as a format regression.
+std::optional<std::vector<PromSample>> parse_prometheus(
+    std::string_view text);
+
+/// Round-trip check: renders the snapshot, parses it back, and verifies
+/// every counter/gauge/histogram value survives. Returns an error
+/// description, or an empty string on success.
+std::string prometheus_round_trip_error(const MetricsSnapshot& snapshot);
+
+}  // namespace dds::obs

@@ -1,0 +1,48 @@
+#include "obs/observability.h"
+
+#include "obs/export.h"
+
+namespace dds::obs {
+
+Observability::Observability(const ObservabilityConfig& config)
+    : config_(config) {
+  if (config_.metrics) registry_ = std::make_unique<MetricsRegistry>();
+  if (config_.tracing) {
+    tracer_ = std::make_unique<Tracer>(config_.trace_capacity);
+  }
+}
+
+MetricsSnapshot Observability::snapshot() const {
+  return registry_ ? registry_->snapshot() : MetricsSnapshot{};
+}
+
+std::string Observability::prometheus() const {
+  return to_prometheus(snapshot());
+}
+
+std::string Observability::json() const { return to_json(snapshot()); }
+
+bool Observability::write_trace(const std::filesystem::path& path) const {
+  if (!tracer_) return false;
+  tracer_->write_chrome_json_file(path);
+  return true;
+}
+
+void Observability::sample_counters(double slot) {
+  if (!registry_ || !tracer_) return;
+  // Engine-strategy metrics ride the "engine" category so that the
+  // deterministic remainder of the trace stays comparable across
+  // engines (write_chrome_json filters by category).
+  const auto category = [](const std::string& name) {
+    return name.rfind("engine.", 0) == 0 ? "engine" : "metrics";
+  };
+  const MetricsSnapshot snap = registry_->snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    tracer_->counter(category(name), name, slot, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    tracer_->counter(category(name), name, slot, value);
+  }
+}
+
+}  // namespace dds::obs

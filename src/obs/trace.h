@@ -1,0 +1,93 @@
+// Slot-timestamped tracing in Chrome trace-event form (the tracing half
+// of the observability layer; docs/observability.md has the schema).
+//
+// Timestamps are VIRTUAL: a slot maps to 1000 "microseconds" of trace
+// time (fractional slots — SimNetwork's event clock — map to fractional
+// milliseconds), so a trace is a pure function of the run's logical
+// execution, never of wall-clock scheduling. That is what lets the
+// observability tests demand bit-identical traces from the serial and
+// sharded engines: both emit the same events at the same virtual times
+// in the same order, because every traced code path (transport
+// deliveries, batch flushes, slot boundaries, checkpoints) runs on the
+// main/replay thread in the serial order. Engine-internal events (wave
+// barriers, stalls) carry the "engine" category and are excluded from
+// cross-engine comparisons — they describe the execution strategy, not
+// the protocol.
+//
+// Capacity is bounded: past `capacity` events the tracer drops (and
+// counts) instead of growing without bound; dropped_events() makes the
+// truncation visible rather than silent.
+//
+// Emission is mutex-guarded so opt-in tracing from concurrent contexts
+// is safe; the deterministic categories are nevertheless only ever
+// emitted single-threaded (see above).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dds::obs {
+
+/// One trace event. `phase` follows the Chrome trace-event format:
+/// 'i' = instant, 'X' = complete (with duration), 'C' = counter sample.
+struct TraceEvent {
+  std::string cat;
+  std::string name;
+  char phase = 'i';
+  double ts_us = 0.0;   ///< virtual time: slot * 1000
+  double dur_us = 0.0;  ///< 'X' events only
+  std::uint32_t tid = 0;  ///< logical lane: node id, shard, or 0
+  /// Small argument list rendered into the event's "args" object.
+  std::vector<std::pair<std::string, double>> args;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  /// Virtual-time scale: trace microseconds per slot.
+  static constexpr double kUsPerSlot = 1000.0;
+
+  void instant(std::string cat, std::string name, double slot,
+               std::uint32_t tid,
+               std::vector<std::pair<std::string, double>> args = {});
+  /// A [slot_begin, slot_end] span.
+  void complete(std::string cat, std::string name, double slot_begin,
+                double slot_end, std::uint32_t tid,
+                std::vector<std::pair<std::string, double>> args = {});
+  /// A counter sample ('C'): chrome://tracing renders these as a value
+  /// graph over time — the substrate/occupancy lanes use this.
+  void counter(std::string cat, std::string name, double slot,
+               double value);
+
+  std::size_t size() const;
+  std::uint64_t dropped_events() const;
+  /// Copy of the event list (test introspection).
+  std::vector<TraceEvent> events() const;
+
+  /// Renders {"traceEvents": [...]} — loadable by chrome://tracing and
+  /// Perfetto. `filter_out_cat` (optional) drops one category, which is
+  /// how the determinism tests compare protocol-level traces across
+  /// engines without the engine-strategy lane.
+  void write_chrome_json(std::ostream& os,
+                         std::string_view filter_out_cat = {}) const;
+  std::string to_chrome_json(std::string_view filter_out_cat = {}) const;
+  void write_chrome_json_file(const std::filesystem::path& path,
+                              std::string_view filter_out_cat = {}) const;
+
+ private:
+  void emit(TraceEvent event);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dds::obs

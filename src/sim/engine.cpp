@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "sim/serial_engine.h"
 #include "sim/sharded_engine.h"
 
@@ -21,6 +22,17 @@ void Engine::set_observer(std::uint64_t observe_every,
                           std::function<void(const Progress&)> observer) {
   observe_every_ = observe_every;
   observer_ = std::move(observer);
+}
+
+void Engine::bind_observability(obs::MetricsRegistry* registry,
+                                obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) return;
+  registry->counter("engine.arrivals", &processed_);
+  registry->gauge("engine.threads",
+                  [this] { return static_cast<double>(num_threads()); });
+  registry->gauge("engine.slot",
+                  [this] { return static_cast<double>(current_slot_); });
 }
 
 void Engine::begin_slots_through(Slot slot) {

@@ -23,6 +23,11 @@
 #include "net/transport.h"
 #include "sim/node.h"
 
+namespace dds::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace dds::obs
+
 namespace dds::sim {
 
 /// One stream observation: element `element` arrives at site `site`
@@ -105,6 +110,15 @@ class Engine {
   /// Worker threads driving site work (1 for the serial engine).
   virtual std::uint32_t num_threads() const noexcept { return 1; }
 
+  /// Registers engine metrics with `registry` (all under the "engine."
+  /// prefix: they describe the execution strategy, not the protocol, so
+  /// the determinism tests strip them before comparing engines) and
+  /// stores `tracer` for wave/stall events (category "engine", excluded
+  /// the same way). Either pointer may be null. Subclasses extend and
+  /// must call the base.
+  virtual void bind_observability(obs::MetricsRegistry* registry,
+                                  obs::Tracer* tracer);
+
  protected:
   /// Advances the slot clock (and per-slot expiry callbacks) through
   /// `slot`, delivering due transport traffic — the synchronous portion
@@ -122,6 +136,8 @@ class Engine {
 
   net::Transport& net_;
   std::vector<StreamNode*> sites_;
+  /// Non-owning; null when tracing is off (engine-category events only).
+  obs::Tracer* tracer_ = nullptr;
   bool invoke_slot_begin_;
   Slot current_slot_ = -1;
   std::uint64_t processed_ = 0;

@@ -39,6 +39,29 @@ enum class MsgType : std::uint8_t {
 
 inline constexpr std::uint8_t kNumMsgTypes = 7;
 
+/// Stable lowercase name per message type — the observability layer
+/// keys its per-protocol message-class metrics on these
+/// ("proto.msgs.sliding_report", ...).
+constexpr const char* msg_type_name(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kReportElement:
+      return "report_element";
+    case MsgType::kThresholdReply:
+      return "threshold_reply";
+    case MsgType::kThresholdBroadcast:
+      return "threshold_broadcast";
+    case MsgType::kSlidingReport:
+      return "sliding_report";
+    case MsgType::kSlidingReply:
+      return "sliding_reply";
+    case MsgType::kDrsReport:
+      return "drs_report";
+    case MsgType::kDrsReply:
+      return "drs_reply";
+  }
+  return "unknown";
+}
+
 /// A constant-size protocol message.
 struct Message {
   NodeId from = kNoNode;

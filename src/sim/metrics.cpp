@@ -1,6 +1,5 @@
 #include "sim/metrics.h"
 
-#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -19,11 +18,16 @@ double Series::mean_at(double x) const {
 }
 
 const util::RunningStat& Series::stat_at(double x) const {
-  auto it = points_.find(x);
-  if (it == points_.end()) {
+  const util::RunningStat* stat = find_stat(x);
+  if (stat == nullptr) {
     throw std::out_of_range("Series: no samples at requested x");
   }
-  return it->second;
+  return *stat;
+}
+
+const util::RunningStat* Series::find_stat(double x) const noexcept {
+  auto it = points_.find(x);
+  return it == points_.end() ? nullptr : &it->second;
 }
 
 Series& SeriesBundle::series(std::string_view name) {
@@ -56,13 +60,9 @@ util::Table SeriesBundle::to_table(bool with_ci) const {
     std::vector<std::string> row{util::fmt(x)};
     for (const auto& name : order_) {
       const Series& s = series_.at(name);
-      auto xs = s.xs();
-      const bool present =
-          std::find(xs.begin(), xs.end(), x) != xs.end();
-      if (present) {
-        const auto& stat = s.stat_at(x);
-        row.push_back(util::fmt(stat.mean()));
-        if (with_ci) row.push_back(util::fmt(stat.ci95_halfwidth(), 3));
+      if (const util::RunningStat* stat = s.find_stat(x)) {
+        row.push_back(util::fmt(stat->mean()));
+        if (with_ci) row.push_back(util::fmt(stat->ci95_halfwidth(), 3));
       } else {
         row.push_back("-");
         if (with_ci) row.push_back("-");

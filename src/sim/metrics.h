@@ -25,7 +25,12 @@ class Series {
   std::vector<double> xs() const;
   /// Mean y at x (0 if absent).
   double mean_at(double x) const;
+  /// Stats at x; throws std::out_of_range when no sample exists there.
+  /// Prefer find_stat() when absence is an expected case.
   const util::RunningStat& stat_at(double x) const;
+  /// Stats at x, or nullptr when no sample exists there — the safe miss
+  /// path for ragged bundles (series sampled at different x sets).
+  const util::RunningStat* find_stat(double x) const noexcept;
   bool empty() const noexcept { return points_.empty(); }
 
  private:

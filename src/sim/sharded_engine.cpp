@@ -4,7 +4,21 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace dds::sim {
+
+void ShardedEngine::bind_observability(obs::MetricsRegistry* registry,
+                                      obs::Tracer* tracer) {
+  Engine::bind_observability(registry, tracer);
+  if (registry == nullptr) return;
+  registry->counter("engine.waves", &waves_);
+  registry->counter("engine.lockstep.stalls", &lockstep_stalls_);
+  registry->counter("engine.wakeups", &wakeups_);
+  registry->histogram("engine.wave.arrivals", &wave_size_hist_);
+  registry->histogram("engine.inbox.depth", &inbox_depth_hist_);
+  metrics_bound_ = true;
+}
 
 ShardedEngine::ShardedEngine(net::Transport& net,
                              std::vector<StreamNode*> sites,
@@ -173,10 +187,14 @@ void ShardedEngine::deliver_to_site(std::uint32_t shard_index,
   {
     std::lock_guard<std::mutex> g(shard.in_mutex);
     shard.inbox.push_back(InboundEntry{msg, false});
+    if (metrics_bound_) inbox_depth_hist_.observe(shard.inbox.size());
   }
   // Under wakeup coalescing the worker sleeps until the end-of-exchange
   // sentinel: one notify per exchange instead of one per message.
-  if (!coalesce_wakeups_) shard.in_cv.notify_one();
+  if (!coalesce_wakeups_) {
+    shard.in_cv.notify_one();
+    ++wakeups_;
+  }
 }
 
 std::uint64_t ShardedEngine::run(ArrivalSource& source) {
@@ -234,6 +252,15 @@ std::uint64_t ShardedEngine::run(ArrivalSource& source) {
           wave_slot = pending->slot;
           have_wave_slot = true;
         } else if (static_cast<double>(pending->slot) >= wave_limit) {
+          // Delivery-horizon stall: the wave closes early because the
+          // next arrival would cross into the window where in-flight
+          // traffic becomes due.
+          ++lockstep_stalls_;
+          if (tracer_ != nullptr) {
+            tracer_->instant("engine", "lockstep.stall", wave_limit, 0,
+                             {{"next_slot",
+                               static_cast<double>(pending->slot)}});
+          }
           break;
         }
       }
@@ -267,6 +294,8 @@ std::uint64_t ShardedEngine::run(ArrivalSource& source) {
 
 void ShardedEngine::run_wave() {
   if (invoke_slot_begin_) begin_slots_through(plan_slot_.front());
+  ++waves_;
+  if (metrics_bound_) wave_size_hist_.observe(plan_shard_.size());
   wave_running_ = true;
   {
     std::lock_guard<std::mutex> lk(wave_mutex_);
@@ -286,6 +315,14 @@ void ShardedEngine::run_wave() {
     done_cv_.wait(lk, [&] { return workers_done_ == workers_.size(); });
   }
   wave_running_ = false;
+  if (tracer_ != nullptr) {
+    tracer_->complete("engine", "wave",
+                      static_cast<double>(plan_slot_.front()),
+                      static_cast<double>(plan_slot_.back()), 0,
+                      {{"arrivals",
+                        static_cast<double>(plan_shard_.size())},
+                       {"wave", static_cast<double>(waves_)}});
+  }
   std::exception_ptr worker_error;
   {
     std::lock_guard<std::mutex> g(error_mutex_);
@@ -338,6 +375,7 @@ void ShardedEngine::replay() {
           shard.inbox.push_back(InboundEntry{Message{}, true});
         }
         shard.in_cv.notify_one();
+        ++wakeups_;
       }
     }
     ++processed_;

@@ -69,6 +69,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/engine.h"
 
 namespace dds::sim {
@@ -85,6 +86,11 @@ class ShardedEngine final : public Engine {
   std::uint32_t num_threads() const noexcept override {
     return static_cast<std::uint32_t>(workers_.size());
   }
+
+  /// Base registrations plus the wave/stall/wakeup counters and the
+  /// wave-size / inbox-depth histograms (all "engine."-prefixed).
+  void bind_observability(obs::MetricsRegistry* registry,
+                          obs::Tracer* tracer) override;
 
  private:
   /// Records a site's outbound messages instead of delivering them; the
@@ -198,6 +204,17 @@ class ShardedEngine final : public Engine {
   std::atomic<bool> aborted_{false};
   std::mutex error_mutex_;
   std::exception_ptr worker_error_;
+
+  // Engine-strategy observability ("engine." prefix, never compared
+  // across engines). All cells are written on the main/replay thread
+  // only, so no synchronization is needed beyond what the wave
+  // handshake already provides.
+  std::uint64_t waves_ = 0;            ///< wave barriers crossed
+  std::uint64_t lockstep_stalls_ = 0;  ///< waves cut by the horizon limit
+  std::uint64_t wakeups_ = 0;          ///< replay->worker notifies
+  bool metrics_bound_ = false;
+  obs::Histogram wave_size_hist_;    ///< arrivals per wave
+  obs::Histogram inbox_depth_hist_;  ///< shard inbox depth at enqueue
 };
 
 }  // namespace dds::sim

@@ -34,8 +34,39 @@ ctest --test-dir "$build" --output-on-failure -j
   --outdir "$build/bench_results" --json
 "$build/sharded_sliding_lossy" >/dev/null
 
+# Observability smoke: the lossy sharded walkthrough with metrics +
+# tracing on must emit a parseable Chrome trace and a Prometheus
+# snapshot that round-trips through the parser (obs_report --check).
+obs_dir="$build/obs_smoke"
+mkdir -p "$obs_dir"
+"$build/sharded_sliding_lossy" --metrics "$obs_dir/snapshot.prom" \
+  --json "$obs_dir/snapshot.json" --trace "$obs_dir/trace.json" >/dev/null
+"$build/obs_report" --prom "$obs_dir/snapshot.prom" --check >/dev/null
+python3 - "$obs_dir/trace.json" "$obs_dir/snapshot.json" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+assert all("ph" in e and "ts" in e for e in events), "malformed event"
+snapshot = json.load(open(sys.argv[2]))
+assert snapshot["counters"].get("net.wire.msgs", 0) > 0, "no wire traffic"
+print(f"obs smoke: {len(events)} trace events, "
+      f"{len(snapshot['counters'])} counters")
+PY
+
 # Bench smoke: short micro-bench run, JSON into bench_results/ — the
 # per-commit point on the perf trajectory (archived by CI).
 "$repo/tools/bench_json.sh" "$build" "$build/bench_results" 0.05
+
+# Perf tripwire (SOFT): when a baseline snapshot of bench_results exists
+# (CI restores the previous run's artifact into bench_baseline/), diff
+# the trajectories and warn — never block — past the noise threshold.
+if [[ -d "$build/bench_baseline" ]]; then
+  python3 "$repo/tools/bench_compare.py" "$build/bench_results" \
+    "$build/bench_baseline" --threshold 0.25 \
+    || echo "ci: WARNING: bench_compare flagged a perf regression (soft)"
+else
+  echo "ci: no bench_baseline/ snapshot; skipping perf compare"
+fi
 
 echo "ci: OK"

@@ -1,0 +1,179 @@
+// obs_report — render an observability snapshot as tables.
+//
+// Two input modes:
+//   --prom FILE   parse a Prometheus text exposition (what a deployment
+//                 writes via Observability::prometheus(), e.g. the
+//                 --metrics flag of examples/sharded_sliding_lossy) and
+//                 print counters/gauges and histogram summaries as
+//                 Markdown tables. With --check, exit nonzero when the
+//                 file does not parse — the CI smoke's format gate.
+//   --demo        run a small sliding-window deployment with metrics
+//                 (and optionally tracing: --trace PATH) enabled, then
+//                 print its live snapshot the same way. With --check,
+//                 also run the Prometheus round-trip self-test.
+//
+//   ./build/tools/obs_report --prom snapshot.prom
+//   ./build/tools/obs_report --demo --trace demo_trace.json --check
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "obs/export.h"
+#include "obs/observability.h"
+#include "stream/generators.h"
+#include "stream/partitioner.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dds;
+
+// Groups parsed samples back into scalar metrics and histogram
+// triplets (name_bucket/_sum/_count) for table rendering.
+struct GroupedSamples {
+  std::map<std::string, double> scalars;
+  struct Hist {
+    std::vector<std::pair<std::string, double>> buckets;  // (le, cum count)
+    double sum = 0.0;
+    double count = 0.0;
+  };
+  std::map<std::string, Hist> histograms;
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+GroupedSamples group(const std::vector<obs::PromSample>& samples) {
+  GroupedSamples out;
+  for (const obs::PromSample& s : samples) {
+    if (ends_with(s.name, "_bucket")) {
+      auto& hist = out.histograms[s.name.substr(0, s.name.size() - 7)];
+      const auto le = s.labels.find("le");
+      hist.buckets.emplace_back(le == s.labels.end() ? "?" : le->second,
+                                s.value);
+    } else if (ends_with(s.name, "_sum") &&
+               out.histograms.count(s.name.substr(0, s.name.size() - 4))) {
+      out.histograms[s.name.substr(0, s.name.size() - 4)].sum = s.value;
+    } else if (ends_with(s.name, "_count") &&
+               out.histograms.count(s.name.substr(0, s.name.size() - 6))) {
+      out.histograms[s.name.substr(0, s.name.size() - 6)].count = s.value;
+    } else {
+      out.scalars[s.name] = s.value;
+    }
+  }
+  return out;
+}
+
+void print_tables(const GroupedSamples& grouped) {
+  util::Table scalars({"metric", "value"});
+  for (const auto& [name, value] : grouped.scalars) {
+    scalars.add_row({name, util::fmt(value)});
+  }
+  scalars.print(std::cout, "metrics");
+
+  if (!grouped.histograms.empty()) {
+    util::Table hists({"histogram", "count", "sum", "mean", "buckets"});
+    for (const auto& [name, h] : grouped.histograms) {
+      std::ostringstream buckets;
+      for (std::size_t i = 0; i + 1 < h.buckets.size(); ++i) {
+        if (i) buckets << " ";
+        buckets << "le" << h.buckets[i].first << ":"
+                << util::fmt(h.buckets[i].second);
+      }
+      hists.add_row({name, util::fmt(h.count), util::fmt(h.sum),
+                     util::fmt(h.count == 0.0 ? 0.0 : h.sum / h.count),
+                     buckets.str()});
+    }
+    hists.print(std::cout, "histograms");
+  }
+}
+
+int report_prom_file(const std::string& path, bool check) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "obs_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto samples = obs::parse_prometheus(buf.str());
+  if (!samples) {
+    std::fprintf(stderr,
+                 "obs_report: %s is not valid Prometheus exposition\n",
+                 path.c_str());
+    return check ? 2 : 1;
+  }
+  print_tables(group(*samples));
+  std::printf("\n%zu samples parsed from %s\n", samples->size(),
+              path.c_str());
+  return 0;
+}
+
+int run_demo(const std::string& trace_path, bool check) {
+  core::SlidingSystemConfig config;
+  config.num_sites = 8;
+  config.sample_size = 4;
+  config.window = 64;
+  config.observability.metrics = true;
+  config.observability.tracing = true;
+  core::SlidingSystem system(config);
+
+  stream::UniformStream elements(/*n=*/256 * 16, /*domain_size=*/512,
+                                 /*seed=*/7);
+  stream::SlottedFeeder source(elements, config.num_sites,
+                               /*per_slot=*/16, /*seed=*/11);
+  system.run(source);
+  system.observability().sample_counters(
+      static_cast<double>(system.engine().current_slot()));
+
+  const obs::MetricsSnapshot snapshot = system.observability().snapshot();
+  const auto samples = obs::parse_prometheus(obs::to_prometheus(snapshot));
+  if (!samples) {
+    std::fprintf(stderr, "obs_report: demo exposition failed to parse\n");
+    return 2;
+  }
+  print_tables(group(*samples));
+
+  if (!trace_path.empty()) {
+    system.observability().write_trace(trace_path);
+    std::printf("\ntrace written to %s (%zu events)\n", trace_path.c_str(),
+                system.observability().tracer()->size());
+  }
+  if (check) {
+    const std::string err = obs::prometheus_round_trip_error(snapshot);
+    if (!err.empty()) {
+      std::fprintf(stderr, "obs_report: round-trip check failed: %s\n",
+                   err.c_str());
+      return 2;
+    }
+    std::printf("round-trip check passed (%zu samples)\n", samples->size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dds::util::Cli cli;
+  cli.flag("prom", "Prometheus text file to render", "");
+  cli.boolean("demo", "run a small instrumented deployment and report it");
+  cli.flag("trace", "with --demo: write the Chrome trace here", "");
+  cli.boolean("check", "exit nonzero on parse/round-trip failure");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string prom = cli.get("prom");
+  if (!prom.empty()) return report_prom_file(prom, cli.get_bool("check"));
+  if (cli.get_bool("demo")) {
+    return run_demo(cli.get("trace"), cli.get_bool("check"));
+  }
+  std::fprintf(stderr, "obs_report: pass --prom FILE or --demo (see --help)\n");
+  return 1;
+}
