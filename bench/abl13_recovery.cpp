@@ -1,0 +1,214 @@
+// Ablation A13 — the price of fault tolerance (PR 7's chaos layer):
+// checkpoint bandwidth and recovery latency vs checkpoint cadence vs
+// shard count.
+//
+// The exact bottom-s full-sync protocol runs sharded on a lossy wire
+// next to a fault-free unsharded reference on the same stream. A
+// deterministic kill schedule (one coordinator kill every `interval`
+// slots, cycling the shards; every third transfer image corrupted in
+// flight) drives the Supervisor's full policy loop: cadenced ensemble
+// checkpoints, timeout detection (detect_after = 2 slots), verified
+// restore with retry + exponential backoff, resync. Reported per
+// (shards, cadence) point:
+//   * checkpoint count and cumulative image bytes — the bandwidth the
+//     cadence buys; B/slot falls roughly as 1/cadence while the image
+//     size grows with shard count (more coordinators to snapshot) —
+//     the cadence/bandwidth trade the fault_tolerance doc discusses;
+//   * recoveries restored-from-image vs degraded (resync-only), and
+//     restore retries forced by the corrupted transfers;
+//   * mean recovery latency in slots = detection wait + simulated
+//     backoff (corrupt rounds pay one backoff_base);
+//   * agree% — slots where the deployment is whole AND the merged query
+//     equals the unsharded fault-free answer. The full-sync family must
+//     print 100.0 at every cadence — even cadences far above w/2 —
+//     because recovery ends with a site resync that rebuilds the exact
+//     answer regardless of the image (the clear+resync argument proved
+//     in tests/chaos_test.cpp); the image's job is bandwidth, not
+//     correctness, and this column demonstrates that at bench scale.
+#include "baseline/baseline_checkpoint.h"
+#include "bench_common.h"
+#include "core/supervisor.h"
+#include "sim/chaos.h"
+#include "sim/sources.h"
+
+namespace {
+
+using dds::sim::SlotSource;
+
+struct PointResult {
+  std::uint64_t checkpoints = 0;
+  std::uint64_t ckpt_bytes = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t retries = 0;
+  double mean_latency = 0.0;
+  std::uint64_t msgs = 0;
+  double agree = 100.0;
+  double whole_pct = 100.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sites", "number of sites k", "6");
+  cli.flag("slots", "stream length in slots", "260");
+  cli.flag("per-slot", "arrivals per slot", "5");
+  cli.flag("window", "window length w in slots", "32");
+  cli.flag("domain", "distinct-element domain", "400");
+  cli.flag("sample-size", "window sample size s", "3");
+  cli.flag("shard-list", "comma-separated coordinator-shard sweep", "2,3,4");
+  cli.flag("cadence-list", "comma-separated checkpoint-cadence sweep",
+           "4,8,16,32");
+  cli.flag("kill-interval", "slots between scripted coordinator kills", "24");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto k = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const auto slots =
+      static_cast<sim::Slot>(cli.get_uint("slots") * (args.full ? 10 : 1));
+  const auto per_slot = static_cast<std::uint32_t>(cli.get_uint("per-slot"));
+  const auto window = static_cast<sim::Slot>(cli.get_uint("window"));
+  const std::uint64_t domain = cli.get_uint("domain");
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const auto shards_sweep = cli.get_uint_list("shard-list");
+  const auto cadence_sweep = cli.get_uint_list("cadence-list");
+  const auto interval = static_cast<sim::Slot>(cli.get_uint("kill-interval"));
+  bench::banner("Ablation A13: recovery latency and checkpoint bandwidth",
+                args);
+  std::cout << "k=" << k << ", slots=" << slots << ", per-slot=" << per_slot
+            << ", w=" << window << ", domain=" << domain << ", s=" << s
+            << ", kill every " << interval << " slots\n";
+
+  // One fixed slotted stream: every grid point replays it exactly.
+  std::vector<std::vector<std::pair<sim::NodeId, std::uint64_t>>> stream;
+  stream.reserve(static_cast<std::size_t>(slots));
+  {
+    util::SplitMix64 gen(util::derive_seed(args.seed, 0xAB13));
+    for (sim::Slot t = 0; t < slots; ++t) {
+      auto& xs = stream.emplace_back();
+      xs.reserve(per_slot);
+      for (std::uint32_t a = 0; a < per_slot; ++a) {
+        xs.emplace_back(static_cast<sim::NodeId>(gen.next() % k),
+                        1 + gen.next() % domain);
+      }
+    }
+  }
+
+  auto run_point = [&](std::uint32_t num_shards, sim::Slot cadence) {
+    PointResult result;
+    core::SlidingSystemConfig config;
+    config.num_sites = k;
+    config.window = window;
+    config.sample_size = s;
+    config.hash_kind = args.hash_kind;
+    config.seed = args.seed;
+    baseline::BottomSSlidingSystem reference(config);  // unsharded, no faults
+    auto chaotic_config = config;
+    chaotic_config.num_shards = num_shards;
+    chaotic_config.network.link.latency = 1.0;
+    chaotic_config.network.link.drop_rate = 0.1;
+    chaotic_config.network.link.retransmit = true;
+    chaotic_config.network.seed = util::derive_seed(args.seed, num_shards);
+    baseline::BottomSSlidingSystem chaotic(chaotic_config);
+
+    core::SupervisorConfig sup_config;
+    sup_config.checkpoint_cadence = cadence;
+    sup_config.detect_after = 2;  // auto-recovery: the timeout detector
+    core::Supervisor<baseline::BottomSSlidingSystem> supervisor(chaotic,
+                                                                sup_config);
+
+    // The kill schedule: one coordinator down every `interval` slots,
+    // cycling shards; every third transfer image is corrupted in
+    // flight (armed at the kill slot, consumed by the recovery two
+    // slots later — one verify rejection, one backoff_base of latency).
+    sim::ChaosPlan plan;
+    std::uint32_t round = 0;
+    for (sim::Slot t = 30; t + sup_config.detect_after < slots;
+         t += interval, ++round) {
+      const std::uint32_t shard = round % num_shards;
+      plan.kill_at(t, shard);
+      if (round % 3 == 2) plan.corrupt_image_at(t, shard);
+    }
+    sim::Slot now = 0;
+    sim::ChaosHooks hooks;
+    hooks.kill = [&](std::uint32_t shard) {
+      chaotic.kill_shard(shard);
+      supervisor.notify_killed(shard, now);
+    };
+    sim::ChaosController controller(plan, std::move(hooks));
+    supervisor.set_image_filter(
+        [&](std::uint32_t shard, core::CheckpointImage& image) {
+          controller.mangle(shard, image);
+        });
+
+    std::uint64_t whole = 0;
+    std::uint64_t agree = 0;
+    for (sim::Slot t = 0; t < slots; ++t) {
+      now = t;
+      {
+        SlotSource src(t, stream[static_cast<std::size_t>(t)]);
+        reference.run(src);
+      }
+      {
+        SlotSource src(t, stream[static_cast<std::size_t>(t)]);
+        chaotic.run(src);
+      }
+      supervisor.on_slot(t);
+      controller.step(t);
+      if (chaotic.dead_shards() == 0) {
+        ++whole;
+        if (reference.coordinator().sample(t) == chaotic.sample(t)) ++agree;
+      }
+    }
+    const auto& stats = supervisor.stats();
+    result.checkpoints = stats.checkpoints;
+    result.ckpt_bytes = stats.checkpoint_bytes;
+    result.kills = controller.stats().kills;
+    result.restored = stats.recoveries;
+    result.degraded = stats.degraded_recoveries;
+    result.retries = stats.restore_failures;
+    const std::uint64_t recoveries = stats.recoveries +
+                                     stats.degraded_recoveries;
+    result.mean_latency =
+        recoveries == 0 ? 0.0
+                        : static_cast<double>(stats.total_recovery_latency) /
+                              static_cast<double>(recoveries);
+    result.msgs = chaotic.bus().counters().total;
+    result.agree =
+        whole == 0 ? 100.0
+                   : 100.0 * static_cast<double>(agree) /
+                         static_cast<double>(whole);
+    result.whole_pct = 100.0 * static_cast<double>(whole) /
+                       static_cast<double>(slots);
+    return result;
+  };
+
+  util::Table table({"shards", "cadence", "ckpts", "ckpt KB", "B/slot",
+                     "kills", "restored", "degraded", "retries",
+                     "latency(slots)", "msgs", "whole%", "agree%"});
+  for (const std::uint64_t num_shards : shards_sweep) {
+    for (const std::uint64_t cadence : cadence_sweep) {
+      const PointResult r = run_point(static_cast<std::uint32_t>(num_shards),
+                                      static_cast<sim::Slot>(cadence));
+      table.add_row(
+          {std::to_string(num_shards), std::to_string(cadence),
+           std::to_string(r.checkpoints),
+           util::fmt(static_cast<double>(r.ckpt_bytes) / 1024.0, 2),
+           util::fmt_fixed(static_cast<double>(r.ckpt_bytes) /
+                               static_cast<double>(slots),
+                           1),
+           std::to_string(r.kills), std::to_string(r.restored),
+           std::to_string(r.degraded), std::to_string(r.retries),
+           util::fmt_fixed(r.mean_latency, 2), std::to_string(r.msgs),
+           util::fmt_fixed(r.whole_pct, 1), util::fmt_fixed(r.agree, 1)});
+    }
+  }
+  bench::emit(table,
+              "A13: recovery cost, exact bottom-s, k=" + std::to_string(k) +
+                  ", w=" + std::to_string(window) + ", s=" + std::to_string(s),
+              "abl13_recovery.csv", args);
+  return 0;
+}

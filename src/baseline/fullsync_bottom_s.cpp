@@ -25,6 +25,17 @@ void BottomSSlidingSite::on_element(stream::Element element, sim::Slot t,
   sync(t, bus);
 }
 
+void BottomSSlidingSite::resync(net::Transport& bus) {
+  shipped_.clear();
+  sync(bus.now(), bus);
+}
+
+void BottomSSlidingSite::restore_candidates(
+    const std::vector<treap::Candidate>& items) {
+  sampler_.load_candidates(items);
+  shipped_.clear();
+}
+
 void BottomSSlidingSite::sync(sim::Slot now, net::Transport& bus) {
   sampler_.sample_into(now, bottom_);
   // Drop shipped-records for tuples that left the local bottom-s; the

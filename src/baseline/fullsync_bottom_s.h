@@ -42,6 +42,23 @@ class BottomSSlidingSite final : public sim::StreamNode {
     return sampler_.state_size();
   }
 
+  /// Forgets the shipped-memo and re-ships the whole current local
+  /// bottom-s — the post-failover resynchronization step: one resync
+  /// round from every site rebuilds a respawned-empty (or restored)
+  /// coordinator pool to exactness.
+  void resync(net::Transport& bus);
+
+  /// Candidate-set image for lossless site failover (core/checkpoint.h).
+  std::vector<treap::Candidate> snapshot_candidates() const {
+    return sampler_.candidates().snapshot();
+  }
+  /// Rebuilds the candidate set from a snapshot_candidates() image and
+  /// clears the shipped-memo, so the next sync re-ships everything.
+  void restore_candidates(const std::vector<treap::Candidate>& items);
+  /// Adopts one tuple with an arbitrary expiry — the elastic-resize
+  /// migration path routes tuples from old shard copies through here.
+  void absorb(const treap::Candidate& c) { sampler_.absorb(c); }
+
  private:
   /// Ships every tuple of the current local bottom-s the coordinator
   /// has not seen at its current expiry.
@@ -75,6 +92,15 @@ class BottomSSlidingCoordinator final : public sim::Node {
   /// Read access to the pooled dominance set (the observability layer
   /// polls its occupancy and expiry-sweep statistics).
   const treap::SDominanceSet& pool() const noexcept { return pool_; }
+
+  // ---- checkpoint / recovery hooks (core/checkpoint.h) --------------
+  /// Forgets the pooled tuples (a respawned-empty coordinator; a site
+  /// resync round restores exactness).
+  void clear() { pool_.clear(); }
+  /// Rebuilds the pool from a pool().snapshot() image.
+  void restore_pool(const std::vector<treap::Candidate>& items) {
+    pool_.load_snapshot(items);
+  }
 
  private:
   /// The reported-tuple pool as a bottom-s dominance set: tuples whose

@@ -32,10 +32,17 @@ void FullSyncSlidingSite::report_if_changed(net::Transport& bus) {
       (!valid || *current == last_reported_)) {
     return;
   }
+  report(bus);
+}
+
+void FullSyncSlidingSite::report(net::Transport& bus) {
+  const auto current = candidates_.min_hash();
+  const bool valid = current.has_value();
   sim::Message msg;
   msg.from = id_;
   msg.to = coordinator_;
   msg.type = sim::MsgType::kSlidingReport;
+  msg.instance = next_seq_++;
   if (valid) {
     msg.a = current->element;
     msg.b = current->hash;
@@ -50,6 +57,15 @@ void FullSyncSlidingSite::report_if_changed(net::Transport& bus) {
   bus.send(msg);
 }
 
+void FullSyncSlidingSite::resync(net::Transport& bus) { report(bus); }
+
+void FullSyncSlidingSite::restore_candidates(
+    const std::vector<treap::Candidate>& items) {
+  candidates_.load_snapshot(items);
+  reported_valid_ = false;
+  last_reported_ = treap::Candidate{};
+}
+
 FullSyncSlidingCoordinator::FullSyncSlidingCoordinator(sim::NodeId /*id*/,
                                                        std::uint32_t num_sites)
     : per_site_(num_sites) {}
@@ -59,6 +75,11 @@ void FullSyncSlidingCoordinator::on_message(const sim::Message& msg,
   if (msg.type != sim::MsgType::kSlidingReport) return;
   if (msg.from >= per_site_.size()) return;
   PerSite& slot = per_site_[msg.from];
+  // Ignore reports older than the freshest one applied: a dropped
+  // transmission that retransmits after a newer report was delivered
+  // must not roll the entry back (lossy/jittery wires reorder).
+  if (msg.instance <= slot.last_seq) return;
+  slot.last_seq = msg.instance;
   if (msg.b == hash::kHashMax) {
     slot.valid = false;
   } else {
@@ -66,6 +87,19 @@ void FullSyncSlidingCoordinator::on_message(const sim::Message& msg,
     slot.candidate =
         treap::Candidate{msg.a, msg.b, static_cast<sim::Slot>(msg.c)};
   }
+}
+
+void FullSyncSlidingCoordinator::restore_site(
+    std::uint32_t i, const std::optional<treap::Candidate>& c) {
+  if (i >= per_site_.size()) return;
+  PerSite& slot = per_site_[i];
+  slot.valid = c.has_value();
+  slot.candidate = c.value_or(treap::Candidate{});
+  slot.last_seq = 0;
+}
+
+void FullSyncSlidingCoordinator::clear() {
+  for (PerSite& slot : per_site_) slot = PerSite{};
 }
 
 std::size_t FullSyncSlidingCoordinator::state_size() const noexcept {

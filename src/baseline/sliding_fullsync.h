@@ -41,10 +41,31 @@ class FullSyncSlidingSite final : public sim::StreamNode {
     return candidates_.size();
   }
 
+  /// Unconditionally re-ships the current local minimum (or the empty
+  /// sentinel) — the post-failover resynchronization step: after the
+  /// coordinator restores from a checkpoint (or from nothing), one
+  /// resync round from every site rebuilds its per-site table exactly.
+  void resync(net::Transport& bus);
+
+  /// Candidate-set image for lossless site failover (core/checkpoint.h).
+  std::vector<treap::Candidate> snapshot_candidates() const {
+    return candidates_.snapshot();
+  }
+  /// Rebuilds the candidate set from a snapshot_candidates() image and
+  /// clears the report memo, so the next report is unconditional.
+  void restore_candidates(const std::vector<treap::Candidate>& items);
+  /// Adopts one tuple with an arbitrary expiry — the elastic-resize
+  /// migration path routes tuples from old shard copies through here.
+  void absorb(const treap::Candidate& c) {
+    candidates_.insert(c.element, c.hash, c.expiry);
+  }
+
  private:
   /// Ships the local minimum if it changed since the last report. A
   /// cleared site (no candidates) reports the kHashMax sentinel once.
   void report_if_changed(net::Transport& bus);
+  /// Ships the current minimum (or sentinel) unconditionally.
+  void report(net::Transport& bus);
 
   sim::NodeId id_;
   sim::NodeId coordinator_;
@@ -53,6 +74,13 @@ class FullSyncSlidingSite final : public sim::StreamNode {
   treap::DominanceSet candidates_;
   bool reported_valid_ = false;
   treap::Candidate last_reported_{};
+  /// Per-site report sequence number, carried in Message::instance (the
+  /// field is otherwise unused by this single-instance protocol). The
+  /// coordinator keeps only the HIGHEST-seq report per site, which makes
+  /// it order-robust: a dropped-and-retransmitted report that lands
+  /// after a newer one can no longer roll the per-site entry back — the
+  /// property the chaos suite's lossy/jittery wires rely on.
+  std::uint32_t next_seq_ = 1;
 };
 
 class FullSyncSlidingCoordinator final : public sim::Node {
@@ -66,10 +94,28 @@ class FullSyncSlidingCoordinator final : public sim::Node {
   /// the sites' current minima, or nullopt for an empty window.
   std::optional<treap::Candidate> sample(sim::Slot now) const;
 
+  // ---- checkpoint / recovery hooks (core/checkpoint.h) --------------
+  std::uint32_t num_sites() const noexcept {
+    return static_cast<std::uint32_t>(per_site_.size());
+  }
+  /// Site i's current entry, or nullopt when the site reported empty.
+  std::optional<treap::Candidate> site_entry(std::uint32_t i) const {
+    if (i >= per_site_.size() || !per_site_[i].valid) return std::nullopt;
+    return per_site_[i].candidate;
+  }
+  /// Overwrites site i's entry from a checkpoint image. The restored
+  /// sequence watermark is 0, so any live report supersedes it.
+  void restore_site(std::uint32_t i, const std::optional<treap::Candidate>& c);
+  /// Forgets every per-site entry (a respawned-empty coordinator).
+  void clear();
+
  private:
   struct PerSite {
     bool valid = false;
     treap::Candidate candidate{};
+    /// Highest Message::instance seen from this site; older (reordered
+    /// or retransmitted-late) reports are ignored.
+    std::uint32_t last_seq = 0;
   };
   std::vector<PerSite> per_site_;
 };

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -75,6 +76,13 @@ struct SystemConfig {
   /// Observability switches (off by default: nothing is registered and
   /// no tracer exists — see obs/observability.h for the cost argument).
   obs::ObservabilityConfig observability{};
+  /// Opt into live add_shard/remove_shard. Forces the RoutedSite
+  /// wrapping even at num_shards == 1, so a later 1 -> 2 growth does
+  /// not have to rip out the engine's site wiring (the engine holds
+  /// stable RoutedSite pointers; only their inner copies are rebuilt).
+  /// Requires a shardable-coordinator protocol. Declared last: every
+  /// positional initializer in the repo predates it.
+  bool elastic = false;
 };
 
 /// The sliding-window protocols share the unified config; this type
@@ -126,6 +134,17 @@ class RoutedSite final : public sim::StreamNode {
   Site& copy(std::size_t shard) { return *copies_[shard]; }
   const Site& copy(std::size_t shard) const { return *copies_[shard]; }
 
+  std::size_t num_copies() const noexcept { return copies_.size(); }
+
+  /// Drops every copy and invalidates the route cache (whose entries
+  /// went stale with the ring) — the elastic-resize rebuild step. The
+  /// RoutedSite object itself stays put: the engine and transport keep
+  /// pointing at it.
+  void reset_copies() {
+    copies_.clear();
+    route_cache_.clear();
+  }
+
   const ShardCache& route_cache() const noexcept { return route_cache_; }
 
  private:
@@ -133,6 +152,38 @@ class RoutedSite final : public sim::StreamNode {
   sim::NodeId first_coordinator_;
   std::vector<std::unique_ptr<Site>> copies_;
   ShardCache route_cache_;
+};
+
+/// Swallows messages addressed to a killed coordinator shard. The
+/// transport throws on delivery to an unattached node (a bug trap), so
+/// a chaos kill swaps this in instead: in-flight traffic to the dead
+/// shard is absorbed and counted, never crashing the run. The counter
+/// is the `chaos.dead_letters` metric.
+class DeadLetterSink final : public sim::Node {
+ public:
+  void on_message(const sim::Message& /*msg*/,
+                  net::Transport& /*bus*/) override {
+    ++dead_letters_;
+  }
+  std::size_t state_size() const noexcept override { return 0; }
+  std::uint64_t dead_letters() const noexcept { return dead_letters_; }
+  const std::uint64_t* dead_letters_cell() const noexcept {
+    return &dead_letters_;
+  }
+
+ private:
+  std::uint64_t dead_letters_ = 0;
+};
+
+/// A merged query answer labelled with the fault state it was computed
+/// under: `complete` is false while any shard is dead — the sample then
+/// covers only the surviving shards' partitions (graceful degradation),
+/// and the caller can tell a full answer from a best-effort one.
+template <typename SampleT>
+struct AnnotatedSample {
+  SampleT sample{};
+  std::uint32_t dead_shards = 0;
+  bool complete = true;
 };
 
 /// Assembles one complete deployment — transport, coordinator shard(s),
@@ -153,6 +204,7 @@ class Deployment {
 
   Deployment(const SystemConfig& config, Options options)
       : config_(config),
+        options_(options),
         obs_(std::make_unique<obs::Observability>(config.observability)),
         shared_(Traits::make_shared(config)),
         router_(checked_shards(config),
@@ -167,9 +219,10 @@ class Deployment {
       transport_->attach(transport_->coordinator_id(j),
                          coordinators_.back().get());
     }
+    alive_.assign(shards, 1);
     stream_nodes_.reserve(config_.num_sites);
     for (std::uint32_t i = 0; i < config_.num_sites; ++i) {
-      if (shards == 1) {
+      if (shards == 1 && !config_.elastic) {
         sites_.push_back(Traits::make_site(i, transport_->coordinator_id(0),
                                            config_, shared_, options));
         stream_nodes_.push_back(sites_.back().get());
@@ -278,6 +331,122 @@ class Deployment {
     return Traits::merge_samples_at(coordinators_, config_, now);
   }
 
+  // ---- fault injection / recovery ----------------------------------
+  // The shard-lifecycle surface the chaos layer (sim/chaos.h) and the
+  // Supervisor (core/supervisor.h) drive. Killing a shard detaches its
+  // coordinator from the wire — in-flight traffic lands in a counting
+  // dead-letter sink — and swaps in a FRESH empty coordinator object,
+  // so merged queries degrade to the survivors' partitions instead of
+  // serving a ghost's stale state. Respawn re-attaches that fresh
+  // coordinator; the caller then restores a checkpoint image into it
+  // (core/checkpoint.h restore_into) and/or triggers resync_shard() to
+  // rebuild it exactly from the sites' live state.
+
+  /// True while shard `shard`'s coordinator is attached to the wire.
+  bool shard_alive(std::uint32_t shard) const {
+    return alive_.at(shard) != 0;
+  }
+  /// Number of currently-dead shards.
+  std::uint32_t dead_shards() const noexcept {
+    std::uint32_t n = 0;
+    for (const auto a : alive_) n += a == 0 ? 1 : 0;
+    return n;
+  }
+  /// Messages absorbed by the dead-letter sink so far (chaos.dead_letters).
+  std::uint64_t dead_letters() const noexcept {
+    return dead_sink_.dead_letters();
+  }
+
+  /// Kills shard `shard`: detaches its coordinator (traffic hits the
+  /// dead-letter sink) and replaces the object with a fresh empty one.
+  /// Idempotent. The old coordinator's state is GONE — checkpoint it
+  /// first (the Supervisor's cadence does) for a lossless restore.
+  void kill_shard(std::uint32_t shard) {
+    if (shard >= coordinators_.size()) {
+      throw std::out_of_range("Deployment::kill_shard");
+    }
+    if (alive_[shard] == 0) return;
+    alive_[shard] = 0;
+    coordinators_[shard] = Traits::make_coordinator(
+        transport_->coordinator_id(shard), shard, config_, shared_, options_);
+    transport_->attach(transport_->coordinator_id(shard), &dead_sink_);
+  }
+
+  /// Re-attaches shard `shard`'s (fresh, empty) coordinator to the
+  /// wire. Idempotent. Restore + resync are the caller's next moves.
+  void respawn_shard(std::uint32_t shard) {
+    if (shard >= coordinators_.size()) {
+      throw std::out_of_range("Deployment::respawn_shard");
+    }
+    if (alive_[shard] != 0) return;
+    alive_[shard] = 1;
+    transport_->attach(transport_->coordinator_id(shard),
+                       coordinators_[shard].get());
+  }
+
+  /// Makes every site re-offer its current local state to shard
+  /// `shard`'s coordinator: sites with a resync() hook (the full-sync
+  /// family) re-ship their local minima / bottom-s; sites with reset()
+  /// (the infinite protocol) drop their thresholds so future arrivals
+  /// re-report. Lazy sliding sites have neither — they self-heal within
+  /// one window — so this is a documented no-op for them. The sends go
+  /// through the wire; drive bus().finish() (or keep running slots) to
+  /// land them.
+  void resync_shard(std::uint32_t shard) {
+    for (std::uint32_t i = 0; i < config_.num_sites; ++i) {
+      Site& s = site(i, routed_sites_.empty() ? 0 : shard);
+      if constexpr (requires(Site& x, net::Transport& b) { x.resync(b); }) {
+        s.resync(*transport_);
+      } else if constexpr (requires(Site& x) { x.reset(); }) {
+        s.reset();
+      } else {
+        (void)s;
+      }
+    }
+  }
+
+  /// sample() with the fault state attached: `complete` is false while
+  /// any shard is dead (the merge then covers survivors only).
+  auto sample_annotated() const {
+    using S = decltype(Traits::merge_samples(coordinators_, config_));
+    const std::uint32_t dead = dead_shards();
+    return AnnotatedSample<S>{Traits::merge_samples(coordinators_, config_),
+                              dead, dead == 0};
+  }
+  /// sample(now) with the fault state attached.
+  auto sample_annotated(sim::Slot now) const {
+    using S = decltype(Traits::merge_samples_at(coordinators_, config_, now));
+    const std::uint32_t dead = dead_shards();
+    return AnnotatedSample<S>{
+        Traits::merge_samples_at(coordinators_, config_, now), dead,
+        dead == 0};
+  }
+
+  // ---- elastic topology --------------------------------------------
+
+  /// Grows the deployment to N+1 shards, live. Requires construction
+  /// with SystemConfig::elastic (or num_shards > 1) and a protocol
+  /// whose sites expose snapshot_candidates/absorb/resync and whose
+  /// coordinator exposes clear() — the full-sync family; the lazy
+  /// sliding scheme has no migration hooks and throws. The sequence:
+  /// quiesce the wire, snapshot every site copy's candidate tuples,
+  /// grow the ring (only ~1/(N+1) of the element space moves — ring
+  /// points are position-stable), resize the transport's coordinator
+  /// table (batcher buffers rebind; surviving batches flush, none
+  /// strand), rebuild fresh site copies with each tuple absorbed into
+  /// its new owner copy, then clear + resync every coordinator so the
+  /// merged answer is exact again before the next arrival. Serial /
+  /// lockstep engines only (num_threads == 1).
+  void add_shard() { resize_shards(router_.num_shards() + 1); }
+
+  /// Shrinks the deployment by its LAST shard, live (surviving shard
+  /// indices keep their meaning; see ShardRouter::remove_last_shard).
+  /// The departing coordinator's state is re-derived on the survivors
+  /// from the sites' migrated candidates — callers wanting a drain
+  /// image additionally checkpoint it BEFORE calling this (the
+  /// Supervisor's remove path does).
+  void remove_shard() { resize_shards(router_.num_shards() - 1); }
+
   // ---- routing-cache statistics (sharded deployments) --------------
   /// ShardCache hits across all routed sites (0 when num_shards == 1 —
   /// unsharded deployments route nothing).
@@ -324,7 +493,111 @@ class Deployment {
     registry->gauge("site.state.max", [this] {
       return static_cast<double>(max_site_state());
     });
+    registry->counter("chaos.dead_letters", dead_sink_.dead_letters_cell());
+    registry->counter_fn("chaos.dead_shards",
+                         [this] { return std::uint64_t{dead_shards()}; });
     bind_substrate_metrics(*registry);
+  }
+
+  /// Pushes every buffered batch onto the wire and runs the queue dry —
+  /// the precondition for any topology surgery: nothing in flight,
+  /// nothing buffered.
+  void quiesce() {
+    for (std::uint32_t j = 0; j < router_.num_shards(); ++j) {
+      transport_->flush_shard(j);
+    }
+    transport_->finish();
+  }
+
+  /// The shared grow/shrink body (new_shards differs from the current
+  /// count by exactly one). See add_shard() for the algorithm sketch;
+  /// correctness of the resync step: after migration every site copy
+  /// holds exactly the candidates of its (site, new-partition)
+  /// substream, and every member of the global answer is in its own
+  /// copy's local candidate set, so clear + full re-report rebuilds
+  /// each coordinator's state exactly.
+  void resize_shards(std::uint32_t new_shards) {
+    constexpr bool kElasticSites =
+        requires(Site& s, net::Transport& b, const treap::Candidate& c) {
+          { s.snapshot_candidates() } -> std::same_as<std::vector<treap::Candidate>>;
+          s.absorb(c);
+          s.resync(b);
+        };
+    constexpr bool kClearableCoordinator =
+        requires(Coordinator& c) { c.clear(); };
+    if constexpr (!(kElasticSites && kClearableCoordinator)) {
+      throw std::logic_error(
+          "Deployment: this protocol has no elastic-migration hooks "
+          "(snapshot_candidates/absorb/resync + coordinator clear)");
+    } else {
+      if (routed_sites_.empty()) {
+        throw std::logic_error(
+            "Deployment: construct with SystemConfig::elastic (or "
+            "num_shards > 1) for live resize");
+      }
+      const std::uint32_t old_shards = router_.num_shards();
+      if (new_shards == 0 ||
+          (new_shards != old_shards + 1 && new_shards + 1 != old_shards)) {
+        throw std::invalid_argument("Deployment: resize one shard at a time");
+      }
+      if (dead_shards() != 0) {
+        throw std::logic_error(
+            "Deployment: respawn dead shards before resizing");
+      }
+      quiesce();
+      // Snapshot every copy's candidates; the tuples are re-absorbed
+      // into their NEW owner copies below, so elements whose partition
+      // moved carry their exact expiry state across, and copies they
+      // left are rebuilt fresh (no duplicate answers in the merge).
+      std::vector<std::vector<treap::Candidate>> saved(config_.num_sites);
+      for (std::uint32_t i = 0; i < config_.num_sites; ++i) {
+        for (std::uint32_t j = 0; j < old_shards; ++j) {
+          auto tuples = routed_sites_[i]->copy(j).snapshot_candidates();
+          saved[i].insert(saved[i].end(), tuples.begin(), tuples.end());
+        }
+      }
+      if (new_shards > old_shards) {
+        router_.add_shard();
+        transport_->add_coordinator();
+        coordinators_.push_back(Traits::make_coordinator(
+            transport_->coordinator_id(new_shards - 1), new_shards - 1,
+            config_, shared_, options_));
+        transport_->attach(transport_->coordinator_id(new_shards - 1),
+                           coordinators_.back().get());
+        alive_.push_back(1);
+      } else {
+        // Quiesced above: the departing shard's batches flushed and its
+        // in-flight deliveries landed, so shrinking the tables now
+        // strands nothing (the chaos tests pin stranded() == 0).
+        transport_->remove_last_coordinator();
+        router_.remove_last_shard();
+        coordinators_.pop_back();
+        alive_.pop_back();
+      }
+      config_.num_shards = new_shards;
+      for (std::uint32_t i = 0; i < config_.num_sites; ++i) {
+        routed_sites_[i]->reset_copies();
+        for (std::uint32_t j = 0; j < new_shards; ++j) {
+          routed_sites_[i]->add_copy(
+              Traits::make_site(i, transport_->coordinator_id(j), config_,
+                                shared_, options_));
+        }
+        for (const treap::Candidate& c : saved[i]) {
+          routed_sites_[i]->copy(router_.owner(c.element)).absorb(c);
+        }
+      }
+      // Coordinator state cannot be split along the new partition from
+      // the outside (thresholds and pools are partition-dependent), so
+      // re-derive it: clear everything and have every copy re-report
+      // its current local state. Exact — see the method comment.
+      for (auto& coordinator : coordinators_) coordinator->clear();
+      for (std::uint32_t i = 0; i < config_.num_sites; ++i) {
+        for (std::uint32_t j = 0; j < new_shards; ++j) {
+          routed_sites_[i]->copy(j).resync(*transport_);
+        }
+      }
+      transport_->finish();
+    }
   }
 
   /// Applies `f` to every protocol-level Site object (each shard copy
@@ -418,7 +691,7 @@ class Deployment {
   }
   static std::uint32_t checked_shards(const SystemConfig& config) {
     const std::uint32_t shards = config.num_shards == 0 ? 1 : config.num_shards;
-    if (shards > 1 && !Traits::kShardableCoordinator) {
+    if ((shards > 1 || config.elastic) && !Traits::kShardableCoordinator) {
       throw std::invalid_argument(
           "Deployment: this protocol does not support a sharded coordinator");
     }
@@ -426,6 +699,10 @@ class Deployment {
   }
 
   SystemConfig config_;
+  /// Kept for the lifecycle paths (kill_shard's fresh coordinator,
+  /// resize_shards' fresh site copies) — they re-run the Traits recipes
+  /// with the SAME protocol options construction used.
+  Options options_;
   /// Declared before every instrumented member: the registry holds
   /// pointers INTO those members, but only reads them at snapshot time,
   /// and being first-declared makes obs_ the last member destroyed.
@@ -438,6 +715,11 @@ class Deployment {
   std::vector<std::unique_ptr<RoutedSite<Site>>> routed_sites_;  // > 1
   std::vector<sim::StreamNode*> stream_nodes_;
   std::unique_ptr<sim::Engine> engine_;
+  /// Per-shard liveness (1 = coordinator attached); parallel to
+  /// coordinators_.
+  std::vector<std::uint8_t> alive_;
+  /// Absorbs traffic to killed shards (see DeadLetterSink).
+  DeadLetterSink dead_sink_;
 };
 
 }  // namespace dds::core

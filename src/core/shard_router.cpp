@@ -10,14 +10,20 @@ namespace dds::core {
 ShardRouter::ShardRouter(std::uint32_t num_shards, std::uint64_t seed,
                          std::uint32_t replicas)
     : num_shards_(num_shards),
+      replicas_(replicas),
       salt_(util::derive_seed(seed, 0x52494E47ULL)) {  // "RING"
   if (num_shards == 0) {
     throw std::invalid_argument("ShardRouter: need at least one shard");
   }
+  rebuild();
+}
+
+void ShardRouter::rebuild() {
+  ring_.clear();
   if (num_shards_ == 1) return;  // trivial ring; shard_of short-circuits
-  ring_.reserve(static_cast<std::size_t>(num_shards_) * replicas);
+  ring_.reserve(static_cast<std::size_t>(num_shards_) * replicas_);
   for (std::uint32_t shard = 0; shard < num_shards_; ++shard) {
-    for (std::uint32_t r = 0; r < replicas; ++r) {
+    for (std::uint32_t r = 0; r < replicas_; ++r) {
       const std::uint64_t position = util::mix64(
           salt_ ^ util::derive_seed(shard, r));
       ring_.push_back(Point{position, shard});
@@ -28,6 +34,19 @@ ShardRouter::ShardRouter(std::uint32_t num_shards, std::uint64_t seed,
               return a.position < b.position ||
                      (a.position == b.position && a.shard < b.shard);
             });
+}
+
+void ShardRouter::add_shard() {
+  ++num_shards_;
+  rebuild();
+}
+
+void ShardRouter::remove_last_shard() {
+  if (num_shards_ < 2) {
+    throw std::logic_error("ShardRouter: cannot remove the only shard");
+  }
+  --num_shards_;
+  rebuild();
 }
 
 std::uint32_t ShardRouter::shard_of(stream::Element e) const noexcept {
@@ -66,6 +85,10 @@ std::uint32_t ShardCache::owner(const ShardRouter& router, stream::Element e) {
   way0[victim] = Entry{e, shard, true};
   mru_[set] = static_cast<std::uint8_t>(victim);
   return shard;
+}
+
+void ShardCache::clear() {
+  for (Entry& e : ways_) e.valid = false;
 }
 
 double ShardRouter::disagreement(const ShardRouter& other,

@@ -46,6 +46,19 @@ class ShardRouter {
 
   std::uint32_t num_shards() const noexcept { return num_shards_; }
 
+  /// Grows the ring to N+1 shards in place. Ring points depend only on
+  /// (seed, shard, replica), so the grown ring is IDENTICAL to a fresh
+  /// ShardRouter(N+1, seed, replicas) — and only the element regions
+  /// claimed by the newcomer's points move (~1/(N+1) of the space; the
+  /// elastic tests measure it via disagreement()).
+  void add_shard();
+
+  /// Shrinks the ring to N-1 shards in place (N >= 2, throws
+  /// std::logic_error otherwise). Only elements owned by the departing
+  /// LAST shard move (~1/N of the space); surviving shard indices are
+  /// unchanged, which is why only the last shard may leave.
+  void remove_last_shard();
+
   /// Fraction of `probes` sampled elements whose shard differs between
   /// this ring and `other` (the remap cost of a resize; test hook).
   double disagreement(const ShardRouter& other, std::uint64_t probes) const;
@@ -56,7 +69,10 @@ class ShardRouter {
     std::uint32_t shard;
   };
 
+  void rebuild();
+
   std::uint32_t num_shards_;
+  std::uint32_t replicas_;
   std::uint64_t salt_;
   std::vector<Point> ring_;  // sorted by position
 };
@@ -76,6 +92,11 @@ class ShardCache {
 
   /// Cached router.owner(e).
   std::uint32_t owner(const ShardRouter& router, stream::Element e);
+
+  /// Invalidates every entry (statistics survive). Required after the
+  /// ring resizes — an elastic add/remove_shard makes cached owners
+  /// stale, the one exception to the "ring is immutable" contract above.
+  void clear();
 
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t lookups() const noexcept { return lookups_; }

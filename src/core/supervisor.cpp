@@ -1,0 +1,13 @@
+#include "core/supervisor.h"
+
+namespace dds::core {
+
+sim::Slot backoff_delay(const SupervisorConfig& config, std::uint32_t attempt) {
+  // Saturate the shift before it can overflow: past ~63 doublings the
+  // cap has long since won.
+  if (attempt >= 63) return config.backoff_cap;
+  const sim::Slot delay = config.backoff_base << attempt;
+  return delay > config.backoff_cap ? config.backoff_cap : delay;
+}
+
+}  // namespace dds::core

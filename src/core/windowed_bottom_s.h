@@ -49,6 +49,18 @@ class WindowedBottomSSampler {
     return candidates_;
   }
 
+  /// Rebuilds the candidate set from a candidates().snapshot() image —
+  /// the checkpoint/restore path (core/checkpoint.h).
+  void load_candidates(const std::vector<treap::Candidate>& items) {
+    candidates_.load_snapshot(items);
+  }
+
+  /// Adopts one tuple with an arbitrary expiry — the elastic-resize
+  /// migration path routes tuples from old shard copies through here.
+  void absorb(const treap::Candidate& c) {
+    candidates_.insert(c.element, c.hash, c.expiry);
+  }
+
  private:
   sim::Slot window_;
   hash::HashFunction hash_fn_;

@@ -73,6 +73,28 @@ std::vector<Batch> Batcher::take_for_shard(std::uint32_t shard) {
   return out;
 }
 
+std::vector<Batch> Batcher::rebind(std::uint32_t num_coordinators) {
+  const std::uint32_t old_c = num_coordinators_;
+  std::vector<Buffer> old = std::move(buffers_);
+  num_coordinators_ = num_coordinators == 0 ? 1 : num_coordinators;
+  buffers_.assign(static_cast<std::size_t>(num_sites_) * num_coordinators_,
+                  Buffer{});
+  std::vector<Batch> keep;
+  for (std::uint32_t site = 0; site < num_sites_; ++site) {
+    for (std::uint32_t c = 0; c < old_c; ++c) {
+      Buffer& buf = old[static_cast<std::size_t>(site) * old_c + c];
+      if (buf.msgs.empty()) continue;
+      if (c < num_coordinators_) {
+        keep.push_back(
+            Batch{static_cast<sim::NodeId>(site), std::move(buf.msgs)});
+      } else {
+        stranded_ += buf.msgs.size();
+      }
+    }
+  }
+  return keep;
+}
+
 std::size_t Batcher::buffered_for_shard(std::uint32_t shard) const {
   if (shard >= num_coordinators_) {
     throw std::out_of_range("Batcher::buffered_for_shard");

@@ -68,6 +68,20 @@ class Batcher {
   /// Reports buffered for coordinator shard `shard` across all sites.
   std::size_t buffered_for_shard(std::uint32_t shard) const;
 
+  /// Re-layouts the per-(site, shard) buffers for a new coordinator
+  /// count (elastic topology change). Returns every non-empty batch
+  /// whose destination shard SURVIVES — the caller must flush them onto
+  /// the wire, not drop them. Batches destined to a removed shard are
+  /// counted into stranded() and discarded; a correct resize sequence
+  /// quiesces the departing shard first (flush_shard + finish), so
+  /// stranded() staying 0 across a topology change is the no-silent-
+  /// message-loss assertion the elastic tests pin.
+  std::vector<Batch> rebind(std::uint32_t num_coordinators);
+
+  /// Messages discarded by rebind() because their destination shard was
+  /// removed before they were flushed. Monotone; 0 in a correct resize.
+  std::uint64_t stranded() const noexcept { return stranded_; }
+
   /// Reports buffered at `site` across all destination shards.
   std::size_t buffered(sim::NodeId site) const {
     std::size_t n = 0;
@@ -91,6 +105,7 @@ class Batcher {
   sim::Slot interval_;
   std::size_t max_msgs_;
   std::vector<Buffer> buffers_;
+  std::uint64_t stranded_ = 0;
 };
 
 }  // namespace dds::net

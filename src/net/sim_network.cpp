@@ -43,8 +43,16 @@ double SimNetwork::next_delivery_time() const noexcept {
                         : queue_.top().time;
 }
 
+void SimNetwork::clear_link_model(sim::NodeId from, sim::NodeId to) {
+  link_overrides_.erase(link_key(from, to));
+}
+
 void SimNetwork::flush_shard(std::uint32_t shard) {
   if (config_.batch_interval > 0) flush_batches(batcher_.take_for_shard(shard));
+}
+
+void SimNetwork::on_coordinators_resized() {
+  flush_batches(batcher_.rebind(num_coordinators()));
 }
 
 LinkModel& SimNetwork::link_for(sim::NodeId from, sim::NodeId to) {
@@ -177,6 +185,8 @@ void SimNetwork::bind_observability(obs::MetricsRegistry* registry,
   registry->counter("net.lost_messages", &net_stats_.lost_messages);
   registry->counter("net.batches_flushed", &net_stats_.batches_flushed);
   registry->counter("net.batched_messages", &net_stats_.batched_messages);
+  registry->counter_fn("net.stranded_messages",
+                       [this] { return batcher_.stranded(); });
   registry->counter("net.logical.msgs", &logical_.total);
   registry->counter("net.logical.bytes", &logical_.bytes);
   registry->gauge("net.in_flight", [this] {

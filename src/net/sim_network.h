@@ -71,6 +71,11 @@ class SimNetwork final : public Transport {
   void set_link_model(sim::NodeId from, sim::NodeId to,
                       std::unique_ptr<LinkModel> model);
 
+  /// Removes the from -> to override, restoring the default link — the
+  /// partition-heal path of the chaos layer (set a lossy override to
+  /// partition, clear it to heal).
+  void clear_link_model(sim::NodeId from, sim::NodeId to);
+
   /// Force-flushes every pending batch destined to coordinator shard
   /// `shard` onto its link, regardless of deadline — the per-shard
   /// flush hook for query staleness control: flushed reports reach the
@@ -81,7 +86,14 @@ class SimNetwork final : public Transport {
   /// nothing flushes automatically — the batching-staleness trade
   /// stays visible in abl10/abl12 rather than being silently papered
   /// over at query time.
-  void flush_shard(std::uint32_t shard);
+  void flush_shard(std::uint32_t shard) override;
+
+  /// Batched messages discarded because their destination shard was
+  /// removed before they flushed (see Batcher::stranded(); 0 under a
+  /// correct quiesce-then-remove sequence).
+  std::uint64_t stranded_messages() const noexcept {
+    return batcher_.stranded();
+  }
 
   /// Protocol-level counters: one count per send(), regardless of
   /// batching or retransmission. counters() is the wire-level view;
@@ -109,6 +121,11 @@ class SimNetwork final : public Transport {
 
  protected:
   void on_clock_advance(sim::Slot now) override;
+
+  /// Re-layouts the batcher's per-(site, shard) buffers and immediately
+  /// flushes every batch whose destination survived the resize, so no
+  /// buffered report is silently dropped by a topology change.
+  void on_coordinators_resized() override;
 
   /// Trace events ride the fractional event clock, not the slot clock.
   double trace_time() const noexcept override { return vtime_; }

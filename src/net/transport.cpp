@@ -41,6 +41,29 @@ void Transport::attach(sim::NodeId id, sim::Node* node) {
   nodes_[id] = node;
 }
 
+void Transport::add_coordinator() {
+  ++num_coordinators_;
+  nodes_.push_back(nullptr);
+  sent_by_.push_back(0);
+  received_by_.push_back(0);
+  per_coordinator_.emplace_back();
+  register_shard_metrics();
+  on_coordinators_resized();
+}
+
+void Transport::remove_last_coordinator() {
+  if (num_coordinators_ < 2) {
+    throw std::logic_error(
+        "Transport::remove_last_coordinator: cannot remove the only shard");
+  }
+  --num_coordinators_;
+  nodes_.pop_back();
+  sent_by_.pop_back();
+  received_by_.pop_back();
+  per_coordinator_.pop_back();
+  on_coordinators_resized();
+}
+
 void Transport::check_endpoints(const sim::Message& msg) const {
   if (msg.from >= nodes_.size() || msg.to >= nodes_.size()) {
     throw std::out_of_range("Transport::send: bad endpoint");
@@ -101,10 +124,28 @@ void Transport::bind_observability(obs::MetricsRegistry* registry,
             sim::msg_type_name(static_cast<sim::MsgType>(t)),
         &wire_.by_type[t]);
   }
-  for (std::uint32_t j = 0; j < num_coordinators_; ++j) {
+  registry_ = registry;
+  register_shard_metrics();
+}
+
+void Transport::register_shard_metrics() {
+  if (registry_ == nullptr) return;
+  // counter_fn closures, not cell pointers: per_coordinator_ resizes on
+  // elastic topology changes, and a shard that later leaves must read 0
+  // (its registration stays — the registry has no unregister), not a
+  // dangling pointer.
+  for (std::uint32_t j = shard_metrics_registered_; j < num_coordinators_;
+       ++j) {
     const std::string prefix = "net.shard" + std::to_string(j);
-    registry->counter(prefix + ".msgs", &per_coordinator_[j].total);
-    registry->counter(prefix + ".bytes", &per_coordinator_[j].bytes);
+    registry_->counter_fn(prefix + ".msgs", [this, j]() {
+      return j < per_coordinator_.size() ? per_coordinator_[j].total : 0;
+    });
+    registry_->counter_fn(prefix + ".bytes", [this, j]() {
+      return j < per_coordinator_.size() ? per_coordinator_[j].bytes : 0;
+    });
+  }
+  if (num_coordinators_ > shard_metrics_registered_) {
+    shard_metrics_registered_ = num_coordinators_;
   }
 }
 

@@ -119,8 +119,31 @@ class Transport {
   sim::Slot now() const noexcept { return now_; }
 
   /// Attaches the handler for node `id`. The transport does not own
-  /// nodes.
+  /// nodes. Passing nullptr detaches (messages delivered to a detached
+  /// node throw — kill a shard by swapping in a sink, not a null).
   void attach(sim::NodeId id, sim::Node* node);
+
+  // ---- elastic topology ----------------------------------------------
+
+  /// Grows the coordinator table by one shard. Coordinators sit at the
+  /// END of the node-id table (ids num_sites .. num_sites+N-1), so
+  /// every existing id — site or coordinator — is unchanged; the new
+  /// shard's id is coordinator_id(N) and its counters start at zero.
+  /// Subclasses re-layout per-shard buffers in on_coordinators_resized().
+  void add_coordinator();
+
+  /// Shrinks the coordinator table by the LAST shard (throws
+  /// std::logic_error when only one remains). The caller must have
+  /// quiesced traffic to it first — flush_shard() + finish() — or its
+  /// in-flight messages will fail endpoint checks.
+  void remove_last_coordinator();
+
+  /// Pushes any transport-internal buffering (batches) destined to
+  /// coordinator shard `shard` onto the wire. No-op on unbuffered
+  /// transports; SimNetwork overrides. Virtual here so topology code
+  /// (Deployment::remove_shard, the Supervisor) can quiesce a shard
+  /// through the abstract interface.
+  virtual void flush_shard(std::uint32_t shard) { (void)shard; }
 
   /// Accepts a message for (eventual) delivery and counts it.
   virtual void send(const sim::Message& msg) = 0;
@@ -168,6 +191,11 @@ class Transport {
   /// Hook invoked whenever the Runner advances the slot clock.
   virtual void on_clock_advance(sim::Slot now) { (void)now; }
 
+  /// Hook invoked after add_coordinator / remove_last_coordinator has
+  /// resized the tables — num_coordinators() already reports the new
+  /// value. Subclasses re-layout per-shard state here.
+  virtual void on_coordinators_resized() {}
+
   /// Validates endpoints; throws std::out_of_range like the legacy Bus.
   void check_endpoints(const sim::Message& msg) const;
 
@@ -212,9 +240,18 @@ class Transport {
   std::vector<sim::Node*> nodes_;
   std::vector<std::uint64_t> sent_by_;
   std::vector<std::uint64_t> received_by_;
+  /// Indexed by shard. Grows/shrinks with the topology, so per-shard
+  /// metrics are registered as counter_fn closures over (this, j) —
+  /// never as raw pointers into this vector, which resizes.
   std::vector<BusCounters> per_coordinator_;
+  /// Stored registry so shards added after bind_observability() get
+  /// their net.shard<j>.* metrics registered too.
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::uint32_t shard_metrics_registered_ = 0;
   std::function<void(const sim::Message&)> tap_;
   sim::Slot now_ = 0;
+
+  void register_shard_metrics();
 };
 
 }  // namespace dds::net

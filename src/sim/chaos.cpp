@@ -1,0 +1,203 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dds::sim {
+
+const char* chaos_action_name(ChaosAction action) noexcept {
+  switch (action) {
+    case ChaosAction::kKill: return "kill";
+    case ChaosAction::kRespawn: return "respawn";
+    case ChaosAction::kPartition: return "partition";
+    case ChaosAction::kHeal: return "heal";
+    case ChaosAction::kCorruptImage: return "corrupt_image";
+    case ChaosAction::kTruncateImage: return "truncate_image";
+  }
+  return "unknown";
+}
+
+ChaosPlan& ChaosPlan::add(const ChaosEvent& event) {
+  events_.push_back(event);
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::kill_at(Slot slot, std::uint32_t shard) {
+  return add(ChaosEvent{slot, ChaosAction::kKill, shard, 0.0});
+}
+ChaosPlan& ChaosPlan::respawn_at(Slot slot, std::uint32_t shard) {
+  return add(ChaosEvent{slot, ChaosAction::kRespawn, shard, 0.0});
+}
+ChaosPlan& ChaosPlan::partition_at(Slot slot, std::uint32_t shard,
+                                   double drop_rate) {
+  return add(ChaosEvent{slot, ChaosAction::kPartition, shard, drop_rate});
+}
+ChaosPlan& ChaosPlan::heal_at(Slot slot, std::uint32_t shard) {
+  return add(ChaosEvent{slot, ChaosAction::kHeal, shard, 0.0});
+}
+ChaosPlan& ChaosPlan::corrupt_image_at(Slot slot, std::uint32_t shard) {
+  return add(ChaosEvent{slot, ChaosAction::kCorruptImage, shard, 0.0});
+}
+ChaosPlan& ChaosPlan::truncate_image_at(Slot slot, std::uint32_t shard) {
+  return add(ChaosEvent{slot, ChaosAction::kTruncateImage, shard, 0.0});
+}
+
+ChaosPlan ChaosPlan::randomized(std::uint64_t seed, Slot horizon,
+                                std::uint32_t num_shards,
+                                const ChaosProfile& profile) {
+  ChaosPlan plan;
+  const auto unit = [](std::uint64_t raw) {
+    return static_cast<double>(raw >> 11) * 0x1.0p-53;
+  };
+  for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+    util::SplitMix64 gen(util::derive_seed(seed, 0xC0A05000ULL + shard));
+    // Outages: scan the horizon; while down, no new faults for this
+    // shard (outages never overlap themselves).
+    Slot t = 1;
+    while (t < horizon) {
+      if (unit(gen.next()) < profile.kill_rate) {
+        const Slot span =
+            std::max<Slot>(1, profile.max_outage - profile.min_outage + 1);
+        const Slot outage =
+            profile.min_outage + static_cast<Slot>(gen.next() % span);
+        const Slot back = std::min<Slot>(t + outage, horizon);
+        plan.kill_at(t, shard);
+        // Image sabotage rides the respawn: armed one slot before, so
+        // the recovery's first transferred image is the damaged one.
+        const double roll = unit(gen.next());
+        if (roll < profile.truncate_rate) {
+          plan.truncate_image_at(back, shard);
+        } else if (roll < profile.truncate_rate + profile.corrupt_rate) {
+          plan.corrupt_image_at(back, shard);
+        }
+        plan.respawn_at(back, shard);
+        t = back + 1;
+        continue;
+      }
+      if (unit(gen.next()) < profile.partition_rate) {
+        const Slot heal = std::min<Slot>(t + profile.partition_len, horizon);
+        plan.partition_at(t, shard, profile.partition_drop);
+        plan.heal_at(heal, shard);
+        t = heal + 1;
+        continue;
+      }
+      ++t;
+    }
+  }
+  return plan;
+}
+
+ChaosController::ChaosController(ChaosPlan plan, ChaosHooks hooks,
+                                 std::uint64_t seed)
+    : events_(plan.events()),
+      hooks_(std::move(hooks)),
+      sabotage_rng_(util::derive_seed(seed, 0x5AB07A6EULL)) {  // "sabotage"
+  // Stable sort: same-slot events fire in scripting order.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.slot < b.slot;
+                   });
+  std::uint32_t max_shard = 0;
+  for (const ChaosEvent& e : events_) max_shard = std::max(max_shard, e.shard);
+  corrupt_armed_.assign(max_shard + 1, 0);
+  truncate_armed_.assign(max_shard + 1, 0);
+}
+
+void ChaosController::step(Slot t) {
+  now_ = t;
+  while (next_ < events_.size() && events_[next_].slot <= t) {
+    fire(events_[next_]);
+    ++next_;
+  }
+}
+
+void ChaosController::fire(const ChaosEvent& event) {
+  ++stats_.events_fired;
+  switch (event.action) {
+    case ChaosAction::kKill:
+      ++stats_.kills;
+      if (hooks_.kill) hooks_.kill(event.shard);
+      trace("kill", event.shard, 0.0);
+      break;
+    case ChaosAction::kRespawn:
+      ++stats_.respawns;
+      if (hooks_.respawn) hooks_.respawn(event.shard);
+      trace("respawn", event.shard, 0.0);
+      break;
+    case ChaosAction::kPartition:
+      ++stats_.partitions;
+      if (hooks_.partition) hooks_.partition(event.shard, event.param);
+      trace("partition", event.shard, event.param);
+      break;
+    case ChaosAction::kHeal:
+      ++stats_.heals;
+      if (hooks_.heal) hooks_.heal(event.shard);
+      trace("heal", event.shard, 0.0);
+      break;
+    case ChaosAction::kCorruptImage:
+      if (event.shard < corrupt_armed_.size()) corrupt_armed_[event.shard] = 1;
+      trace("arm_corrupt", event.shard, 0.0);
+      break;
+    case ChaosAction::kTruncateImage:
+      if (event.shard < truncate_armed_.size()) {
+        truncate_armed_[event.shard] = 1;
+      }
+      trace("arm_truncate", event.shard, 0.0);
+      break;
+  }
+}
+
+bool ChaosController::mangle(std::uint32_t shard,
+                             std::vector<std::uint8_t>& image) {
+  bool touched = false;
+  if (shard < truncate_armed_.size() && truncate_armed_[shard] != 0 &&
+      !image.empty()) {
+    truncate_armed_[shard] = 0;
+    image.resize(image.size() / 2);
+    ++stats_.images_truncated;
+    trace("truncate_image", shard, static_cast<double>(image.size()));
+    touched = true;
+  }
+  if (shard < corrupt_armed_.size() && corrupt_armed_[shard] != 0 &&
+      !image.empty()) {
+    corrupt_armed_[shard] = 0;
+    const std::size_t at = sabotage_rng_.next() % image.size();
+    image[at] ^= static_cast<std::uint8_t>(
+        0x01u << (sabotage_rng_.next() % 8));
+    ++stats_.images_corrupted;
+    trace("corrupt_image", shard, static_cast<double>(at));
+    touched = true;
+  }
+  return touched;
+}
+
+Slot ChaosController::next_event_slot() const noexcept {
+  return next_ < events_.size() ? events_[next_].slot
+                                : std::numeric_limits<Slot>::max();
+}
+
+void ChaosController::trace(const char* what, std::uint32_t shard,
+                            double detail) {
+  if (tracer_ == nullptr) return;
+  tracer_->instant("chaos", what, static_cast<double>(now_), shard,
+                   {{"shard", static_cast<double>(shard)},
+                    {"detail", detail}});
+}
+
+void ChaosController::bind_observability(obs::MetricsRegistry* registry,
+                                         obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) return;
+  registry->counter("chaos.events_fired", &stats_.events_fired);
+  registry->counter("chaos.kills", &stats_.kills);
+  registry->counter("chaos.respawns", &stats_.respawns);
+  registry->counter("chaos.partitions", &stats_.partitions);
+  registry->counter("chaos.heals", &stats_.heals);
+  registry->counter("chaos.images_corrupted", &stats_.images_corrupted);
+  registry->counter("chaos.images_truncated", &stats_.images_truncated);
+}
+
+}  // namespace dds::sim

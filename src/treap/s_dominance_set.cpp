@@ -224,6 +224,17 @@ std::vector<Candidate> SDominanceSet::snapshot() const {
   return out;
 }
 
+void SDominanceSet::clear() {
+  by_expiry_.clear();
+  by_hash_.clear();
+  index_.clear();
+}
+
+void SDominanceSet::load_snapshot(const std::vector<Candidate>& items) {
+  clear();
+  for (const Candidate& c : items) insert(c.element, c.hash, c.expiry);
+}
+
 bool SDominanceSet::check_invariants() const {
   if (!by_expiry_.check_invariants()) return false;
   if (!by_hash_.check_invariants()) return false;

@@ -106,6 +106,16 @@ class SDominanceSet {
   /// All tuples in (expiry, hash, element) order.
   std::vector<Candidate> snapshot() const;
 
+  /// Drops every stored tuple (the statistics counters survive).
+  void clear();
+
+  /// Rebuilds this set from a snapshot() image — the checkpoint/restore
+  /// path (core/checkpoint.h). `items` need not be ordered: insert()
+  /// keeps the freshest expiry per element and no tuple of a valid
+  /// snapshot is s-dominated by the others, so loading in any order
+  /// reproduces the snapshotted set.
+  void load_snapshot(const std::vector<Candidate>& items);
+
   /// Checks that no stored tuple is s-dominated, elements are unique,
   /// and the two treaps + slot index agree tuple for tuple. O(n^2)
   /// test hook.

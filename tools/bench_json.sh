@@ -72,6 +72,13 @@ run_table_bench abl11_sharding --runs 2 --n 100000 --wakeup-ablation
 # lockstep throughput.
 run_table_bench abl12_sliding_sharding --runs 1 --slots 250 --threads 2
 
+# Fault-tolerance trajectory: abl13's table records checkpoint
+# bandwidth (bytes/slot vs cadence vs shards) and recovery latency in
+# slots under a deterministic kill schedule — with the agree% column
+# pinning the exact protocol at 100 through every recovery.
+run_table_bench abl13_recovery --runs 1 --slots 200 \
+  --shard-list 2,3 --cadence-list 8,16
+
 # Substrate trajectory: abl7's A7b table records the order-statistic
 # SDominanceSet's swept-tuples-per-update and ns/update vs |T| — the
 # "bottom-s update cost sublinear in |T|" record.

@@ -34,6 +34,24 @@ ctest --test-dir "$build" --output-on-failure -j
   --outdir "$build/bench_results" --json
 "$build/sharded_sliding_lossy" >/dev/null
 
+# Chaos smoke: the scripted failover walkthrough (kill + corrupted
+# restore transfer + resync on a lossy wire) must run end-to-end, and —
+# because every fault is seeded — two runs with the same seed must emit
+# bit-identical observability artifacts (the replayability contract the
+# chaos layer promises).
+chaos_dir="$build/chaos_smoke"
+mkdir -p "$chaos_dir"
+for run in a b; do
+  "$build/chaos_failover" --metrics "$chaos_dir/$run.prom" \
+    --json "$chaos_dir/$run.json" --trace "$chaos_dir/$run.trace" >/dev/null
+done
+cmp "$chaos_dir/a.prom" "$chaos_dir/b.prom"
+cmp "$chaos_dir/a.json" "$chaos_dir/b.json"
+cmp "$chaos_dir/a.trace" "$chaos_dir/b.trace"
+grep -q "dds_chaos_kills 1" "$chaos_dir/a.prom"
+grep -q "dds_supervisor_recoveries 1" "$chaos_dir/a.prom"
+echo "ci: chaos smoke replayed bit-identically"
+
 # Observability smoke: the lossy sharded walkthrough with metrics +
 # tracing on must emit a parseable Chrome trace and a Prometheus
 # snapshot that round-trips through the parser (obs_report --check).
