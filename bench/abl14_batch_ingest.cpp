@@ -1,0 +1,162 @@
+// Ablation A14 — the batched ingest hot path.
+//
+// Measures what SystemConfig::ingest_batch (and the sampler-level
+// observe_batch underneath it) buys on the A4-style realistic
+// sliding-window workload: bursty arrivals over {domain, window} points
+// spanning the flat-ring and treap regimes, with periodic queries. Two
+// layers:
+//
+//   * sampler — WindowedBottomSSampler driven directly (no wire): the
+//     per-batch levers are one hash pass (hash-kind dispatch hoisted),
+//     ONE expiry descent per batch instead of one per element, and a
+//     prefetch of the next element's candidate lines. This is the
+//     TenantRegistry ingest path.
+//   * deployment — the full BottomSSlidingSystem over the zero-delay
+//     Bus: batching hoists hashing and amortizes engine dispatch, while
+//     protocol work (per-element sync + drain, preserved bit-identical
+//     by contract) stays fixed — so the gain is necessarily smaller
+//     than the sampler layer's.
+//
+// The headline column is `xB/x1` — throughput at batch width B over
+// width 1 ON THE SAME MACHINE, a hardware-independent ratio recorded in
+// the JSON trajectory (tools/bench_json.sh). The equivalence itself is
+// not re-checked here: tests/batch_ingest_test.cpp pins bit-identical
+// outputs and traces; this table only prices the win.
+#include "bench_common.h"
+
+#include "core/windowed_bottom_s.h"
+#include "sim/sources.h"
+
+namespace {
+
+using namespace dds;
+
+struct Point {
+  std::uint64_t domain;
+  sim::Slot window;
+};
+
+/// Drives one sampler through `slots` bursty slots, ingesting in
+/// `width`-element chunks (width 1 uses the element-at-a-time API), and
+/// queries every 16 slots. The workload is pre-generated so the timed
+/// region is ingest only. Returns arrivals per second.
+double sampler_throughput(const Point& point, std::size_t burst_size,
+                          std::size_t width, sim::Slot slots,
+                          std::uint64_t seed) {
+  core::WindowedBottomSSampler sampler(
+      /*sample_size=*/16, point.window,
+      hash::HashFunction(hash::HashKind::kMurmur2, seed), seed ^ 0x5A5A);
+  util::Xoshiro256StarStar rng(seed);
+  std::vector<std::uint64_t> elements(burst_size *
+                                      static_cast<std::size_t>(slots));
+  for (auto& e : elements) e = util::mix64(1 + rng.next_below(point.domain));
+  std::vector<treap::Candidate> answer;
+  answer.reserve(16);
+  util::Timer timer;
+  for (sim::Slot t = 0; t < slots; ++t) {
+    const std::uint64_t* burst =
+        elements.data() + static_cast<std::size_t>(t) * burst_size;
+    if (width <= 1) {
+      for (std::size_t i = 0; i < burst_size; ++i) {
+        sampler.observe(burst[i], t);
+      }
+    } else {
+      for (std::size_t off = 0; off < burst_size; off += width) {
+        const std::size_t n = std::min(width, burst_size - off);
+        sampler.observe_batch({burst + off, n}, t);
+      }
+    }
+    if ((t & 15) == 0) sampler.sample_into(t, answer);
+  }
+  const double seconds = timer.elapsed_seconds();
+  return static_cast<double>(elements.size()) / seconds;
+}
+
+/// Full-deployment throughput at the given ingest_batch width.
+double deployment_throughput(std::uint32_t ingest_batch, sim::Slot slots,
+                             std::uint64_t seed, const bench::CommonArgs& args) {
+  core::SlidingSystemConfig config;
+  config.num_sites = 4;
+  config.sample_size = 8;
+  config.window = 200;
+  config.seed = seed;
+  config.hash_kind = args.hash_kind;
+  config.ingest_batch = ingest_batch;
+  baseline::BottomSSlidingSystem system(config);
+  util::Xoshiro256StarStar rng(seed ^ 0x14);
+  std::vector<sim::Arrival> arrivals;
+  for (sim::Slot t = 0; t < slots; ++t) {
+    const std::uint64_t count = rng.next_below(100) < 10 ? 32 : 4;
+    sim::NodeId site = static_cast<sim::NodeId>(rng.next_below(4));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (rng.next_below(8) == 0) {
+        site = static_cast<sim::NodeId>(rng.next_below(4));
+      }
+      arrivals.push_back({t, site, util::mix64(1 + rng.next_below(20000))});
+    }
+  }
+  sim::ListSource source(arrivals);
+  util::Timer timer;
+  const std::uint64_t processed = system.run(source);
+  return static_cast<double>(processed) / timer.elapsed_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("slots", "slots per sampler run", "20000");
+  cli.flag("burst", "arrivals per slot (sampler rows)", "64");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto slots = static_cast<sim::Slot>(cli.get_uint("slots"));
+  const auto burst = static_cast<std::size_t>(cli.get_uint("burst"));
+  bench::banner("Ablation A14: batched ingest hot path", args);
+
+  constexpr std::size_t kWidths[] = {1, 4, 8, 64};
+  const Point kPoints[] = {{100, 50}, {10000, 500}, {1000000, 5000}};
+
+  util::Table table({"layer", "domain", "window", "batch",
+                     "arrivals/s (mean)", "ci95", "xB/x1"});
+  for (const Point& point : kPoints) {
+    double base_mean = 0.0;
+    for (const std::size_t width : kWidths) {
+      util::RunningStat rate;
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        const auto seed = bench::run_seed(args, point.domain + width, run);
+        rate.add(sampler_throughput(point, burst, width, slots, seed));
+      }
+      if (width == 1) base_mean = rate.mean();
+      table.add_row({"sampler", util::fmt(point.domain),
+                     util::fmt(static_cast<std::int64_t>(point.window)),
+                     util::fmt(static_cast<std::uint64_t>(width)),
+                     util::fmt(rate.mean(), 7),
+                     util::fmt(rate.ci95_halfwidth(), 3),
+                     util::fmt(rate.mean() / base_mean, 3)});
+    }
+  }
+  {
+    double base_mean = 0.0;
+    for (const std::size_t width : kWidths) {
+      util::RunningStat rate;
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        const auto seed = bench::run_seed(args, 0xDE9107 + width, run);
+        rate.add(deployment_throughput(static_cast<std::uint32_t>(width),
+                                       /*slots=*/400, seed, args));
+      }
+      if (width == 1) base_mean = rate.mean();
+      table.add_row({"deployment", "20000", "200",
+                     util::fmt(static_cast<std::uint64_t>(width)),
+                     util::fmt(rate.mean(), 7),
+                     util::fmt(rate.ci95_halfwidth(), 3),
+                     util::fmt(rate.mean() / base_mean, 3)});
+    }
+  }
+  bench::emit(table,
+              "A14: batched vs element-at-a-time ingest (xB/x1 is the "
+              "hardware-independent ratio; bit-identity pinned by "
+              "tests/batch_ingest_test.cpp)",
+              "abl14_batch_ingest.csv", args);
+  return 0;
+}

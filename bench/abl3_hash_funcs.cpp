@@ -9,6 +9,44 @@
 
 #include "query/estimators.h"
 
+namespace {
+
+/// Keeps the compiler from discarding the hash loops below.
+void benchmark_sink(std::uint64_t value) {
+  volatile std::uint64_t v = value;
+  (void)v;
+}
+
+/// Hashing throughput in Mkeys/s: per-key operator() vs the batched
+/// kernel (hash_batch, kind dispatch hoisted) in ingest-sized chunks.
+/// The ratio column records what the batch layer buys per hash kind.
+std::pair<double, double> hash_throughput(dds::hash::HashKind kind,
+                                          std::uint64_t seed) {
+  const dds::hash::HashFunction f(kind, seed);
+  constexpr std::size_t kKeys = 1 << 18;
+  constexpr std::size_t kChunk = 8;  // the ingest batch width
+  std::vector<std::uint64_t> keys(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    keys[i] = dds::util::mix64(i + seed);
+  }
+  std::vector<std::uint64_t> out(kKeys);
+  std::uint64_t sink = 0;
+  dds::util::Timer single;
+  for (std::size_t i = 0; i < kKeys; ++i) out[i] = f(keys[i]);
+  for (std::size_t i = 0; i < kKeys; i += 4096) sink ^= out[i];
+  const double single_rate = kKeys / single.elapsed_seconds() / 1e6;
+  dds::util::Timer batched;
+  for (std::size_t off = 0; off < kKeys; off += kChunk) {
+    f.hash_batch(keys.data() + off, kChunk, out.data() + off);
+  }
+  for (std::size_t i = 0; i < kKeys; i += 4096) sink ^= out[i];
+  const double batch_rate = kKeys / batched.elapsed_seconds() / 1e6;
+  benchmark_sink(sink);
+  return {single_rate, batch_rate};
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dds;
   util::Cli cli;
@@ -22,7 +60,8 @@ int main(int argc, char** argv) {
   bench::banner("Ablation A3: hash function sensitivity", args);
 
   util::Table table({"hash", "messages (mean)", "ci95",
-                     "distinct-estimate rel.err (mean)", "rel.err ci95"});
+                     "distinct-estimate rel.err (mean)", "rel.err ci95",
+                     "Mkeys/s x1", "Mkeys/s batch8", "batch/x1"});
   for (auto kind : {hash::HashKind::kMurmur2, hash::HashKind::kMurmur3,
                     hash::HashKind::kSplitMix, hash::HashKind::kTabulation}) {
     args.hash_kind = kind;
@@ -49,10 +88,20 @@ int main(int argc, char** argv) {
       rel_err.add((est - static_cast<double>(true_distinct)) /
                   static_cast<double>(true_distinct));
     }
+    util::RunningStat single_rate, batch_rate;
+    for (std::uint64_t run = 0; run < args.runs; ++run) {
+      const auto [one, batched] = hash_throughput(
+          kind, bench::run_seed(args, 0x5A3 + static_cast<int>(kind), run));
+      single_rate.add(one);
+      batch_rate.add(batched);
+    }
     table.add_row({hash::to_string(kind), util::fmt(messages.mean(), 7),
                    util::fmt(messages.ci95_halfwidth(), 3),
                    util::fmt(rel_err.mean(), 4),
-                   util::fmt(rel_err.ci95_halfwidth(), 3)});
+                   util::fmt(rel_err.ci95_halfwidth(), 3),
+                   util::fmt(single_rate.mean(), 5),
+                   util::fmt(batch_rate.mean(), 5),
+                   util::fmt(batch_rate.mean() / single_rate.mean(), 3)});
   }
   bench::emit(table,
               "A3: hash sensitivity, Enron synthetic, k=" + std::to_string(k) +

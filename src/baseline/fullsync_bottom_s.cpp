@@ -25,6 +25,21 @@ void BottomSSlidingSite::on_element(stream::Element element, sim::Slot t,
   sync(t, bus);
 }
 
+void BottomSSlidingSite::on_element_batch(
+    std::span<const std::uint64_t> elements, sim::Slot t, net::Transport& bus) {
+  const std::size_t n = elements.size();
+  if (hash_scratch_.size() < n) hash_scratch_.resize(n);
+  sampler_.hash_fn().hash_batch(elements.data(), n, hash_scratch_.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) sampler_.candidates().prefetch(elements[i + 1]);
+    // observe_hashed keeps the per-element expire so the sync() below
+    // sees the exact same candidate set as element-at-a-time ingest.
+    sampler_.observe_hashed(elements[i], hash_scratch_[i], t);
+    sync(t, bus);
+    bus.drain();  // per-element drain boundary (batch contract)
+  }
+}
+
 void BottomSSlidingSite::resync(net::Transport& bus) {
   shipped_.clear();
   sync(bus.now(), bus);

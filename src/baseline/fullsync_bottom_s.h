@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,8 @@ class BottomSSlidingSite final : public sim::StreamNode {
 
   void on_slot_begin(sim::Slot t, net::Transport& bus) override;
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_element_batch(std::span<const std::uint64_t> elements, sim::Slot t,
+                        net::Transport& bus) override;
   void on_message(const sim::Message& /*msg*/, net::Transport& /*bus*/) override {}
 
   std::size_t state_size() const noexcept override {
@@ -72,6 +75,7 @@ class BottomSSlidingSite final : public sim::StreamNode {
   /// Reused per-sync scratch (sync runs per arrival — no allocations).
   std::vector<treap::Candidate> bottom_;
   std::unordered_map<stream::Element, sim::Slot> still_;
+  std::vector<std::uint64_t> hash_scratch_;  ///< batched-hash buffer
 };
 
 class BottomSSlidingCoordinator final : public sim::Node {

@@ -25,6 +25,22 @@ void FullSyncSlidingSite::on_element(stream::Element element, sim::Slot t,
   report_if_changed(bus);
 }
 
+void FullSyncSlidingSite::on_element_batch(
+    std::span<const std::uint64_t> elements, sim::Slot t, net::Transport& bus) {
+  const std::size_t n = elements.size();
+  if (hash_scratch_.size() < n) hash_scratch_.resize(n);
+  hash_fn_.hash_batch(elements.data(), n, hash_scratch_.data());
+  const sim::Slot expiry = t + window_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) candidates_.prefetch(elements[i + 1]);
+    candidates_.observe(elements[i], hash_scratch_[i], expiry);
+    report_if_changed(bus);
+    // Per-element drain boundary (batch contract); this protocol has no
+    // replies, but the delivered trace must still interleave the same.
+    bus.drain();
+  }
+}
+
 void FullSyncSlidingSite::report_if_changed(net::Transport& bus) {
   const auto current = candidates_.min_hash();
   const bool valid = current.has_value();

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "hash/hash_function.h"
@@ -35,6 +36,8 @@ class FullSyncSlidingSite final : public sim::StreamNode {
 
   void on_slot_begin(sim::Slot t, net::Transport& bus) override;
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_element_batch(std::span<const std::uint64_t> elements, sim::Slot t,
+                        net::Transport& bus) override;
   void on_message(const sim::Message& /*msg*/, net::Transport& /*bus*/) override {}
 
   std::size_t state_size() const noexcept override {
@@ -72,6 +75,7 @@ class FullSyncSlidingSite final : public sim::StreamNode {
   sim::Slot window_;
   hash::HashFunction hash_fn_;
   treap::DominanceSet candidates_;
+  std::vector<std::uint64_t> hash_scratch_;  ///< batched-hash buffer
   bool reported_valid_ = false;
   treap::Candidate last_reported_{};
   /// Per-site report sequence number, carried in Message::instance (the

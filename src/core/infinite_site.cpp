@@ -14,8 +14,13 @@ InfiniteWindowSite::InfiniteWindowSite(sim::NodeId id, sim::NodeId coordinator,
 
 void InfiniteWindowSite::on_element(stream::Element element, sim::Slot /*t*/,
                                     net::Transport& bus) {
-  if (suppress_duplicates_ && known_sampled_.contains(element)) return;
-  const std::uint64_t hv = hash_fn_(element);
+  if (!admits(element)) return;
+  on_element_hashed(element, hash_fn_(element), bus);
+}
+
+void InfiniteWindowSite::on_element_hashed(stream::Element element,
+                                           std::uint64_t hv,
+                                           net::Transport& bus) {
   if (hv < u_local_) {
     sim::Message msg;
     msg.from = id_;
@@ -26,6 +31,22 @@ void InfiniteWindowSite::on_element(stream::Element element, sim::Slot /*t*/,
     msg.b = hv;
     bus.send(msg);
     pending_report_ = element;
+  }
+}
+
+void InfiniteWindowSite::on_element_batch(
+    std::span<const std::uint64_t> elements, sim::Slot /*t*/,
+    net::Transport& bus) {
+  const std::size_t n = elements.size();
+  if (hash_scratch_.size() < n) hash_scratch_.resize(n);
+  hash_fn_.hash_batch(elements.data(), n, hash_scratch_.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (admits(elements[i])) {
+      on_element_hashed(elements[i], hash_scratch_[i], bus);
+    }
+    // Per-element drain boundary: the reply to a report must lower
+    // u_local_ before the next element decides whether to report.
+    bus.drain();
   }
 }
 

@@ -26,7 +26,9 @@
 // bench quantifies the saving on duplicate-heavy traces.
 #pragma once
 
+#include <span>
 #include <unordered_set>
+#include <vector>
 
 #include "hash/hash_function.h"
 #include "net/transport.h"
@@ -45,7 +47,25 @@ class InfiniteWindowSite final : public sim::StreamNode {
                      bool suppress_duplicates = false);
 
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_element_batch(std::span<const std::uint64_t> elements, sim::Slot t,
+                        net::Transport& bus) override;
   void on_message(const sim::Message& msg, net::Transport& bus) override;
+
+  /// on_element with the hash precomputed — the batched ingest entry
+  /// (WithReplacementSite hashes all copies x elements up front). The
+  /// caller owns the per-element drain boundary and must gate on
+  /// admits() first, like on_element's early return.
+  void on_element_hashed(stream::Element element, std::uint64_t hv,
+                         net::Transport& bus);
+
+  /// False iff the suppression extension knows `element` is already
+  /// sampled (on_element's early return; batch paths check before
+  /// spending a precomputed hash).
+  bool admits(stream::Element element) const {
+    return !(suppress_duplicates_ && known_sampled_.contains(element));
+  }
+
+  const hash::HashFunction& hash_fn() const noexcept { return hash_fn_; }
 
   /// O(1) state (plus the suppression set when enabled).
   std::size_t state_size() const noexcept override {
@@ -76,6 +96,7 @@ class InfiniteWindowSite final : public sim::StreamNode {
   /// in the coordinator's sample; never worth re-reporting.
   std::unordered_set<stream::Element> known_sampled_;
   stream::Element pending_report_ = 0;  // element awaiting its reply
+  std::vector<std::uint64_t> hash_scratch_;  // batched-hash buffer
 };
 
 }  // namespace dds::core

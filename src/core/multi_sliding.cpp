@@ -27,6 +27,27 @@ void MultiSlidingSite::on_element(stream::Element element, sim::Slot t,
   for (auto& copy : copies_) copy.on_element(element, t, bus);
 }
 
+void MultiSlidingSite::on_element_batch(std::span<const std::uint64_t> elements,
+                                        sim::Slot t, net::Transport& bus) {
+  const std::size_t n = elements.size();
+  const std::size_t s = copies_.size();
+  if (hash_scratch_.size() < n * s) hash_scratch_.resize(n * s);
+  for (std::size_t j = 0; j < s; ++j) {
+    copies_[j].hash_fn().hash_batch(elements.data(), n,
+                                    hash_scratch_.data() + j * n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Element-major like on_element: all copies see element i, THEN one
+    // drain — the send order (copy 0's report, copy 1's report, replies)
+    // must match the element-at-a-time trace exactly.
+    for (std::size_t j = 0; j < s; ++j) {
+      copies_[j].on_element_hashed(elements[i], hash_scratch_[j * n + i], t,
+                                   bus);
+    }
+    bus.drain();
+  }
+}
+
 void MultiSlidingSite::on_message(const sim::Message& msg, net::Transport& bus) {
   if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/sliding_coordinator.h"
@@ -23,6 +24,8 @@ class MultiSlidingSite final : public sim::StreamNode {
 
   void on_slot_begin(sim::Slot t, net::Transport& bus) override;
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_element_batch(std::span<const std::uint64_t> elements, sim::Slot t,
+                        net::Transport& bus) override;
   void on_message(const sim::Message& msg, net::Transport& bus) override;
 
   /// Total candidate tuples across the s copies.
@@ -33,6 +36,10 @@ class MultiSlidingSite final : public sim::StreamNode {
 
  private:
   std::vector<SlidingWindowSite> copies_;
+  /// Batched-hash buffer: copies x elements, copy-major (copy j's hash
+  /// for element i at [j * n + i]) so each copy's family member hashes
+  /// the whole batch in one kernel call.
+  std::vector<std::uint64_t> hash_scratch_;
 };
 
 class MultiSlidingCoordinator final : public sim::Node {

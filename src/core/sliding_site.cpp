@@ -34,11 +34,30 @@ void SlidingWindowSite::on_slot_begin(sim::Slot t, net::Transport& bus) {
 
 void SlidingWindowSite::on_element(stream::Element element, sim::Slot t,
                                    net::Transport& bus) {
-  const std::uint64_t hv = hash_fn_(element);
+  on_element_hashed(element, hash_fn_(element), t, bus);
+}
+
+void SlidingWindowSite::on_element_hashed(stream::Element element,
+                                          std::uint64_t hv, sim::Slot t,
+                                          net::Transport& bus) {
   const sim::Slot expiry = t + window_;
   candidates_.observe(element, hv, expiry);
   if (hv < u_local_) {
     offer(element, hv, expiry, bus);
+  }
+}
+
+void SlidingWindowSite::on_element_batch(std::span<const std::uint64_t> elements,
+                                         sim::Slot t, net::Transport& bus) {
+  const std::size_t n = elements.size();
+  if (hash_scratch_.size() < n) hash_scratch_.resize(n);
+  hash_fn_.hash_batch(elements.data(), n, hash_scratch_.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) candidates_.prefetch(elements[i + 1]);
+    on_element_hashed(elements[i], hash_scratch_[i], t, bus);
+    // Per-element drain boundary: a synchronous reply must update
+    // u_local_ before the next element decides whether to offer.
+    bus.drain();
   }
 }
 

@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "hash/hash_function.h"
 #include "net/transport.h"
@@ -41,7 +43,18 @@ class SlidingWindowSite final : public sim::StreamNode {
 
   void on_slot_begin(sim::Slot t, net::Transport& bus) override;
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_element_batch(std::span<const std::uint64_t> elements, sim::Slot t,
+                        net::Transport& bus) override;
   void on_message(const sim::Message& msg, net::Transport& bus) override;
+
+  /// on_element with the hash precomputed — the batched ingest entry
+  /// (MultiSlidingSite hashes all copies x elements up front, then
+  /// feeds each copy through here). Must drain like the batch contract:
+  /// the caller drains after each ELEMENT (all copies), not each copy.
+  void on_element_hashed(stream::Element element, std::uint64_t hv,
+                         sim::Slot t, net::Transport& bus);
+
+  const hash::HashFunction& hash_fn() const noexcept { return hash_fn_; }
 
   /// The paper's per-site memory metric: |T_i| (Figures 5.7 / 5.9).
   std::size_t state_size() const noexcept override {
@@ -63,6 +76,7 @@ class SlidingWindowSite final : public sim::StreamNode {
   hash::HashFunction hash_fn_;
   std::uint32_t instance_;
   treap::DominanceSet candidates_;
+  std::vector<std::uint64_t> hash_scratch_;  ///< batched-hash buffer
 
   // Local sample view (e_i, u_i, t_i). `has_view_` false means no sample
   // yet (u_i = 1 in the paper's initialization).

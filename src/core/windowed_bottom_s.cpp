@@ -15,6 +15,26 @@ void WindowedBottomSSampler::observe(stream::Element element, sim::Slot t) {
   candidates_.observe(element, hash_fn_(element), t + window_);
 }
 
+void WindowedBottomSSampler::observe_hashed(stream::Element element,
+                                            std::uint64_t hv, sim::Slot t) {
+  candidates_.expire(t);
+  candidates_.observe(element, hv, t + window_);
+}
+
+void WindowedBottomSSampler::observe_batch(
+    std::span<const stream::Element> elements, sim::Slot t) {
+  const std::size_t n = elements.size();
+  if (n == 0) return;
+  if (hash_scratch_.size() < n) hash_scratch_.resize(n);
+  hash_fn_.hash_batch(elements.data(), n, hash_scratch_.data());
+  candidates_.expire(t);  // once per batch; repeats at the same t are no-ops
+  // One combined dominance sweep for the whole batch (all arrivals
+  // share expiry t + W) — same final candidate set as per-element
+  // observe(), at the sweep cost of one newcomer instead of n.
+  candidates_.observe_group(elements.data(), hash_scratch_.data(), n,
+                            t + window_);
+}
+
 std::vector<treap::Candidate> WindowedBottomSSampler::sample(sim::Slot now) {
   candidates_.expire(now);
   return candidates_.bottom_s();
@@ -24,6 +44,12 @@ void WindowedBottomSSampler::sample_into(sim::Slot now,
                                          std::vector<treap::Candidate>& out) {
   candidates_.expire(now);
   candidates_.bottom_s_into(out);
+}
+
+void WindowedBottomSSampler::sample_at_width_into(
+    sim::Slot now, sim::Slot width, std::vector<treap::Candidate>& out) {
+  candidates_.expire(now);
+  candidates_.bottom_s_valid_after(now + (window_ - width), out);
 }
 
 }  // namespace dds::core

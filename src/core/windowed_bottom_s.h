@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hash/hash_function.h"
@@ -30,6 +31,23 @@ class WindowedBottomSSampler {
   /// Observes an arrival at slot `t`. Slots must be non-decreasing.
   void observe(stream::Element element, sim::Slot t);
 
+  /// observe() with the hash precomputed — the distributed batch path
+  /// (sites hash a whole batch up front, then replay the exact
+  /// expire-then-observe sequence per element).
+  void observe_hashed(stream::Element element, std::uint64_t hv, sim::Slot t);
+
+  /// Batched observe: one hash pass over the batch (the hash-kind
+  /// dispatch is hoisted out of the loop), ONE expiry sweep for the
+  /// whole batch instead of one per element (every arrival shares slot
+  /// `t` and expires at t + w > t, so later sweeps at `t` would remove
+  /// nothing), and ONE combined dominance sweep judging victims against
+  /// all batch hashes at once (SDominanceSet::observe_group) instead of
+  /// re-walking the candidate structure per element. The resulting
+  /// candidate set is identical to element-at-a-time observe() calls —
+  /// the survivor set is canonical in the live (hash, expiry) multiset
+  /// — which the differential fuzz pins.
+  void observe_batch(std::span<const stream::Element> elements, sim::Slot t);
+
   /// The exact bottom-s distinct sample of the window ending at `now`
   /// (hash-ascending). `now` must be >= the latest observed slot.
   std::vector<treap::Candidate> sample(sim::Slot now);
@@ -38,8 +56,29 @@ class WindowedBottomSSampler {
   /// allocation-free variant for per-slot callers.
   void sample_into(sim::Slot now, std::vector<treap::Candidate>& out);
 
+  /// Exact bottom-s of the SUB-window of width `width` (0 < width <=
+  /// window()) ending at `now`, into a reused buffer. A tuple observed
+  /// at slot a expires at a + W, so it lies inside the width-w window
+  /// iff a > now - w, i.e. expiry > now + (W - w): the query is an
+  /// expiry-threshold walk of the shared candidate structure (expected
+  /// O(log n + s) via the by-hash treap's max-expiry aggregate), and it
+  /// is exact because any member of the w-window's bottom-s has fewer
+  /// than s smaller-hash later-expiring tuples (those would be in the
+  /// w-window too) and hence survives s-dominance pruning at W. This is
+  /// what lets one sampler keyed at the WIDEST width serve every
+  /// narrower tenant width (query/service.h).
+  void sample_at_width_into(sim::Slot now, sim::Slot width,
+                            std::vector<treap::Candidate>& out);
+
   /// Tuples currently retained (the memory metric).
   std::size_t state_size() const noexcept { return candidates_.size(); }
+
+  /// Bytes reserved by the candidate structure and the batch scratch —
+  /// footprint accounting for the shared-vs-separate tenant comparison.
+  std::size_t footprint_bytes() const noexcept {
+    return candidates_.footprint_bytes() +
+           hash_scratch_.capacity() * sizeof(std::uint64_t);
+  }
 
   std::size_t sample_size() const noexcept { return candidates_.sample_size(); }
   sim::Slot window() const noexcept { return window_; }
@@ -65,6 +104,7 @@ class WindowedBottomSSampler {
   sim::Slot window_;
   hash::HashFunction hash_fn_;
   treap::SDominanceSet candidates_;
+  std::vector<std::uint64_t> hash_scratch_;  ///< batched-hash buffer
 };
 
 }  // namespace dds::core

@@ -18,6 +18,29 @@ void WithReplacementSite::on_element(stream::Element element, sim::Slot t,
   for (auto& copy : copies_) copy.on_element(element, t, bus);
 }
 
+void WithReplacementSite::on_element_batch(
+    std::span<const std::uint64_t> elements, sim::Slot /*t*/,
+    net::Transport& bus) {
+  const std::size_t n = elements.size();
+  const std::size_t s = copies_.size();
+  if (hash_scratch_.size() < n * s) hash_scratch_.resize(n * s);
+  for (std::size_t j = 0; j < s; ++j) {
+    copies_[j].hash_fn().hash_batch(elements.data(), n,
+                                    hash_scratch_.data() + j * n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Element-major like on_element, one drain per element (the batch
+    // contract): every copy's report precedes any reply in the trace.
+    for (std::size_t j = 0; j < s; ++j) {
+      InfiniteWindowSite& copy = copies_[j];
+      if (copy.admits(elements[i])) {
+        copy.on_element_hashed(elements[i], hash_scratch_[j * n + i], bus);
+      }
+    }
+    bus.drain();
+  }
+}
+
 void WithReplacementSite::on_message(const sim::Message& msg, net::Transport& bus) {
   if (msg.instance < copies_.size()) copies_[msg.instance].on_message(msg, bus);
 }

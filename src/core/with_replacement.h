@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/infinite_coordinator.h"
@@ -25,11 +26,14 @@ class WithReplacementSite final : public sim::StreamNode {
                       const hash::HashFamily& family, std::size_t sample_size);
 
   void on_element(stream::Element element, sim::Slot t, net::Transport& bus) override;
+  void on_element_batch(std::span<const std::uint64_t> elements, sim::Slot t,
+                        net::Transport& bus) override;
   void on_message(const sim::Message& msg, net::Transport& bus) override;
   std::size_t state_size() const noexcept override { return copies_.size(); }
 
  private:
   std::vector<InfiniteWindowSite> copies_;
+  std::vector<std::uint64_t> hash_scratch_;  ///< copy-major, copies x batch
 };
 
 class WithReplacementCoordinator final : public sim::Node {

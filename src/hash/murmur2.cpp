@@ -59,4 +59,21 @@ std::uint64_t murmur2_64(std::uint64_t key, std::uint64_t seed) noexcept {
   return h;
 }
 
+void murmur2_64_batch(const std::uint64_t* keys, std::size_t n,
+                      std::uint64_t seed, std::uint64_t* out) noexcept {
+  const std::uint64_t h0 = seed ^ (8ULL * kM);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t k = keys[i];
+    k *= kM;
+    k ^= k >> kR;
+    k *= kM;
+    std::uint64_t h = h0 ^ k;
+    h *= kM;
+    h ^= h >> kR;
+    h *= kM;
+    h ^= h >> kR;
+    out[i] = h;
+  }
+}
+
 }  // namespace dds::hash

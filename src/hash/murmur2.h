@@ -17,4 +17,10 @@ std::uint64_t murmur2_64(const void* data, std::size_t len,
 /// Identical output to murmur2_64(&key, 8, seed) on little-endian hosts.
 std::uint64_t murmur2_64(std::uint64_t key, std::uint64_t seed) noexcept;
 
+/// Batched fixed-width path: out[i] = murmur2_64(keys[i], seed). The loop
+/// carries no cross-element state, so the compiler can keep the mixing
+/// constants in registers and software-pipeline the multiplies.
+void murmur2_64_batch(const std::uint64_t* keys, std::size_t n,
+                      std::uint64_t seed, std::uint64_t* out) noexcept;
+
 }  // namespace dds::hash

@@ -86,10 +86,37 @@ std::uint64_t murmur3_64(const void* data, std::size_t len,
   return murmur3_128(data, len, seed)[0];
 }
 
+namespace {
+
+// The x64-128 algorithm on an 8-byte little-endian message: zero full
+// blocks, tail cases 8..1 reassemble exactly the key into k1, h2 is never
+// touched before finalization. Shared by the single-key and batch paths.
+constexpr std::uint64_t murmur3_64_u64(std::uint64_t key,
+                                       std::uint64_t seed) noexcept {
+  std::uint64_t k1 = key;
+  k1 *= kC1;
+  k1 = rotl64(k1, 31);
+  k1 *= kC2;
+  std::uint64_t h1 = seed ^ k1;
+  std::uint64_t h2 = seed;
+  h1 ^= 8ULL;
+  h2 ^= 8ULL;
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  return h1 + h2;
+}
+
+}  // namespace
+
 std::uint64_t murmur3_64(std::uint64_t key, std::uint64_t seed) noexcept {
-  unsigned char buf[8];
-  std::memcpy(buf, &key, 8);
-  return murmur3_128(buf, 8, seed)[0];
+  return murmur3_64_u64(key, seed);
+}
+
+void murmur3_64_batch(const std::uint64_t* keys, std::size_t n,
+                      std::uint64_t seed, std::uint64_t* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = murmur3_64_u64(keys[i], seed);
 }
 
 }  // namespace dds::hash

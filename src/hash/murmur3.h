@@ -20,4 +20,11 @@ std::uint64_t murmur3_64(const void* data, std::size_t len,
 /// Fixed-width path for a single u64 key.
 std::uint64_t murmur3_64(std::uint64_t key, std::uint64_t seed) noexcept;
 
+/// Batched fixed-width path: out[i] = murmur3_64(keys[i], seed). Uses a
+/// dedicated u64 kernel (the 8-byte message reduces to the k1-only tail
+/// of the x64-128 algorithm) so the buffer round-trip disappears from
+/// the loop; bit-identical to the single-key path.
+void murmur3_64_batch(const std::uint64_t* keys, std::size_t n,
+                      std::uint64_t seed, std::uint64_t* out) noexcept;
+
 }  // namespace dds::hash

@@ -1,0 +1,135 @@
+#include "query/service.h"
+
+#include <algorithm>
+
+#include "query/merge.h"
+#include "util/rng.h"
+
+namespace dds::query {
+
+TenantRegistry::TenantRegistry(std::size_t sample_size, sim::Slot max_width,
+                               std::uint32_t num_streams,
+                               hash::HashKind hash_kind, std::uint64_t seed)
+    : sample_size_(sample_size), max_width_(max_width) {
+  if (sample_size == 0) {
+    throw std::invalid_argument("TenantRegistry: sample_size must be > 0");
+  }
+  if (max_width <= 0) {
+    throw std::invalid_argument("TenantRegistry: max_width must be > 0");
+  }
+  if (num_streams == 0) {
+    throw std::invalid_argument("TenantRegistry: num_streams must be > 0");
+  }
+  samplers_.reserve(num_streams);
+  // One hash function SHARED across streams (same kind, same seed): the
+  // cross-stream merge dedupes by element, which requires every stream
+  // to agree on each element's hash. Treap priorities still differ per
+  // stream (derived seeds) — they only shape the trees, not answers.
+  const hash::HashFunction shared_hash(hash_kind, seed);
+  for (std::uint32_t i = 0; i < num_streams; ++i) {
+    samplers_.emplace_back(sample_size, max_width, shared_hash,
+                           util::derive_seed(seed, 0x73747200ULL + i));
+  }
+}
+
+std::size_t TenantRegistry::register_tenant(sim::Slot width) {
+  if (width <= 0 || width > max_width_) {
+    throw std::invalid_argument(
+        "TenantRegistry: tenant width must be in (0, max_width]");
+  }
+  widths_.push_back(width);
+  answers_.emplace_back();
+  answers_.back().reserve(sample_size_);
+  return widths_.size() - 1;
+}
+
+void TenantRegistry::update(std::uint32_t stream, stream::Element element,
+                            sim::Slot t) {
+  samplers_.at(stream).observe(element, t);
+}
+
+void TenantRegistry::update_batch(std::uint32_t stream,
+                                  std::span<const stream::Element> elements,
+                                  sim::Slot t) {
+  samplers_.at(stream).observe_batch(elements, t);
+}
+
+void TenantRegistry::answer_into(std::size_t tenant, sim::Slot now,
+                                 std::vector<treap::Candidate>& out) {
+  const sim::Slot width = widths_.at(tenant);
+  // Shared tuples expire at arrival + W; a width-w deployment's expire
+  // at arrival + w. Rebasing by the constant W - w after the walk makes
+  // tenant answers BIT-identical (element, hash, expiry) to independent
+  // width-w samplers — the agreement contract the tests pin.
+  const sim::Slot rebase = max_width_ - width;
+  if (samplers_.size() == 1) {
+    samplers_[0].sample_at_width_into(now, width, out);
+    for (treap::Candidate& c : out) c.expiry -= rebase;
+    return;
+  }
+  // Multi-stream: union the per-stream width-w answers, keep the
+  // freshest expiry per element, take the s smallest hashes. Exact by
+  // the partition argument in the header comment. All scratch persists
+  // — no allocations once the buffers reached capacity.
+  merge_scratch_.clear();
+  for (auto& sampler : samplers_) {
+    sampler.sample_at_width_into(now, width, stream_scratch_);
+    merge_scratch_.insert(merge_scratch_.end(), stream_scratch_.begin(),
+                          stream_scratch_.end());
+  }
+  // Same element => same hash (shared function), so duplicates sort
+  // adjacent; break ties by descending expiry so the freshest copy
+  // leads its run and unique-by-element keeps it.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const treap::Candidate& a, const treap::Candidate& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              if (a.element != b.element) return a.element < b.element;
+              return a.expiry > b.expiry;
+            });
+  out.clear();
+  for (const treap::Candidate& c : merge_scratch_) {
+    if (!out.empty() && out.back().element == c.element) continue;
+    out.push_back(c);
+    out.back().expiry -= rebase;
+    if (out.size() == sample_size_) break;
+  }
+}
+
+std::vector<treap::Candidate> TenantRegistry::answer(std::size_t tenant,
+                                                     sim::Slot now) {
+  std::vector<treap::Candidate> out;
+  answer_into(tenant, now, out);
+  return out;
+}
+
+double TenantRegistry::estimate(std::size_t tenant, sim::Slot now) {
+  answer_into(tenant, now, answers_.at(tenant));
+  return estimate_window_distinct(answers_[tenant], sample_size_);
+}
+
+const std::vector<std::vector<treap::Candidate>>& TenantRegistry::serve_all(
+    sim::Slot now) {
+  for (std::size_t tenant = 0; tenant < widths_.size(); ++tenant) {
+    answer_into(tenant, now, answers_[tenant]);
+  }
+  return answers_;
+}
+
+std::size_t TenantRegistry::state_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sampler : samplers_) total += sampler.state_size();
+  return total;
+}
+
+std::size_t TenantRegistry::footprint_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sampler : samplers_) total += sampler.footprint_bytes();
+  for (const auto& buf : answers_) {
+    total += buf.capacity() * sizeof(treap::Candidate);
+  }
+  total += merge_scratch_.capacity() * sizeof(treap::Candidate);
+  total += stream_scratch_.capacity() * sizeof(treap::Candidate);
+  return total;
+}
+
+}  // namespace dds::query

@@ -99,6 +99,22 @@ class Engine {
   /// deliveries. Returns the number of arrivals processed.
   virtual std::uint64_t run(ArrivalSource& source) = 0;
 
+  /// Batched variant of run(): groups up to `max_batch` consecutive
+  /// arrivals that share a (slot, site) and delivers each group through
+  /// StreamNode::on_element_batch. Bit-identical to run() — the batch
+  /// hook's contract keeps the per-element drain boundary — but
+  /// amortizes dispatch, hashing, and memory latency. The base default
+  /// ignores batching and calls run() (the sharded engine schedules by
+  /// site partition already); SerialEngine overrides it. `max_batch`
+  /// <= 1 is plain run(). Progress observers fire at batch boundaries:
+  /// at most one observation per batch, when a multiple of
+  /// observe_every is crossed inside it.
+  virtual std::uint64_t run_batched(ArrivalSource& source,
+                                    std::size_t max_batch) {
+    (void)max_batch;
+    return run(source);
+  }
+
   /// Advances slot processing through `slot` without arrivals (used to
   /// let sliding windows expire after the stream ends).
   void advance_to_slot(Slot slot) { begin_slots_through(slot); }

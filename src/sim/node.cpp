@@ -1,0 +1,18 @@
+#include "sim/node.h"
+
+#include "net/transport.h"
+
+namespace dds::sim {
+
+void StreamNode::on_element_batch(std::span<const std::uint64_t> elements,
+                                  Slot t, net::Transport& net) {
+  // Reference semantics: deliver + drain per element, exactly what the
+  // serial engine does element-at-a-time. Sites without a batch
+  // override are bit-identical by construction.
+  for (const std::uint64_t element : elements) {
+    on_element(element, t, net);
+    net.drain();
+  }
+}
+
+}  // namespace dds::sim

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "sim/message.h"
 
@@ -33,6 +34,18 @@ class StreamNode : public Node {
   /// slot `t`. May send messages via `net`.
   virtual void on_element(std::uint64_t element, Slot t,
                           net::Transport& net) = 0;
+
+  /// Batched delivery: every element of `elements` arrives at this site
+  /// in slot `t`, in order. The contract is EXACT equivalence to
+  /// element-at-a-time delivery with a transport drain after each
+  /// element — the default does literally that. Overrides must keep the
+  /// per-element drain boundary (so synchronous replies land before the
+  /// next element is processed and wire traces stay bit-identical; a
+  /// drain with nothing due is a no-op, so unconditional draining is
+  /// free) but amortize hash dispatch, virtual calls, and memory
+  /// latency (prefetch of element i+1's lines) across the batch.
+  virtual void on_element_batch(std::span<const std::uint64_t> elements,
+                                Slot t, net::Transport& net);
 
   /// Called once per slot before any arrivals of slot `t` are delivered
   /// (sliding-window sites run their expiry logic here). Default: no-op.

@@ -14,7 +14,13 @@ class SerialEngine final : public Engine {
 
   std::uint64_t run(ArrivalSource& source) override;
 
+  std::uint64_t run_batched(ArrivalSource& source,
+                            std::size_t max_batch) override;
+
   const char* name() const noexcept override { return "serial"; }
+
+ private:
+  std::vector<std::uint64_t> batch_;  ///< gather buffer, reused across runs
 };
 
 }  // namespace dds::sim

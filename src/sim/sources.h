@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,27 @@ class SlotSource final : public ArrivalSource {
  private:
   Slot slot_;
   const std::vector<std::pair<NodeId, std::uint64_t>>& arrivals_;
+  std::size_t pos_ = 0;
+};
+
+/// Replays a span of elements, all arriving at one site in one slot —
+/// the adapter behind Deployment::update_batch. Holds a view; the span
+/// must outlive the source (it does: the source lives only for the
+/// run_batched call).
+class SpanSource final : public ArrivalSource {
+ public:
+  SpanSource(Slot slot, NodeId site, std::span<const std::uint64_t> elements)
+      : slot_(slot), site_(site), elements_(elements) {}
+
+  std::optional<Arrival> next() override {
+    if (pos_ >= elements_.size()) return std::nullopt;
+    return Arrival{slot_, site_, elements_[pos_++]};
+  }
+
+ private:
+  Slot slot_;
+  NodeId site_;
+  std::span<const std::uint64_t> elements_;
   std::size_t pos_ = 0;
 };
 

@@ -254,6 +254,31 @@ std::optional<Candidate> DominanceSet::min_hash() const {
   return front_cache_;
 }
 
+std::optional<Candidate> DominanceSet::min_hash_valid_after(
+    sim::Slot min_expiry) const {
+  if (min_expiry == std::numeric_limits<sim::Slot>::max()) return std::nullopt;
+  if (flat_) [[likely]] {
+    // Logical positions are (expiry, hash, element)-sorted, so the tuples
+    // with expiry > min_expiry form a suffix; its first tuple is the
+    // minimum hash among them (staircase).
+    std::uint32_t lo = 0;
+    std::uint32_t hi = count_;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (at(mid).expiry <= min_expiry) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == count_) return std::nullopt;
+    return at(lo);
+  }
+  const auto lb = tree_.lower_bound_key(Key{min_expiry + 1, kU64Min, kU64Min});
+  if (!lb) return std::nullopt;
+  return Candidate{lb->element, lb->hash, lb->expiry};
+}
+
 bool DominanceSet::contains(std::uint64_t element) const {
   if (flat_) [[likely]] {
     for (std::uint32_t l = 0; l < count_; ++l) {

@@ -140,6 +140,38 @@ class DominanceSet {
   /// mutation in treap mode (this is the query every slot asks).
   std::optional<Candidate> min_hash() const;
 
+  /// Multi-width query: the smallest-hash candidate among tuples with
+  /// expiry strictly greater than `min_expiry`, or nullopt if none. With
+  /// tuples keyed at window width W and `min_expiry = now + (W - w)`,
+  /// this is the window minimum at the narrower width w (every tuple the
+  /// w-window needs survives dominance pruning at W — a dominating tuple
+  /// expires even later, so it is in the w-window too). O(log |T|): a
+  /// binary search of the ring in flat mode, a lower_bound descent in
+  /// treap mode — the staircase makes the valid suffix's first tuple its
+  /// min-hash.
+  std::optional<Candidate> min_hash_valid_after(sim::Slot min_expiry) const;
+
+  /// Prefetch hint for the batched ingest pipeline: pulls the storage
+  /// lines the next observe(element, ...) will touch first (ring front /
+  /// index probe line + treap root).
+  void prefetch(std::uint64_t element) const noexcept {
+    if (flat_) {
+#if defined(__GNUC__) || defined(__clang__)
+      if (count_ > 0) __builtin_prefetch(&ring_[head_ & mask_]);
+#endif
+    } else {
+      index_.prefetch(element);
+      tree_.prefetch_root();
+    }
+  }
+
+  /// Bytes reserved across both representations; footprint accounting
+  /// for the multi-tenant memory comparison.
+  std::size_t footprint_bytes() const noexcept {
+    return ring_.capacity() * sizeof(Candidate) + tree_.pool_bytes() +
+           index_.table_bytes();
+  }
+
   std::size_t size() const noexcept {
     return flat_ ? count_ : tree_.size();
   }

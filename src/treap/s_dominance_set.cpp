@@ -154,6 +154,135 @@ void SDominanceSet::update(std::uint64_t element, std::uint64_t hash,
   by_hash_.insert(HashKey{hash, element}, expiry);
 }
 
+// The batched sweep. Same walk as update(), generalized to n newcomers
+// that all carry the batch expiry: where update() folds the single
+// newcomer hash into `w_new_` at its placement point, this folds all n
+// of them. The placement point is shared (one expiry), so every stored
+// group below it is judged against the n-newcomer working set in one
+// pass — exactly what n sequential sweeps would converge to, because
+// the survivor set is canonical in the live (hash, expiry) multiset
+// (equal-expiry tuples never dominate each other, so newcomer order
+// cannot matter). Rejection is impossible on this path: dominators need
+// strictly later expiry and the batch expiry is the maximum.
+void SDominanceSet::observe_group(const std::uint64_t* elements,
+                                  const std::uint64_t* hashes, std::size_t n,
+                                  sim::Slot expiry) {
+  stat_updates_ += n;
+  fresh_elems_.clear();
+  fresh_hashes_.clear();
+  const auto at_fn = [this](std::uint32_t s) { return element_at(s); };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) index_.prefetch(elements[i + 1]);
+    const std::uint32_t slot = index_.find(elements[i], at_fn);
+    if (slot != SlotIndex::kNoSlot) {
+      const ExpKey old = by_expiry_.key_at(slot);
+      if (old.expiry >= expiry) continue;  // stored copy is fresher
+      erase_tuple(old);
+    } else {
+      // In-batch duplicate: its stale copy (if any) is already erased
+      // and its fresh copy is pending, so sequential ingest would see a
+      // stored copy at this very expiry and no-op. n stays small (the
+      // ingest batch width), so a linear scan beats any index here.
+      bool dup = false;
+      for (const std::uint64_t e : fresh_elems_) dup = dup || e == elements[i];
+      if (dup) continue;
+    }
+    fresh_elems_.push_back(elements[i]);
+    fresh_hashes_.push_back(hashes[i]);
+  }
+  if (fresh_elems_.empty()) return;
+
+  w_old_.clear();
+  w_new_.clear();
+  victims_.clear();
+  group_.clear();
+  bool placed = false;
+  bool stop = false;
+  sim::Slot group_expiry = 0;
+  bool have_group = false;
+
+  const auto fold = [this](std::vector<std::uint64_t>& w, std::uint64_t h) {
+    if (w.size() < s_) {
+      w.insert(std::upper_bound(w.begin(), w.end(), h), h);
+    } else if (h < w.back()) {
+      w.pop_back();
+      w.insert(std::upper_bound(w.begin(), w.end(), h), h);
+    }
+  };
+  const auto judged_out = [this](std::uint64_t h) {
+    return w_new_.size() == s_ && h > w_new_.back();
+  };
+  const auto fold_newcomers = [&]() {
+    for (const std::uint64_t h : fresh_hashes_) fold(w_new_, h);
+  };
+
+  const auto close_group = [&]() {
+    const bool with_new = !placed && expiry == group_expiry;
+#ifndef NDEBUG
+    // Stored strictly-later survivors cannot dominate a max-expiry
+    // newcomer (the observe() precondition) — check before the
+    // equal-expiry group folds in.
+    if (with_new) {
+      for (const std::uint64_t h : fresh_hashes_) assert(!judged_out(h));
+    }
+#endif
+    stat_swept_ += group_.size();
+    group_victim_.clear();
+    for (const Candidate& c : group_) {
+      group_victim_.push_back(judged_out(c.hash) ? 1 : 0);
+    }
+    if (with_new) placed = true;
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      fold(w_old_, group_[i].hash);
+      if (group_victim_[i]) {
+        victims_.push_back(
+            ExpKey{group_[i].expiry, group_[i].hash, group_[i].element});
+      } else {
+        fold(w_new_, group_[i].hash);
+      }
+    }
+    if (with_new) fold_newcomers();
+    group_.clear();
+    if (placed && w_old_ == w_new_) stop = true;
+  };
+
+  by_expiry_.for_each_reverse_while([&](const ExpKey& k, char) {
+    if (have_group && k.expiry == group_expiry) {
+      group_.push_back(Candidate{k.element, k.hash, k.expiry});
+      return true;
+    }
+    if (have_group) {
+      close_group();
+      if (stop) return false;
+    }
+    if (!placed && expiry > k.expiry &&
+        (!have_group || expiry < group_expiry)) {
+      placed = true;
+      fold_newcomers();
+      if (w_old_ == w_new_) {  // no hash entered the working set
+        stop = true;
+        return false;
+      }
+    }
+    group_expiry = k.expiry;
+    have_group = true;
+    group_.push_back(Candidate{k.element, k.hash, k.expiry});
+    return true;
+  });
+  if (!stop) {
+    if (have_group) close_group();
+    if (!placed) fold_newcomers();  // empty set, or everything at `expiry`
+  }
+
+  for (const ExpKey& v : victims_) erase_tuple(v);
+  for (std::size_t i = 0; i < fresh_elems_.size(); ++i) {
+    const ExpKey key{expiry, fresh_hashes_[i], fresh_elems_[i]};
+    const std::uint32_t fresh = by_expiry_.insert_slot(key, 0);
+    index_.insert(fresh_elems_[i], fresh, at_fn);
+    by_hash_.insert(HashKey{fresh_hashes_[i], fresh_elems_[i]}, expiry);
+  }
+}
+
 void SDominanceSet::erase_tuple(const ExpKey& key) {
   // Index first: its probes read elements out of the by_expiry_ pool,
   // so the slot must still be live.
@@ -191,6 +320,23 @@ void SDominanceSet::bottom_s_into(std::vector<Candidate>& out) const {
     out.push_back(Candidate{k.element, k.hash, e});
     return out.size() < s_;
   });
+}
+
+void SDominanceSet::bottom_s_valid_after(sim::Slot min_expiry,
+                                         std::vector<Candidate>& out) const {
+  bottom_s_valid_after(min_expiry, s_, out);
+}
+
+void SDominanceSet::bottom_s_valid_after(sim::Slot min_expiry,
+                                         std::size_t count,
+                                         std::vector<Candidate>& out) const {
+  out.clear();
+  if (count == 0) return;
+  by_hash_.for_each_while_value_above(
+      min_expiry, [&](const HashKey& k, const sim::Slot& e) {
+        out.push_back(Candidate{k.element, k.hash, e});
+        return out.size() < count;
+      });
 }
 
 std::optional<Candidate> SDominanceSet::min_hash() const {

@@ -76,6 +76,21 @@ class SDominanceSet {
   /// itself is already s-dominated.
   void insert(std::uint64_t element, std::uint64_t hash, sim::Slot expiry);
 
+  /// Batched observe: `n` fresh arrivals sharing one `expiry` (one
+  /// ingest batch at slot t has expiry t + W, which must be >= every
+  /// stored expiry — the same precondition as observe()). Produces the
+  /// EXACT state per-element observe() calls would: the s-dominance
+  /// survivor set is canonical in the live (hash, expiry) multiset, so
+  /// stale-copy refreshes, in-batch duplicates (second copy is the same
+  /// no-op as sequentially), and victim pruning all land identically.
+  /// The win is structural: the newcomers share an expiry, so ONE
+  /// descending-expiry dominance sweep judges victims against all n
+  /// hashes at once instead of re-walking the same groups n times —
+  /// the sweep cost of the longest single newcomer, not the sum.
+  void observe_group(const std::uint64_t* elements,
+                     const std::uint64_t* hashes, std::size_t n,
+                     sim::Slot expiry);
+
   /// Drops tuples with expiry <= now. O(log n + expired).
   void expire(sim::Slot now);
 
@@ -87,6 +102,21 @@ class SDominanceSet {
   /// Appends the bottom-s into `out` (cleared first) without returning
   /// a fresh vector — the allocation-free variant for per-slot callers.
   void bottom_s_into(std::vector<Candidate>& out) const;
+
+  /// Multi-width query: the up-to-`count` smallest-hash candidates among
+  /// tuples with expiry strictly greater than `min_expiry`, appended to
+  /// `out` (cleared first), hash-ascending. With tuples keyed at width W
+  /// and `min_expiry = now + (W - w)`, this is the bottom-s of the
+  /// narrower window w: any tuple of the w-window's true bottom-s has
+  /// fewer than s smaller-hash tuples expiring later (those would be in
+  /// the w-window too), so it survives s-dominance pruning at W and is
+  /// stored here. Served by the by-hash treap's max-expiry aggregate —
+  /// subtrees holding no tuple valid at w are skipped — in expected
+  /// O(log n + count). Allocation-free once `out` has capacity.
+  void bottom_s_valid_after(sim::Slot min_expiry,
+                            std::vector<Candidate>& out) const;
+  void bottom_s_valid_after(sim::Slot min_expiry, std::size_t count,
+                            std::vector<Candidate>& out) const;
 
   /// Smallest-hash candidate (== bottom_s().front()); O(log n).
   std::optional<Candidate> min_hash() const;
@@ -102,6 +132,28 @@ class SDominanceSet {
   bool empty() const noexcept { return by_expiry_.empty(); }
   std::size_t sample_size() const noexcept { return s_; }
   bool contains(std::uint64_t element) const;
+
+  /// Prefetch hint for the batched ingest pipeline: pulls the lines the
+  /// next observe(element, ...) touches first (index probe line + the
+  /// by-expiry root).
+  void prefetch(std::uint64_t element) const noexcept {
+    index_.prefetch(element);
+    by_expiry_.prefetch_root();
+  }
+
+  /// Bytes reserved by both treap pools, the index, and the sweep
+  /// scratch; footprint accounting for the multi-tenant comparison.
+  std::size_t footprint_bytes() const noexcept {
+    return by_expiry_.pool_bytes() + by_hash_.pool_bytes() +
+           index_.table_bytes() +
+           w_old_.capacity() * sizeof(std::uint64_t) +
+           w_new_.capacity() * sizeof(std::uint64_t) +
+           group_.capacity() * sizeof(Candidate) +
+           group_victim_.capacity() +
+           victims_.capacity() * sizeof(ExpKey) +
+           (fresh_elems_.capacity() + fresh_hashes_.capacity()) *
+               sizeof(std::uint64_t);
+  }
 
   /// All tuples in (expiry, hash, element) order.
   std::vector<Candidate> snapshot() const;
@@ -155,7 +207,10 @@ class SDominanceSet {
 
   std::size_t s_;
   Treap<ExpKey, char> by_expiry_;
-  Treap<HashKey, sim::Slot> by_hash_;  ///< value: the tuple's expiry
+  /// Value: the tuple's expiry. MaxAgg maintains each subtree's max
+  /// expiry, which bottom_s_valid_after uses to skip subtrees with no
+  /// tuple valid at the queried width.
+  Treap<HashKey, sim::Slot, std::less<HashKey>, /*MaxAgg=*/true> by_hash_;
   SlotIndex index_;                    ///< element -> by_expiry_ slot
 
   // Sweep scratch, reused across updates (allocation-free steady state).
@@ -164,6 +219,8 @@ class SDominanceSet {
   std::vector<Candidate> group_;          ///< current equal-expiry group
   std::vector<unsigned char> group_victim_;
   std::vector<ExpKey> victims_;
+  std::vector<std::uint64_t> fresh_elems_;   ///< observe_group survivors
+  std::vector<std::uint64_t> fresh_hashes_;  ///< of the stale/dup filter
 
   std::uint64_t stat_swept_ = 0;
   std::uint64_t stat_updates_ = 0;

@@ -122,6 +122,23 @@ class SlotIndex {
   /// steady state (churn must not change it once warmed up).
   std::size_t capacity() const noexcept { return table_.size(); }
 
+  /// Bytes reserved by the probe table; footprint accounting.
+  std::size_t table_bytes() const noexcept {
+    return table_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Prefetch hint: pulls `element`'s home probe line into cache. The
+  /// batched ingest path issues this for element i+1 while element i is
+  /// being processed, hiding the first (and usually only) probe miss.
+  void prefetch(std::uint64_t element) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!table_.empty()) {
+      const std::uint64_t h = home_hash(element);
+      __builtin_prefetch(&table_[static_cast<std::uint32_t>(h) & mask()]);
+    }
+#endif
+  }
+
  private:
   /// Empty marker: the slot half is kNoSlot, which no live entry has.
   static constexpr std::uint64_t kEmpty = ~0ULL;

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -51,7 +52,17 @@ namespace dds::treap {
 /// Subtree sizes are maintained on every path, so the treap doubles as
 /// an order-statistic tree: kth() selects by rank and rank_of() counts
 /// keys below a bound, both in O(log n).
-template <typename K, typename V, typename Compare = std::less<K>>
+///
+/// With MaxAgg = true each node additionally carries the maximum value
+/// in its subtree (V must be `<`-comparable), maintained through every
+/// structural operation. This turns the treap into a key-ordered /
+/// value-thresholded range tree: for_each_while_value_above() walks
+/// entries in key order visiting only values above a threshold, pruning
+/// whole subtrees via the aggregate — expected O(log n + visited). The
+/// multi-width window queries (bottom-s among tuples still valid at a
+/// narrower width) are built on exactly this walk.
+template <typename K, typename V, typename Compare = std::less<K>,
+          bool MaxAgg = false>
 class Treap {
  public:
   /// Slot sentinel: "no such node". Returned by insert_slot() on
@@ -70,6 +81,21 @@ class Treap {
   /// Slots currently held by the pool, live + free. Test hook for the
   /// zero-allocation steady state: insert/erase cycles must not grow it.
   std::size_t pool_slots() const noexcept { return pool_.size(); }
+
+  /// Bytes reserved by the node pool (live + free + spare capacity).
+  /// Footprint accounting for the multi-tenant memory comparison.
+  std::size_t pool_bytes() const noexcept {
+    return pool_.capacity() * sizeof(Node);
+  }
+
+  /// Prefetch hint: pulls the root node's cache line ahead of a descent.
+  /// The batched ingest path issues this for element i+1 while element i
+  /// is being processed.
+  void prefetch_root() const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (root_ != kNil) __builtin_prefetch(&pool_[root_]);
+#endif
+  }
 
   /// Inserts key->value. Returns false (and leaves the key set
   /// unchanged) if the key is already present.
@@ -116,7 +142,7 @@ class Treap {
       Node& f = pool_[replacement];
       f.left = lo;
       f.right = hi;
-      f.size = 1 + size_of(lo) + size_of(hi);
+      update(replacement);
     }
     if (parent == kNil) {
       root_ = replacement;
@@ -126,7 +152,12 @@ class Treap {
       pool_[parent].right = replacement;
     }
     if (found) return kNoSlot;
-    for (std::uint32_t idx : path_) ++pool_[idx].size;
+    for (std::uint32_t idx : path_) {
+      ++pool_[idx].size;
+      if constexpr (MaxAgg) {
+        if (pool_[idx].agg < value) pool_[idx].agg = value;
+      }
+    }
     return replacement;
   }
 
@@ -148,7 +179,13 @@ class Treap {
       } else {
         *slot = merge(n.left, n.right);
         release(node);
-        for (std::uint32_t idx : path_) --pool_[idx].size;
+        if constexpr (MaxAgg) {
+          // The erased value may have been an ancestor's max; recompute
+          // bottom-up (a plain decrement cannot shrink a max).
+          for (std::size_t i = path_.size(); i-- > 0;) update(path_[i]);
+        } else {
+          for (std::uint32_t idx : path_) --pool_[idx].size;
+        }
         return true;
       }
     }
@@ -246,6 +283,42 @@ class Treap {
         break;
       }
       cur = pool_[cur].right;
+    }
+    walk_.resize(base);
+    return complete;
+  }
+
+  /// In-order traversal restricted to entries whose value compares
+  /// strictly above `threshold`. Requires MaxAgg: subtrees whose
+  /// max-value aggregate is <= threshold are skipped wholesale, so the
+  /// walk costs expected O(log n + visited) instead of O(n). `fn(key,
+  /// value)` returns true to continue; returns true iff every qualifying
+  /// entry was visited. Same arena re-entrancy rules as for_each_while.
+  ///
+  /// This is the multi-width window query: with values = expiry slots
+  /// and keys = (hash, element), the bottom-s tuples still valid at a
+  /// narrower width w are the first s entries with expiry > now + (W-w).
+  template <typename Fn>
+  bool for_each_while_value_above(const V& threshold, Fn fn) const {
+    static_assert(MaxAgg,
+                  "for_each_while_value_above needs the max-value aggregate");
+    const std::size_t base = walk_.size();
+    std::uint32_t cur = root_;
+    bool complete = true;
+    while (true) {
+      while (cur != kNil && threshold < pool_[cur].agg) {
+        walk_.push_back(cur);
+        cur = pool_[cur].left;
+      }
+      if (walk_.size() == base) break;
+      cur = walk_.back();
+      walk_.pop_back();
+      const Node& n = pool_[cur];
+      if (threshold < n.value && !fn(n.key, n.value)) {
+        complete = false;
+        break;
+      }
+      cur = n.right;
     }
     walk_.resize(base);
     return complete;
@@ -421,6 +494,14 @@ class Treap {
         stack.push_back({n.right, &n.key, f.hi});
       }
       if (n.size != expected) return false;
+      if constexpr (MaxAgg) {
+        V want = n.value;
+        if (n.left != kNil && want < pool_[n.left].agg) want = pool_[n.left].agg;
+        if (n.right != kNil && want < pool_[n.right].agg) {
+          want = pool_[n.right].agg;
+        }
+        if (n.agg < want || want < n.agg) return false;
+      }
     }
     return live + free_count == pool_.size();
   }
@@ -452,6 +533,11 @@ class Treap {
     return util::mix64(prio_salt_ ^ prio_counter_++);
   }
 
+  struct NoAgg {};
+  /// Subtree max-value aggregate; an empty tag when MaxAgg is off so the
+  /// node layout (and every non-aggregated instantiation) is unchanged.
+  using AggStorage = std::conditional_t<MaxAgg, V, NoAgg>;
+
   struct Node {
     K key;
     V value;
@@ -459,6 +545,7 @@ class Treap {
     std::uint32_t size;
     std::uint32_t left;   // doubles as the freelist link when released
     std::uint32_t right;
+    [[no_unique_address]] AggStorage agg;
   };
 
   std::uint32_t size_of(std::uint32_t n) const noexcept {
@@ -468,6 +555,12 @@ class Treap {
   void update(std::uint32_t n) noexcept {
     Node& nd = pool_[n];
     nd.size = 1 + size_of(nd.left) + size_of(nd.right);
+    if constexpr (MaxAgg) {
+      V m = nd.value;
+      if (nd.left != kNil && m < pool_[nd.left].agg) m = pool_[nd.left].agg;
+      if (nd.right != kNil && m < pool_[nd.right].agg) m = pool_[nd.right].agg;
+      nd.agg = m;
+    }
   }
 
   /// Takes a slot from the freelist or grows the pool. May invalidate
@@ -483,10 +576,12 @@ class Treap {
       n.size = 1;
       n.left = kNil;
       n.right = kNil;
+      if constexpr (MaxAgg) n.agg = value;
       return idx;
     }
     assert(pool_.size() < kNil);
     pool_.push_back(Node{key, value, prio, 1, kNil, kNil});
+    if constexpr (MaxAgg) pool_.back().agg = value;
     return static_cast<std::uint32_t>(pool_.size() - 1);
   }
 
@@ -600,12 +695,18 @@ class Treap {
       if (pool_[a].priority >= pool_[b].priority) {
         Node& n = pool_[a];
         n.size += size_of(b);
+        if constexpr (MaxAgg) {
+          if (n.agg < pool_[b].agg) n.agg = pool_[b].agg;
+        }
         *slot = a;
         slot = &n.right;
         a = n.right;
       } else {
         Node& n = pool_[b];
         n.size += size_of(a);
+        if constexpr (MaxAgg) {
+          if (n.agg < pool_[a].agg) n.agg = pool_[a].agg;
+        }
         *slot = b;
         slot = &n.left;
         b = n.left;
@@ -655,6 +756,7 @@ class Treap {
     const Node& sr = from.pool_[src_root];
     const std::uint32_t dst_root = acquire(sr.key, sr.value, sr.priority);
     pool_[dst_root].size = sr.size;
+    if constexpr (MaxAgg) pool_[dst_root].agg = sr.agg;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;  // src, dst
     stack.emplace_back(src_root, dst_root);
     while (!stack.empty()) {
@@ -667,6 +769,7 @@ class Treap {
         const Node& cn = from.pool_[child];
         const std::uint32_t c = acquire(cn.key, cn.value, cn.priority);
         pool_[c].size = cn.size;
+        if constexpr (MaxAgg) pool_[c].agg = cn.agg;
         if (left_side) {
           pool_[d].left = c;
         } else {

@@ -195,5 +195,52 @@ TEST(HashFamily, SameIndexSameFunction) {
   EXPECT_EQ(family.at(3)(999), family.at(3)(999));
 }
 
+// ----------------------------------------------------- batched kernels --
+
+TEST(BatchedHashing, Murmur2BatchMatchesSingle) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 257; ++i) keys.push_back(i * i + 0xABCDULL);
+  std::vector<std::uint64_t> out(keys.size());
+  for (const std::uint64_t seed : {0ULL, 7ULL, ~0ULL}) {
+    murmur2_64_batch(keys.data(), keys.size(), seed, out.data());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(out[i], murmur2_64(keys[i], seed)) << "i=" << i;
+    }
+  }
+}
+
+TEST(BatchedHashing, Murmur3BatchMatchesSingleAndBuffer) {
+  std::vector<std::uint64_t> keys{0ULL, 1ULL, 17ULL, 0xFEEDFACEULL, ~0ULL,
+                                  0x123456789ABCDEFULL};
+  std::vector<std::uint64_t> out(keys.size());
+  for (const std::uint64_t seed : {0ULL, 3ULL, 99ULL}) {
+    murmur3_64_batch(keys.data(), keys.size(), seed, out.data());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(out[i], murmur3_64(keys[i], seed));
+      unsigned char buf[8];
+      std::memcpy(buf, &keys[i], 8);
+      ASSERT_EQ(out[i], murmur3_64(buf, 8, seed));
+    }
+  }
+}
+
+TEST_P(HashFunctionAllKinds, HashBatchMatchesOperator) {
+  // The hoisted-dispatch batch path must be bit-identical to the
+  // per-element operator() for every kind, at every batch width the
+  // ingest layer uses (plus empty and odd tails).
+  const HashFunction f(GetParam(), 31);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 131; ++i) keys.push_back(i * 2654435761ULL);
+  std::vector<std::uint64_t> out(keys.size(), 0);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{4},
+                              std::size_t{7}, std::size_t{8},
+                              std::size_t{64}, keys.size()}) {
+    f.hash_batch(keys.data(), n, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], f(keys[i])) << "kind batch n=" << n << " i=" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dds::hash

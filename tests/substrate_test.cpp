@@ -495,6 +495,68 @@ TEST(SDominanceOrderStats, RankQueriesMatchSnapshotUnderFuzz) {
   }
 }
 
+// ------------------------------------- SDominanceSet batched observe --
+
+// observe_group (one combined dominance sweep per same-expiry batch)
+// must leave the set in the EXACT state n sequential observe() calls
+// would — including stale-copy refreshes, in-batch duplicates, and
+// victim pruning. Fuzzed across small/large domains (duplicate-heavy
+// and duplicate-free) and batch widths, comparing full snapshots.
+TEST(SDominanceBatchedObserve, GroupObserveMatchesSequentialUnderFuzz) {
+  for (const std::uint64_t domain : {25ULL, 400ULL, 1000000ULL}) {
+    for (const std::size_t width : {2, 5, 8, 64}) {
+      SDominanceSet batched(4, /*seed=*/77);
+      SDominanceSet sequential(4, /*seed=*/77);
+      hash::HashFunction h(hash::HashKind::kMurmur2, 21);
+      util::Xoshiro256StarStar rng(domain + width);
+      const sim::Slot window = 60;
+      std::vector<std::uint64_t> elems, hashes;
+      for (sim::Slot t = 0; t < 300; ++t) {
+        elems.clear();
+        hashes.clear();
+        const std::uint64_t count = 1 + rng.next_below(2 * width);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const std::uint64_t e = 1 + rng.next_below(domain);
+          elems.push_back(e);
+          hashes.push_back(h(e));
+        }
+        batched.expire(t);
+        sequential.expire(t);
+        for (std::size_t off = 0; off < elems.size(); off += width) {
+          const std::size_t n = std::min(width, elems.size() - off);
+          batched.observe_group(elems.data() + off, hashes.data() + off, n,
+                                t + window);
+        }
+        for (std::size_t i = 0; i < elems.size(); ++i) {
+          sequential.observe(elems[i], hashes[i], t + window);
+        }
+        ASSERT_EQ(batched.snapshot(), sequential.snapshot())
+            << "domain=" << domain << " width=" << width << " t=" << t;
+        ASSERT_TRUE(batched.check_invariants());
+      }
+    }
+  }
+}
+
+TEST(SDominanceBatchedObserve, HandlesEmptySetAndRepeatedSlots) {
+  SDominanceSet set(3, 5);
+  const std::uint64_t elems[] = {10, 11, 10, 12};  // in-batch duplicate
+  const std::uint64_t hashes[] = {700, 300, 700, 500};
+  set.observe_group(elems, hashes, 4, 50);  // into an empty set
+  EXPECT_EQ(set.size(), 3u);
+  // Second batch at the same expiry: refreshes are all no-ops.
+  set.observe_group(elems, hashes, 4, 50);
+  EXPECT_EQ(set.size(), 3u);
+  const auto snap = set.snapshot();
+  // A later batch refreshes one element and prunes nothing.
+  const std::uint64_t more[] = {10};
+  const std::uint64_t more_h[] = {700};
+  set.observe_group(more, more_h, 1, 60);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.check_invariants());
+  EXPECT_NE(set.snapshot(), snap);  // 10's expiry moved to 60
+}
+
 TEST(SDominanceAllocation, SteadyStateChurnReusesAllStorage) {
   SDominanceSet set(8);
   hash::HashFunction h(hash::HashKind::kMurmur2, 11);

@@ -1,0 +1,213 @@
+// query::TenantRegistry — multi-tenant multi-width serving from one
+// shared candidate structure. The contract under test: every tenant's
+// answer at its own width is BIT-identical (element, hash, expiry) to a
+// dedicated WindowedBottomSSampler of that width fed the same stream,
+// at every queried slot; and the shared structure's memory stays well
+// below the sum of the dedicated samplers'.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/windowed_bottom_s.h"
+#include "query/merge.h"
+#include "query/service.h"
+#include "util/rng.h"
+
+namespace dds::query {
+namespace {
+
+/// Drives a registry and per-tenant dedicated samplers through the same
+/// bursty stream, asserting bit-identical answers at every slot.
+void pin_against_dedicated(std::size_t s, sim::Slot max_width,
+                           const std::vector<sim::Slot>& widths,
+                           std::uint64_t seed, sim::Slot slots,
+                           std::uint64_t domain, std::size_t batch) {
+  TenantRegistry registry(s, max_width, /*num_streams=*/1,
+                          hash::HashKind::kMurmur2, seed);
+  std::vector<core::WindowedBottomSSampler> dedicated;
+  dedicated.reserve(widths.size());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ASSERT_EQ(registry.register_tenant(widths[i]), i);
+    dedicated.emplace_back(s, widths[i],
+                           hash::HashFunction(hash::HashKind::kMurmur2, seed),
+                           util::derive_seed(seed, 0xDD00 + i));
+  }
+
+  util::Xoshiro256StarStar rng(seed ^ 0xABCD);
+  std::vector<std::uint64_t> burst;
+  std::vector<treap::Candidate> want;
+  std::vector<treap::Candidate> got;
+  for (sim::Slot t = 0; t < slots; ++t) {
+    burst.clear();
+    const std::uint64_t count = 1 + rng.next_below(6);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      burst.push_back(util::mix64(1 + rng.next_below(domain)));
+    }
+    for (std::size_t off = 0; off < burst.size(); off += batch) {
+      const std::size_t n = std::min(batch, burst.size() - off);
+      registry.update_batch(0, {burst.data() + off, n}, t);
+    }
+    for (auto& sampler : dedicated) {
+      for (const auto e : burst) sampler.observe(e, t);
+    }
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      dedicated[i].sample_into(t, want);
+      registry.answer_into(i, t, got);
+      ASSERT_EQ(got, want) << "tenant " << i << " width " << widths[i]
+                           << " slot " << t;
+    }
+  }
+  // The shared structure holds ONE candidate set; the dedicated
+  // deployment pays once per tenant. With 8+ widths the saving must be
+  // substantial (sub-linear in tenant count — abl15 quantifies it).
+  std::size_t dedicated_tuples = 0;
+  for (const auto& sampler : dedicated) dedicated_tuples += sampler.state_size();
+  EXPECT_LT(registry.state_size() * 2, dedicated_tuples);
+}
+
+TEST(TenantService, EightWidthsBitIdenticalToDedicated) {
+  pin_against_dedicated(/*s=*/8, /*max_width=*/256,
+                        {8, 16, 32, 64, 96, 128, 192, 256},
+                        /*seed=*/5, /*slots=*/600, /*domain=*/5000,
+                        /*batch=*/8);
+}
+
+TEST(TenantService, DuplicateAndExtremeWidths) {
+  // Width 1 (only the current slot), duplicated widths, and a heavy
+  // duplicate stream (small domain — refresh paths dominate).
+  pin_against_dedicated(/*s=*/4, /*max_width=*/64, {1, 1, 3, 64, 64, 7, 33, 5},
+                        /*seed=*/6, /*slots=*/400, /*domain=*/40,
+                        /*batch=*/7);
+}
+
+TEST(TenantService, SingleElementBatches) {
+  // batch=1 must serve the same answers (the batch path degenerates).
+  pin_against_dedicated(/*s=*/5, /*max_width=*/50, {10, 20, 30, 40, 50},
+                        /*seed=*/7, /*slots=*/250, /*domain=*/500,
+                        /*batch=*/1);
+}
+
+TEST(TenantService, MultiStreamMergeIsExact) {
+  // Three input streams, merged at query time. Reference: a dedicated
+  // width-w sampler fed the INTERLEAVED union stream. The registry's
+  // per-stream samplers see disjoint subsequences; the merge must
+  // reconstruct the union's exact bottom-s (freshest expiry kept).
+  const std::size_t s = 6;
+  const sim::Slot kMaxWidth = 128;
+  const std::vector<sim::Slot> widths = {16, 48, 128};
+  const std::uint64_t seed = 9;
+  TenantRegistry registry(s, kMaxWidth, /*num_streams=*/3,
+                          hash::HashKind::kMurmur2, seed);
+  std::vector<core::WindowedBottomSSampler> dedicated;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    registry.register_tenant(widths[i]);
+    dedicated.emplace_back(s, widths[i],
+                           hash::HashFunction(hash::HashKind::kMurmur2, seed),
+                           util::derive_seed(seed, 0xEE00 + i));
+  }
+  util::Xoshiro256StarStar rng(1234);
+  std::vector<treap::Candidate> want;
+  std::vector<treap::Candidate> got;
+  for (sim::Slot t = 0; t < 400; ++t) {
+    const std::uint64_t count = 1 + rng.next_below(5);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t e = util::mix64(1 + rng.next_below(800));
+      const auto stream = static_cast<std::uint32_t>(rng.next_below(3));
+      registry.update(stream, e, t);
+      for (auto& sampler : dedicated) sampler.observe(e, t);
+    }
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      dedicated[i].sample_into(t, want);
+      registry.answer_into(i, t, got);
+      ASSERT_EQ(got, want) << "tenant " << i << " slot " << t;
+    }
+  }
+}
+
+TEST(TenantService, WidthQueryFuzzAgainstBruteForce) {
+  // Random widths queried ad hoc against a brute-force window oracle
+  // over the raw arrival history (not a sampler — an independent
+  // derivation of "bottom-s of the last w slots").
+  const std::size_t s = 5;
+  const sim::Slot kMaxWidth = 100;
+  const std::uint64_t seed = 17;
+  TenantRegistry registry(s, kMaxWidth, 1, hash::HashKind::kMurmur3, seed);
+  const hash::HashFunction h(hash::HashKind::kMurmur3, seed);
+
+  std::vector<std::pair<std::uint64_t, sim::Slot>> last_arrival;  // (e, t)
+  auto brute = [&](sim::Slot now, sim::Slot width) {
+    std::vector<treap::Candidate> in_window;
+    for (const auto& [e, t] : last_arrival) {
+      if (t + width > now) in_window.push_back({e, h(e), t + width});
+    }
+    std::sort(in_window.begin(), in_window.end(),
+              [](const treap::Candidate& a, const treap::Candidate& b) {
+                return a.hash < b.hash;
+              });
+    if (in_window.size() > s) in_window.resize(s);
+    return in_window;
+  };
+
+  util::Xoshiro256StarStar rng(4321);
+  std::vector<sim::Slot> widths;
+  for (int i = 0; i < 12; ++i) {
+    widths.push_back(1 + static_cast<sim::Slot>(rng.next_below(kMaxWidth)));
+    registry.register_tenant(widths.back());
+  }
+  std::vector<treap::Candidate> got;
+  for (sim::Slot t = 0; t < 300; ++t) {
+    const std::uint64_t count = 1 + rng.next_below(4);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t e = util::mix64(1 + rng.next_below(150));
+      registry.update(0, e, t);
+      bool found = false;
+      for (auto& [el, slot] : last_arrival) {
+        if (el == e) {
+          slot = t;
+          found = true;
+          break;
+        }
+      }
+      if (!found) last_arrival.emplace_back(e, t);
+    }
+    const auto tenant = static_cast<std::size_t>(rng.next_below(12));
+    registry.answer_into(tenant, t, got);
+    ASSERT_EQ(got, brute(t, widths[tenant])) << "slot " << t;
+  }
+}
+
+TEST(TenantService, ServeAllAndEstimates) {
+  const std::size_t s = 4;
+  TenantRegistry registry(s, 64, 1, hash::HashKind::kMurmur2, 3);
+  registry.register_tenant(8);
+  registry.register_tenant(64);
+  // 3 distinct elements, all inside both windows: estimates are exact
+  // (sample not full).
+  for (std::uint64_t e = 1; e <= 3; ++e) registry.update(0, e * 1000, 5);
+  const auto& answers = registry.serve_all(5);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0].size(), 3u);
+  EXPECT_EQ(answers[1].size(), 3u);
+  EXPECT_DOUBLE_EQ(registry.estimate(0, 5), 3.0);
+  EXPECT_DOUBLE_EQ(registry.estimate(1, 5), 3.0);
+  // Slot 14: the width-8 window (arrivals after 14 - 8 = 6) is empty,
+  // the width-64 window still holds all three.
+  EXPECT_EQ(registry.answer(0, 14).size(), 0u);
+  EXPECT_EQ(registry.answer(1, 14).size(), 3u);
+  EXPECT_DOUBLE_EQ(registry.estimate(0, 14), 0.0);
+}
+
+TEST(TenantService, RejectsBadConfig) {
+  TenantRegistry registry(4, 32, 1);
+  EXPECT_THROW(registry.register_tenant(0), std::invalid_argument);
+  EXPECT_THROW(registry.register_tenant(33), std::invalid_argument);
+  EXPECT_THROW(TenantRegistry(0, 32, 1), std::invalid_argument);
+  EXPECT_THROW(TenantRegistry(4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(TenantRegistry(4, 32, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dds::query

@@ -24,6 +24,13 @@ The default threshold is deliberately loose (25%): CI machines are
 noisy, and this check is wired into tools/ci.sh as a SOFT failure — a
 tripwire that turns silent drift into a visible warning, not a merge
 blocker. Tighten it when comparing runs from the same quiet machine.
+
+Measured noise floor (single-core container, back-to-back identical
+builds through tools/bench_json.sh): at --benchmark_min_time=0.05 the
+micro suites swing up to +180% between runs (the 25% threshold is
+useless); at 0.25 the worst same-build delta is ~±13%, giving the 25%
+default about 2x margin. bench_json.sh therefore defaults min_time to
+0.25 — do not lower it below that when the output feeds this compare.
 """
 
 import argparse

@@ -20,7 +20,10 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 outdir="${2:-$build/bench_results}"
-min_time="${3:-0.05}"
+# 0.25s floor: at 0.05 back-to-back identical runs differ by up to
+# +180% on this class of 1-core CI box; at 0.25 the worst same-build
+# delta is ~±13%, inside bench_compare.py's 25% default threshold.
+min_time="${3:-0.25}"
 
 mkdir -p "$outdir"
 
@@ -83,3 +86,16 @@ run_table_bench abl13_recovery --runs 1 --slots 200 \
 # SDominanceSet's swept-tuples-per-update and ns/update vs |T| — the
 # "bottom-s update cost sublinear in |T|" record.
 run_table_bench abl7_bottom_s_window --runs 1
+
+# Batched-ingest trajectory: abl14's xB/x1 column is the
+# hardware-independent batched-over-single throughput ratio per layer
+# (sampler = combined dominance sweep; deployment = per-element wire
+# contract preserved). Bit-identity is pinned by the test suite; this
+# records only the price.
+run_table_bench abl14_batch_ingest --runs 1 --slots 4000
+
+# Multi-tenant serving trajectory: abl15 pins agree% at 100 (shared
+# structure vs dedicated per-tenant samplers; the binary exits nonzero
+# on any disagreement) and records the sub-linear memory and ingest
+# ratios vs tenant count.
+run_table_bench abl15_multitenant --runs 1 --slots 2000

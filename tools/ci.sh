@@ -72,9 +72,17 @@ print(f"obs smoke: {len(events)} trace events, "
       f"{len(snapshot['counters'])} counters")
 PY
 
+# Multi-tenant smoke: the dashboard example drives the shared
+# TenantRegistry against per-tenant naive samplers and exits nonzero
+# unless every checked tenant answer is bit-identical.
+"$build/multi_tenant_dashboard" --slots 800 >/dev/null
+echo "ci: multi-tenant dashboard agreed with naive samplers"
+
 # Bench smoke: short micro-bench run, JSON into bench_results/ — the
 # per-commit point on the perf trajectory (archived by CI).
-"$repo/tools/bench_json.sh" "$build" "$build/bench_results" 0.05
+# min_time 0.25: the measured floor below which same-build runs trip
+# the 25% compare threshold (see bench_compare.py's noise-floor note).
+"$repo/tools/bench_json.sh" "$build" "$build/bench_results" 0.25
 
 # Perf tripwire (SOFT): when a baseline snapshot of bench_results exists
 # (CI restores the previous run's artifact into bench_baseline/), diff
