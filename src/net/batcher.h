@@ -82,6 +82,14 @@ class Batcher {
   /// removed before they were flushed. Monotone; 0 in a correct resize.
   std::uint64_t stranded() const noexcept { return stranded_; }
 
+  /// Reports buffered anywhere (all sites, all shards) — the batcher
+  /// half of a transport's quiescent() check.
+  std::size_t buffered_total() const {
+    std::size_t n = 0;
+    for (const Buffer& b : buffers_) n += b.msgs.size();
+    return n;
+  }
+
   /// Reports buffered at `site` across all destination shards.
   std::size_t buffered(sim::NodeId site) const {
     std::size_t n = 0;

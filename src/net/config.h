@@ -38,6 +38,8 @@ enum class TransportKind : std::uint8_t {
   kAuto,        ///< legacy Bus when the config is trivial, else SimNetwork
   kBus,         ///< force the zero-delay synchronous bus
   kSimNetwork,  ///< force the event-driven simulator (any config)
+  kUdp,         ///< real UDP datagrams on 127.0.0.1 (ack-bit reliability)
+  kTcp,         ///< real TCP streams on 127.0.0.1
 };
 
 /// Deployment-level network configuration: the default link model, the

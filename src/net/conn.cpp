@@ -1,0 +1,275 @@
+#include "net/conn.h"
+
+namespace dds::net {
+
+namespace {
+
+constexpr std::uint16_t kPacketMagic = 0x5CDD;
+constexpr std::uint8_t kPacketVersion = 1;
+constexpr std::uint8_t kFlagHasAck = 0x01;
+
+}  // namespace
+
+Connection::Connection(bool initiator, wire::Hello local, ConnConfig config)
+    : initiator_(initiator), local_(local), config_(config) {
+  // The 32-bit ack field covers seqs [ack-32, ack]; with more than 32
+  // packets in flight a straggler could fall out of every future ack
+  // and retransmit forever. Clamp rather than trust the caller.
+  if (config_.window > 32) config_.window = 32;
+  if (config_.window == 0) config_.window = 1;
+}
+
+void Connection::send(wire::Buffer payload) {
+  pending_.push_back(std::move(payload));
+}
+
+std::uint64_t Connection::unwrap(std::uint64_t reference, std::uint16_t seq) {
+  // Candidate with the reference's epoch, then shift one epoch either
+  // way if that lands closer. Sequences move forward in a window far
+  // smaller than 2^15, so "closest to reference" is unambiguous.
+  const std::uint64_t base = reference & ~0xFFFFULL;
+  std::uint64_t best = base | seq;
+  auto distance = [reference](std::uint64_t v) {
+    return v > reference ? v - reference : reference - v;
+  };
+  if (base >= 0x10000ULL && distance((base - 0x10000ULL) | seq) < distance(best)) {
+    best = (base - 0x10000ULL) | seq;
+  }
+  if (distance((base + 0x10000ULL) | seq) < distance(best)) {
+    best = (base + 0x10000ULL) | seq;
+  }
+  return best;
+}
+
+void Connection::emit(PacketKind kind, std::uint64_t seq,
+                      const wire::Buffer* payload, bool retransmit,
+                      std::vector<OutPacket>& out) {
+  OutPacket pkt;
+  pkt.data = kind == PacketKind::kData;
+  pkt.retransmit = retransmit;
+  pkt.handshake =
+      kind == PacketKind::kHello || kind == PacketKind::kWelcome;
+  wire::Buffer& b = pkt.bytes;
+  b.reserve(kPacketHeaderBytes + (payload != nullptr ? payload->size() : 0));
+  b.push_back(static_cast<std::uint8_t>(kPacketMagic));
+  b.push_back(static_cast<std::uint8_t>(kPacketMagic >> 8));
+  b.push_back(kPacketVersion);
+  b.push_back(static_cast<std::uint8_t>(kind));
+  const bool has_ack = latest_recv_ != 0;
+  b.push_back(has_ack ? kFlagHasAck : 0);
+  b.push_back(0);  // pad
+  const std::uint16_t seq16 = static_cast<std::uint16_t>(seq);
+  b.push_back(static_cast<std::uint8_t>(seq16));
+  b.push_back(static_cast<std::uint8_t>(seq16 >> 8));
+  const std::uint16_t ack16 = static_cast<std::uint16_t>(latest_recv_);
+  b.push_back(static_cast<std::uint8_t>(ack16));
+  b.push_back(static_cast<std::uint8_t>(ack16 >> 8));
+  const std::uint32_t bits = static_cast<std::uint32_t>(recv_mask_);
+  for (int i = 0; i < 4; ++i) {
+    b.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+  if (payload != nullptr) b.insert(b.end(), payload->begin(), payload->end());
+  if (has_ack) ack_dirty_ = false;
+  out.push_back(std::move(pkt));
+}
+
+void Connection::poll(double now, std::vector<OutPacket>& out) {
+  const std::size_t emitted_before = out.size();
+  if (!established_ && initiator_ &&
+      now - last_hello_ >= config_.handshake_rto) {
+    wire::Buffer hello;
+    wire::encode_hello(local_, hello);
+    emit(PacketKind::kHello, 0, &hello, false, out);
+    last_hello_ = now;
+    ++stats_.handshake_sent;
+  }
+  if (welcome_due_) {
+    // Echo the initiator's cookie so it can tell this Welcome answers
+    // its own Hello and not a stale incarnation's.
+    wire::Hello ours = local_;
+    ours.cookie = peer_.cookie;
+    wire::Buffer welcome;
+    wire::encode_welcome(ours, welcome);
+    emit(PacketKind::kWelcome, 0, &welcome, false, out);
+    welcome_due_ = false;
+    ++stats_.handshake_sent;
+  }
+  if (established_) {
+    while (!pending_.empty() && in_flight_.size() < config_.window) {
+      // Never open a sequence 32+ past the oldest unacked one: acked
+      // holes ahead of it free window slots, but a flight spanning more
+      // than the 32-bit ack coverage could neither be acked once the
+      // peer's ack head moves past it nor recognized as fresh on a late
+      // retransmit. The span cap keeps every flight ack-coverable.
+      if (!in_flight_.empty() &&
+          next_seq_ - in_flight_.begin()->first >= 32) {
+        break;
+      }
+      const std::uint64_t seq = next_seq_++;
+      InFlight& f = in_flight_[seq];
+      f.payload = std::move(pending_.front());
+      pending_.pop_front();
+      f.sent_at = now;
+      emit(PacketKind::kData, seq, &f.payload, false, out);
+      ++stats_.data_sent;
+    }
+    for (auto& [seq, f] : in_flight_) {
+      const bool fast = !f.fast_resent && highest_acked_ != 0 &&
+                        highest_acked_ >= seq + config_.nack_gap;
+      const bool timeout = now - f.sent_at >= config_.rto;
+      if (!fast && !timeout) continue;
+      emit(PacketKind::kData, seq, &f.payload, true, out);
+      f.sent_at = now;
+      ++stats_.retransmits;
+      if (fast) {
+        f.fast_resent = true;
+        ++stats_.nack_retransmits;
+      }
+    }
+  }
+  if (ack_dirty_ && out.size() == emitted_before) {
+    emit(PacketKind::kAckOnly, 0, nullptr, false, out);
+    ++stats_.ack_only_sent;
+  }
+}
+
+void Connection::process_acks(std::uint16_t ack, std::uint32_t ack_bits,
+                              bool has_ack) {
+  if (!has_ack || next_seq_ == 1) return;
+  const std::uint64_t highest_sent = next_seq_ - 1;
+  const std::uint64_t ack_ext = unwrap(highest_sent, ack);
+  if (ack_ext == 0 || ack_ext > highest_sent) return;
+  in_flight_.erase(ack_ext);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    if (ack_ext < i + 2) break;  // ack_ext - 1 - i would fall below seq 1
+    if ((ack_bits >> i & 1U) != 0) in_flight_.erase(ack_ext - 1 - i);
+  }
+  if (ack_ext > highest_acked_) highest_acked_ = ack_ext;
+}
+
+void Connection::note_received(std::uint64_t seq_ext) {
+  if (latest_recv_ == 0 || seq_ext > latest_recv_) {
+    const std::uint64_t shift =
+        latest_recv_ == 0 ? 64 : seq_ext - latest_recv_;
+    if (shift >= 64) {
+      recv_mask_ = 0;
+    } else {
+      recv_mask_ <<= shift;
+      recv_mask_ |= 1ULL << (shift - 1);  // the old latest itself
+    }
+    latest_recv_ = seq_ext;
+    return;
+  }
+  const std::uint64_t d = latest_recv_ - 1 - seq_ext;
+  if (d < 64) recv_mask_ |= 1ULL << d;
+}
+
+bool Connection::on_packet(std::span<const std::uint8_t> packet, double now,
+                           std::vector<wire::Buffer>& delivered) {
+  (void)now;
+  if (packet.size() < kPacketHeaderBytes) {
+    ++stats_.rejected;
+    return false;
+  }
+  const std::uint16_t magic =
+      static_cast<std::uint16_t>(packet[0]) |
+      static_cast<std::uint16_t>(packet[1]) << 8;
+  const std::uint8_t version = packet[2];
+  const std::uint8_t kind_byte = packet[3];
+  const std::uint8_t flags = packet[4];
+  if (magic != kPacketMagic || version != kPacketVersion ||
+      kind_byte < static_cast<std::uint8_t>(PacketKind::kData) ||
+      kind_byte > static_cast<std::uint8_t>(PacketKind::kWelcome)) {
+    ++stats_.rejected;
+    return false;
+  }
+  const std::uint16_t seq16 = static_cast<std::uint16_t>(packet[6]) |
+                              static_cast<std::uint16_t>(packet[7]) << 8;
+  const std::uint16_t ack16 = static_cast<std::uint16_t>(packet[8]) |
+                              static_cast<std::uint16_t>(packet[9]) << 8;
+  std::uint32_t ack_bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    ack_bits |= static_cast<std::uint32_t>(packet[10 + i]) << (8 * i);
+  }
+  process_acks(ack16, ack_bits, (flags & kFlagHasAck) != 0);
+
+  const auto kind = static_cast<PacketKind>(kind_byte);
+  switch (kind) {
+    case PacketKind::kHello: {
+      std::size_t pos = kPacketHeaderBytes;
+      const auto frame = wire::decode_frame(packet, pos);
+      if (!frame || frame->kind != wire::FrameKind::kHello) {
+        ++stats_.rejected;
+        return false;
+      }
+      if (frame->hello.num_sites != local_.num_sites ||
+          frame->hello.num_coordinators != local_.num_coordinators) {
+        ++stats_.rejected;  // mis-wired peer: refuse at connect time
+        return true;
+      }
+      peer_ = frame->hello;
+      if (!initiator_) {
+        established_ = true;
+        welcome_due_ = true;  // (re-)answer every Hello; Welcomes can drop
+      }
+      return true;
+    }
+    case PacketKind::kWelcome: {
+      std::size_t pos = kPacketHeaderBytes;
+      const auto frame = wire::decode_frame(packet, pos);
+      if (!frame || frame->kind != wire::FrameKind::kWelcome) {
+        ++stats_.rejected;
+        return false;
+      }
+      if (!initiator_ || frame->hello.cookie != local_.cookie ||
+          frame->hello.num_sites != local_.num_sites ||
+          frame->hello.num_coordinators != local_.num_coordinators) {
+        ++stats_.rejected;  // stale incarnation or wrong topology
+        return true;
+      }
+      peer_ = frame->hello;
+      established_ = true;
+      return true;
+    }
+    case PacketKind::kAckOnly:
+      return true;
+    case PacketKind::kData: {
+      const std::uint64_t ext =
+          latest_recv_ == 0 ? seq16 : unwrap(latest_recv_, seq16);
+      ack_dirty_ = true;  // re-ack duplicates too: silences retransmits
+      // Exact duplicate test: everything received is either delivered
+      // (ext <= delivered_through_) or held. recv_mask_ only feeds the
+      // outgoing ack bits; it is NOT a duplicate filter — a heuristic
+      // based on its 64-seq span would misclassify a sufficiently late
+      // retransmit as a duplicate and stall the stream forever.
+      const bool duplicate =
+          ext == 0 || ext <= delivered_through_ || held_.contains(ext);
+      if (duplicate) {
+        ++stats_.duplicates;
+        return true;
+      }
+      note_received(ext);
+      wire::Buffer payload(packet.begin() + kPacketHeaderBytes, packet.end());
+      if (ext == delivered_through_ + 1) {
+        delivered.push_back(std::move(payload));
+        ++delivered_through_;
+        ++stats_.delivered;
+        for (auto it = held_.begin();
+             it != held_.end() && it->first == delivered_through_ + 1;
+             it = held_.erase(it)) {
+          delivered.push_back(std::move(it->second));
+          ++delivered_through_;
+          ++stats_.delivered;
+        }
+      } else {
+        held_.emplace(ext, std::move(payload));
+        ++stats_.held_out_of_order;
+      }
+      return true;
+    }
+  }
+  ++stats_.rejected;
+  return false;
+}
+
+}  // namespace dds::net

@@ -1,6 +1,8 @@
 #include "net/factory.h"
 
 #include "net/sim_network.h"
+#include "net/tcp_transport.h"
+#include "net/udp_transport.h"
 #include "sim/bus.h"
 
 namespace dds::net {
@@ -8,6 +10,17 @@ namespace dds::net {
 std::unique_ptr<Transport> make_transport(std::uint32_t num_sites,
                                           const NetworkConfig& config,
                                           std::uint32_t num_coordinators) {
+  // The real-socket kinds build all-local loopback deployments here;
+  // multi-process topologies construct the transports directly with a
+  // SocketTopology (tools/dds_node.cpp).
+  if (config.kind == TransportKind::kUdp) {
+    return std::make_unique<UdpTransport>(num_sites, config,
+                                          num_coordinators);
+  }
+  if (config.kind == TransportKind::kTcp) {
+    return std::make_unique<TcpTransport>(num_sites, config,
+                                          num_coordinators);
+  }
   const bool use_bus =
       config.kind == TransportKind::kBus ||
       (config.kind == TransportKind::kAuto && config.trivial());

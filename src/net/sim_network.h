@@ -113,6 +113,11 @@ class SimNetwork final : public Transport {
   /// retransmission); excludes batched messages still buffering.
   std::size_t in_flight() const noexcept { return queue_.size(); }
 
+  /// Event queue empty AND batcher empty — what finish() guarantees.
+  bool quiescent() const noexcept override {
+    return queue_.empty() && batcher_.buffered_total() == 0;
+  }
+
   /// Base registrations plus the NetStats cells (net.drops, ...), the
   /// logical counters (net.logical.*), an in-flight gauge, and wire
   /// pathology histograms (batch sizes, flight times in trace us).

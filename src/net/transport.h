@@ -158,6 +158,15 @@ class Transport {
   /// flight beyond the current drain.
   virtual void finish() { drain(); }
 
+  /// True when nothing is buffered or in flight anywhere in the
+  /// transport: no scheduled event, no batched report awaiting a flush,
+  /// no unacknowledged socket data. This is the drain-at-finish
+  /// contract: finish() must leave the transport quiescent, so that
+  /// tearing it down (or exiting the process) cannot strand an
+  /// end-of-stream message. Zero-delay transports are always quiescent
+  /// between drains.
+  virtual bool quiescent() const noexcept { return true; }
+
   /// Wire-level cost counters (see BusCounters for semantics).
   const BusCounters& counters() const noexcept { return wire_; }
 

@@ -1,0 +1,74 @@
+// UDP transport: datagrams on 127.0.0.1 with the conn-layer reliability
+// machinery (sequence numbers, redundant ack-bits, retransmit-on-nack)
+// turning the lossy pipe into in-order exactly-once frame delivery.
+//
+// Topology: one UDP socket per local node; one Connection per directed
+// (site, coordinator) pairing at each endpoint — the site side
+// initiates the Hello/Welcome handshake, the coordinator side responds.
+// The constructor runs the handshake to completion (every connection
+// established) before returning, so a mis-wired deployment fails at
+// construction, not mid-protocol.
+//
+// Each datagram is one conn-layer packet: a 14-byte reliability header
+// followed by at most one wire frame. Batches keep frames far below the
+// loopback MTU. Send-side EAGAIN/ENOBUFS is deliberately treated as a
+// drop: the reliability layer retransmits, which is the point of having
+// it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "net/conn.h"
+#include "net/socket_transport.h"
+
+namespace dds::net {
+
+class UdpTransport final : public SocketTransport {
+ public:
+  UdpTransport(std::uint32_t num_sites, const NetworkConfig& config,
+               std::uint32_t num_coordinators = 1, SocketTopology topology = {},
+               ConnConfig conn_config = {});
+  ~UdpTransport() override;
+
+  /// Bound UDP port of a local node (tests and dds_node's --port-file).
+  std::uint16_t port_of(sim::NodeId id) const;
+
+  /// Sum of every connection's reliability counters.
+  ConnStats conn_totals() const;
+
+ protected:
+  void ship_frame(sim::NodeId from, sim::NodeId to,
+                  wire::Buffer frame) override;
+  bool pump_io(double now) override;
+  bool links_idle() const override;
+
+ private:
+  struct Peer {
+    std::uint32_t ip = 0;    ///< network byte order
+    std::uint16_t port = 0;  ///< host byte order
+    bool addr_known = false;
+    std::unique_ptr<Connection> conn;
+  };
+
+  struct Endpoint {
+    int fd = -1;
+    std::uint16_t port = 0;
+    std::map<sim::NodeId, Peer> peers;
+    /// (ip << 16 | port) -> peer node, for routing received datagrams.
+    std::map<std::uint64_t, sim::NodeId> by_addr;
+  };
+
+  void open_endpoint(sim::NodeId id);
+  void pump_out(sim::NodeId id, Endpoint& ep, double now);
+  void send_packet(Endpoint& ep, const Peer& peer, const OutPacket& pkt);
+  bool read_endpoint(sim::NodeId id, Endpoint& ep, double now);
+  void run_handshake();
+  bool all_established() const;
+
+  ConnConfig conn_config_;
+  std::map<sim::NodeId, Endpoint> eps_;
+};
+
+}  // namespace dds::net

@@ -72,6 +72,32 @@ print(f"obs smoke: {len(events)} trace events, "
       f"{len(snapshot['counters'])} counters")
 PY
 
+# Socket smoke: the infinite-window protocol over real UDP sockets,
+# one OS process per node (coordinator + 2 sites via tools/dds_node).
+# Two identical runs must produce bit-identical samples — the
+# multi-process deployment is deterministic in the seed. (The in-depth
+# differential harness against Bus/SimNetwork runs under `ctest -L
+# socket` above.)
+socket_dir="$build/socket_smoke"
+mkdir -p "$socket_dir"
+for run in a b; do
+  rm -f "$socket_dir/coord.port"
+  "$build/dds_node" --coordinator --transport udp --num-sites 2 \
+    --seed 7 --sample-size 8 --port-file "$socket_dir/coord.port" \
+    --out "$socket_dir/sample_$run.txt" &
+  coord_pid=$!
+  "$build/dds_node" --site 0 --transport udp --num-sites 2 --seed 7 \
+    --sample-size 8 --elements 500 --port-file "$socket_dir/coord.port" &
+  site0_pid=$!
+  "$build/dds_node" --site 1 --transport udp --num-sites 2 --seed 7 \
+    --sample-size 8 --elements 500 --port-file "$socket_dir/coord.port" &
+  site1_pid=$!
+  wait "$coord_pid" "$site0_pid" "$site1_pid"
+done
+cmp "$socket_dir/sample_a.txt" "$socket_dir/sample_b.txt"
+[[ -s "$socket_dir/sample_a.txt" ]]
+echo "ci: socket smoke (3-process UDP) replayed bit-identically"
+
 # Multi-tenant smoke: the dashboard example drives the shared
 # TenantRegistry against per-tenant naive samplers and exits nonzero
 # unless every checked tenant answer is bit-identical.
