@@ -20,6 +20,8 @@
 // overhead.
 #include "bench_common.h"
 
+#include <set>
+
 namespace {
 
 class VectorSource final : public dds::sim::ArrivalSource {
@@ -91,6 +93,7 @@ int main(int argc, char** argv) {
     util::Table table({"threads", "shards", "engine", "wakeups", "Marr/s",
                        "speedup", "msgs", "msgs/arrival", "shard max/min",
                        "route hit%"});
+    std::set<std::string> modes;  // make_engine decisions seen this sweep
     double serial_rate = 0.0;
     for (const std::uint64_t shards : shards_sweep) {
       for (const std::uint64_t threads : threads_sweep) {
@@ -117,6 +120,7 @@ int main(int argc, char** argv) {
           for (std::uint64_t run = 0; run < args.runs; ++run) {
             auto run_one = [&](auto& system) {
               engine_name = system.runner().name();
+              modes.insert(system.runner().mode_reason());
               VectorSource source(arrivals);
               util::Timer timer;
               system.run(source);
@@ -178,6 +182,11 @@ int main(int argc, char** argv) {
                 std::string("A11: ") + protocol.name + ", k=" +
                     std::to_string(k) + ", n=" + std::to_string(n),
                 protocol.csv, args);
+    // Why every row landed on its engine (Engine::mode_reason) — makes
+    // a silent serial fallback visible in the bench log.
+    for (const std::string& mode : modes) {
+      std::cout << "engine mode: " << mode << "\n";
+    }
   }
   return 0;
 }

@@ -24,6 +24,9 @@
 // lossy wire (traces stay bit-identical to serial; the determinism
 // suite enforces that — here it just changes wall clock).
 #include "bench_common.h"
+
+#include <set>
+
 #include "sim/sources.h"
 
 namespace {
@@ -42,6 +45,7 @@ struct PointResult {
   double route_hit = -1.0;
   double balance = 1.0;
   const char* engine = "?";
+  const char* mode = "?";  ///< Engine::mode_reason of the sharded run
 };
 
 }  // namespace
@@ -122,6 +126,7 @@ int main(int argc, char** argv) {
       auto reference = make_system(make_config(wire, 1));
       auto sharded = make_system(make_config(wire, num_shards));
       result.engine = sharded->runner().name();
+      result.mode = sharded->runner().mode_reason();
       std::uint64_t agree = 0;
       double seconds = 0.0;
       for (sim::Slot t = 0; t < slots; ++t) {
@@ -175,6 +180,7 @@ int main(int argc, char** argv) {
     util::Table table({"wire", "shards", "engine", "Marr/s", "msgs",
                        "msgs/arrival", "agree%", "route hit%",
                        "shard max/min"});
+    std::set<std::string> modes;  // make_engine decisions seen this sweep
     for (const Wire& wire : wires) {
       for (const std::uint64_t num_shards : shards_sweep) {
         PointResult r;
@@ -192,6 +198,7 @@ int main(int argc, char** argv) {
               },
               wire, static_cast<std::uint32_t>(num_shards));
         }
+        modes.insert(r.mode);
         table.add_row(
             {wire.name, std::to_string(num_shards), r.engine,
              util::fmt(static_cast<double>(n) / r.seconds / 1e6, 3),
@@ -208,6 +215,11 @@ int main(int argc, char** argv) {
                     std::to_string(k) + ", w=" + std::to_string(window) +
                     ", s=" + std::to_string(s),
                 protocol.csv, args);
+    // Why every row landed on its engine (Engine::mode_reason) — makes
+    // a silent serial fallback visible in the bench log.
+    for (const std::string& mode : modes) {
+      std::cout << "engine mode: " << mode << "\n";
+    }
   }
   return 0;
 }

@@ -1,0 +1,160 @@
+// Ablation A17 — speculative lockstep: playout-delay waves with
+// per-site rollback.
+//
+// On realistic wires the sharded engine's plain lockstep mode sizes
+// every wave by the transport's delivery horizon: with sub-slot latency
+// the horizon certificate collapses waves to ~1 slot each, and the
+// wave handshake dominates. Speculation (EngineConfig::
+// speculation_window) lets waves run up to W slots past the horizon,
+// defers mid-wave deliveries into a playout queue, and rolls individual
+// sites back from wave-start snapshots when a delivery lands inside a
+// slot range they already executed — outputs stay bit-identical to the
+// serial engine (tests/speculation_test.cpp pins that).
+//
+// This bench records the HARDWARE-INDEPENDENT effect: mean wave length
+// in slots vs the delivery_horizon baseline (the "wave x lockstep"
+// ratio), the mis-speculation price (rollback rate over deferred
+// deliveries, re-executed arrivals), and the snapshot cost in bytes per
+// slot. The win metric — mean wave length >= 8x the lockstep baseline
+// on the sub-slot-latency wire — is asserted: the binary exits nonzero
+// below --gate-ratio. Wall-clock thread speedup from the longer waves
+// additionally needs physical cores; on a single-core container the
+// Marr/s column only shows that speculation does not add overhead.
+#include "bench_common.h"
+
+#include "sim/sharded_engine.h"
+
+namespace {
+
+class VectorSource final : public dds::sim::ArrivalSource {
+ public:
+  explicit VectorSource(const std::vector<dds::sim::Arrival>& arrivals)
+      : arrivals_(arrivals) {}
+  std::optional<dds::sim::Arrival> next() override {
+    if (pos_ >= arrivals_.size()) return std::nullopt;
+    return arrivals_[pos_++];
+  }
+
+ private:
+  const std::vector<dds::sim::Arrival>& arrivals_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  util::Cli cli;
+  bench::register_common(cli);
+  cli.flag("sites", "number of sites k", "16");
+  cli.flag("n", "arrivals per run (slot per arrival)", "60000");
+  cli.flag("domain", "distinct-element domain", "10000");
+  cli.flag("sample-size", "sample size s", "16");
+  cli.flag("latency-list", "comma-separated wire latencies x100 "
+           "(25 = 0.25 slots)", "25,50,150");
+  cli.flag("window-list", "comma-separated speculation windows W "
+           "(0 = plain lockstep)", "0,8,32");
+  cli.flag("bench-threads", "worker threads for every row", "4");
+  cli.flag("gate-ratio", "minimum sub-slot wave-length ratio "
+           "(0 disables the gate)", "8");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto args = bench::read_common(cli);
+  const auto k = static_cast<std::uint32_t>(cli.get_uint("sites"));
+  const std::uint64_t n = cli.get_uint("n") * (args.full ? 10 : 1);
+  const std::uint64_t domain = cli.get_uint("domain");
+  const auto s = static_cast<std::size_t>(cli.get_uint("sample-size"));
+  const auto latency_sweep = cli.get_uint_list("latency-list");
+  const auto window_sweep = cli.get_uint_list("window-list");
+  const auto threads = static_cast<std::uint32_t>(cli.get_uint("bench-threads"));
+  const double gate_ratio = static_cast<double>(cli.get_uint("gate-ratio"));
+  bench::banner("Ablation A17: speculative lockstep waves", args);
+  std::cout << "k=" << k << ", n=" << n << ", domain=" << domain
+            << ", s=" << s << ", threads=" << threads
+            << " (wave-length ratios are hardware-independent; wall-clock "
+               "thread speedup additionally needs physical cores)\n";
+
+  std::vector<sim::Arrival> arrivals;
+  arrivals.reserve(n);
+  {
+    util::SplitMix64 gen(util::derive_seed(args.seed, 0xAB17));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      arrivals.push_back(sim::Arrival{static_cast<sim::Slot>(i),
+                                      static_cast<sim::NodeId>(gen.next() % k),
+                                      1 + gen.next() % domain});
+    }
+  }
+
+  util::Table table({"latency", "W", "Marr/s", "waves", "wave slots",
+                     "wave x lockstep", "deferred", "rollbacks",
+                     "rollback%", "replayed", "snap B/slot", "mode"});
+  bool gate_satisfied = false;
+  bool gate_applicable = false;
+  for (const std::uint64_t latency100 : latency_sweep) {
+    const double latency = static_cast<double>(latency100) / 100.0;
+    double lockstep_wave = 0.0;  // window 0 baseline at this latency
+    for (const std::uint64_t window : window_sweep) {
+      core::SystemConfig config{k, s, args.hash_kind, args.seed};
+      config.num_threads = threads;
+      config.speculation_window = static_cast<std::uint32_t>(window);
+      config.network.link.latency = latency;
+      double best_seconds = 0.0;
+      std::uint64_t waves = 0, wave_slots = 0, deferred = 0, rollbacks = 0,
+                     replayed = 0, snap_bytes = 0;
+      const char* mode = "?";
+      for (std::uint64_t run = 0; run < args.runs; ++run) {
+        core::InfiniteSystem system(config);
+        mode = system.runner().mode_reason();
+        VectorSource source(arrivals);
+        util::Timer timer;
+        system.run(source);
+        const double seconds = timer.elapsed_seconds();
+        if (run == 0 || seconds < best_seconds) best_seconds = seconds;
+        if (const auto* engine =
+                dynamic_cast<const sim::ShardedEngine*>(&system.engine())) {
+          waves = engine->waves();
+          wave_slots = engine->wave_slots_total();
+          deferred = engine->deferred_deliveries();
+          rollbacks = engine->rollbacks();
+          replayed = engine->replayed_items();
+          snap_bytes = engine->snapshot_bytes();
+        }
+      }
+      const double mean_wave =
+          waves == 0 ? 0.0
+                     : static_cast<double>(wave_slots) /
+                           static_cast<double>(waves);
+      if (window == 0) lockstep_wave = mean_wave;
+      const double ratio =
+          lockstep_wave == 0.0 ? 0.0 : mean_wave / lockstep_wave;
+      const double rollback_pct =
+          deferred == 0 ? 0.0
+                        : 100.0 * static_cast<double>(rollbacks) /
+                              static_cast<double>(deferred);
+      const double snap_per_slot =
+          static_cast<double>(snap_bytes) / static_cast<double>(n);
+      // The win metric rides on the sub-slot wire at the largest window.
+      if (latency < 1.0 && window == window_sweep.back() && window > 0) {
+        gate_applicable = true;
+        if (ratio >= gate_ratio) gate_satisfied = true;
+      }
+      table.add_row({util::fmt(latency, 3), util::fmt(window),
+                     util::fmt(static_cast<double>(n) / best_seconds / 1e6, 3),
+                     util::fmt(waves), util::fmt(mean_wave, 4),
+                     util::fmt(ratio, 4), util::fmt(deferred),
+                     util::fmt(rollbacks), util::fmt_fixed(rollback_pct, 1),
+                     util::fmt(replayed), util::fmt(snap_per_slot, 3), mode});
+    }
+  }
+  bench::emit(table,
+              "A17: speculative lockstep (wave x lockstep is the "
+              "hardware-independent wave-length ratio vs the "
+              "delivery-horizon baseline at the same latency; "
+              "bit-identity pinned by tests/speculation_test.cpp)",
+              "abl17_speculation.csv", args);
+  if (gate_ratio > 0.0 && gate_applicable && !gate_satisfied) {
+    std::cerr << "abl17: FAIL: sub-slot wave-length ratio below "
+              << gate_ratio << "x\n";
+    return 1;
+  }
+  return 0;
+}

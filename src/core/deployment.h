@@ -41,6 +41,7 @@
 #include "sim/engine.h"
 #include "sim/sources.h"
 #include "treap/dominance_set.h"
+#include "util/bytes.h"
 #include "util/rng.h"
 
 namespace dds::core {
@@ -94,6 +95,12 @@ struct SystemConfig {
   /// differential fuzz enforces. Appended after `elastic` for the same
   /// positional-initializer reason.
   std::uint32_t ingest_batch = 1;
+  /// Speculative-lockstep window (slots a wave may run past the
+  /// delivery-horizon certificate; see sim::EngineConfig). 0 keeps plain
+  /// lockstep. Only consulted when num_threads > 1 deploys the sharded
+  /// engine on a realistic wire; engine().mode_reason() reports what was
+  /// actually selected. Appended last for positional initializers.
+  std::uint32_t speculation_window = 0;
 };
 
 /// The sliding-window protocols share the unified config; this type
@@ -174,6 +181,48 @@ class RoutedSite final : public sim::StreamNode {
   }
 
   const ShardCache& route_cache() const noexcept { return route_cache_; }
+
+  /// Speculation snapshots: capable iff every shard copy is. The image
+  /// is the length-prefixed concatenation of the copies' images plus the
+  /// FULL route cache state — a rolled-back site re-executing against a
+  /// warmer cache would diverge the deployment.route_cache.* metrics
+  /// from the serial run.
+  bool speculation_capable() const noexcept override {
+    for (const auto& copy : copies_) {
+      if (!copy->speculation_capable()) return false;
+    }
+    return true;
+  }
+  void save_speculation_state(std::vector<std::uint8_t>& out) const override {
+    util::put_u64(out, copies_.size());
+    std::vector<std::uint8_t> scratch;
+    for (const auto& copy : copies_) {
+      scratch.clear();
+      copy->save_speculation_state(scratch);
+      util::put_u64(out, scratch.size());
+      out.insert(out.end(), scratch.begin(), scratch.end());
+    }
+    route_cache_.save_state(out);
+  }
+  void restore_speculation_state(
+      std::span<const std::uint8_t> image) override {
+    std::size_t pos = 0;
+    const std::uint64_t n = util::get_u64(image, pos);
+    if (n != copies_.size()) {
+      throw std::logic_error(
+          "RoutedSite::restore_speculation_state: copy count mismatch");
+    }
+    for (auto& copy : copies_) {
+      const std::uint64_t len = util::get_u64(image, pos);
+      if (pos + len > image.size()) {
+        throw std::out_of_range(
+            "RoutedSite::restore_speculation_state: image truncated");
+      }
+      copy->restore_speculation_state(image.subspan(pos, len));
+      pos += len;
+    }
+    route_cache_.restore_state(image.subspan(pos));
+  }
 
  private:
   const ShardRouter& router_;
@@ -270,6 +319,7 @@ class Deployment {
     engine_config.num_threads =
         Traits::kShardableSites ? config_.num_threads : 1;
     engine_config.coalesce_wakeups = config_.coalesce_wakeups;
+    engine_config.speculation_window = config_.speculation_window;
     engine_ = sim::make_engine(*transport_, stream_nodes_,
                                Traits::kInvokeSlotBegin, engine_config);
     if (obs_->config().enabled()) bind_observability();

@@ -97,14 +97,20 @@ void Transport::deliver(const sim::Message& msg) {
   if (node == nullptr) {
     throw std::logic_error("Transport::deliver: message to unattached node");
   }
+  delivering_at_ = trace_time();
   if (tracer_ != nullptr) {
     // Both engines call deliver() on the main/replay thread in the same
     // global order, so these instants are deterministic across engines.
-    tracer_->instant("net", sim::msg_type_name(msg.type), trace_time(),
+    tracer_->instant("net", sim::msg_type_name(msg.type), delivering_at_,
                      msg.to,
                      {{"from", static_cast<double>(msg.from)},
                       {"instance", static_cast<double>(msg.instance)}});
   }
+  // The sink interposes after accounting/tracing: the wire saw the
+  // delivery; the sink only decides whether the node is dispatched now
+  // (false) or the delivery is consumed elsewhere, e.g. deferred into
+  // the speculative engine's playout queue (true).
+  if (sink_ != nullptr && sink_->on_delivery(msg, delivering_at_)) return;
   node->on_message(msg, *this);
 }
 

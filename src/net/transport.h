@@ -60,6 +60,22 @@ struct BusCounters {
   BusCounters operator-(const BusCounters& rhs) const noexcept;
 };
 
+/// Interposes on deliveries before they reach the attached node. The
+/// speculative lockstep engine installs one to defer mid-wave deliveries
+/// into its playout queue instead of letting them interrupt a running
+/// wave. The sink runs AFTER receive accounting and tracing (the wire
+/// observed the delivery either way) and decides only who consumes it.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+
+  /// Called for every delivery, with `at` the transport-time the message
+  /// lands (the same timestamp stamped onto trace events). Return true
+  /// to consume the message (the attached node is NOT dispatched);
+  /// return false to let normal dispatch proceed.
+  virtual bool on_delivery(const sim::Message& msg, double at) = 0;
+};
+
 /// Abstract wire. Owns the audit counters and the node attachment table;
 /// concrete transports decide when (and whether) a sent message arrives.
 class Transport {
@@ -187,6 +203,14 @@ class Transport {
     tap_ = std::move(tap);
   }
 
+  /// Installs (or, with nullptr, removes) the delivery interposer. At
+  /// most one sink exists at a time; the engine owns its lifetime.
+  void set_delivery_sink(DeliverySink* sink) noexcept { sink_ = sink; }
+
+  /// Transport-time of the delivery currently being dispatched (valid
+  /// only inside deliver(), i.e. within on_message / sink callbacks).
+  double delivering_at() const noexcept { return delivering_at_; }
+
   /// Registers the wire counters (net.wire.*, proto.msgs.*, per-shard
   /// net.shard<j>.*) with `registry` and stores `tracer` for delivery
   /// instants. Either pointer may be null ("that instrument is off");
@@ -258,6 +282,8 @@ class Transport {
   obs::MetricsRegistry* registry_ = nullptr;
   std::uint32_t shard_metrics_registered_ = 0;
   std::function<void(const sim::Message&)> tap_;
+  DeliverySink* sink_ = nullptr;
+  double delivering_at_ = 0.0;
   sim::Slot now_ = 0;
 
   void register_shard_metrics();

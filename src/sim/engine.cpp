@@ -70,14 +70,53 @@ std::unique_ptr<Engine> make_engine(net::Transport& net,
                                     std::vector<StreamNode*> sites,
                                     bool invoke_slot_begin,
                                     const EngineConfig& config) {
-  const bool wire_allows =
-      net.synchronous() || net.delivery_horizon() > 0.0;
-  if (config.num_threads > 1 && wire_allows && sites.size() >= 2) {
-    return std::make_unique<ShardedEngine>(net, std::move(sites),
-                                           invoke_slot_begin, config);
+  // Every selection outcome gets a queryable reason (Engine::mode_reason)
+  // so benches can print WHY a deployment landed on serial, lockstep, or
+  // speculative execution instead of silently falling back.
+  const char* serial_reason = nullptr;
+  if (config.num_threads <= 1) {
+    serial_reason = "serial: num_threads == 1";
+  } else if (sites.size() < 2) {
+    serial_reason = "serial: fewer than two sites";
+  } else if (!net.synchronous() && net.delivery_horizon() <= 0.0) {
+    serial_reason = "serial: zero-horizon wire (no positive delivery bound)";
   }
-  return std::make_unique<SerialEngine>(net, std::move(sites),
-                                        invoke_slot_begin);
+  if (serial_reason != nullptr) {
+    auto engine = std::make_unique<SerialEngine>(net, std::move(sites),
+                                                 invoke_slot_begin);
+    engine->set_mode_reason(serial_reason);
+    return engine;
+  }
+
+  const char* sharded_reason;
+  EngineConfig effective = config;
+  if (net.synchronous()) {
+    sharded_reason = "sharded: run-ahead (synchronous wire)";
+    effective.speculation_window = 0;
+  } else if (config.speculation_window == 0) {
+    sharded_reason = "sharded: lockstep (delivery-horizon waves)";
+  } else if (invoke_slot_begin) {
+    sharded_reason = "sharded: lockstep (slot-begin protocol; speculation off)";
+    effective.speculation_window = 0;
+  } else {
+    bool all_capable = true;
+    for (const auto* site : sites) {
+      if (!site->speculation_capable()) {
+        all_capable = false;
+        break;
+      }
+    }
+    if (all_capable) {
+      sharded_reason = "sharded: speculative lockstep";
+    } else {
+      sharded_reason = "sharded: lockstep (site lacks speculation snapshots)";
+      effective.speculation_window = 0;
+    }
+  }
+  auto engine = std::make_unique<ShardedEngine>(net, std::move(sites),
+                                                invoke_slot_begin, effective);
+  engine->set_mode_reason(sharded_reason);
+  return engine;
 }
 
 }  // namespace dds::sim

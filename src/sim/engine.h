@@ -68,6 +68,14 @@ struct EngineConfig {
   /// a syscall/handoff optimization — the delivered sequence is
   /// identical either way; abl11's wakeup ablation measures the gap.
   bool coalesce_wakeups = true;
+  /// Slots a lockstep wave may run PAST the transport's delivery
+  /// horizon, speculating that no delivery lands inside already-executed
+  /// work; a mis-speculated delivery rolls the target site back to its
+  /// wave-start snapshot and replays. 0 disables speculation (waves stay
+  /// horizon-sized). Granted only when every site is
+  /// speculation_capable() and the protocol takes no slot-begin
+  /// callbacks; output stays bit-identical to SerialEngine either way.
+  std::uint32_t speculation_window = 0;
 };
 
 /// Drives an arrival stream through a deployed protocol. Owns the slot
@@ -126,6 +134,15 @@ class Engine {
   /// Worker threads driving site work (1 for the serial engine).
   virtual std::uint32_t num_threads() const noexcept { return 1; }
 
+  /// Why make_engine picked this engine/mode (a static string, e.g.
+  /// "serial: zero-horizon wire (no positive delivery bound)" or
+  /// "sharded: speculative lockstep"). Engines constructed directly
+  /// report "constructed directly". Benches print this so the
+  /// serial-vs-lockstep-vs-speculative selection is observable instead
+  /// of a silent fallback.
+  const char* mode_reason() const noexcept { return mode_reason_; }
+  void set_mode_reason(const char* reason) noexcept { mode_reason_ = reason; }
+
   /// Registers engine metrics with `registry` (all under the "engine."
   /// prefix: they describe the execution strategy, not the protocol, so
   /// the determinism tests strip them before comparing engines) and
@@ -154,6 +171,7 @@ class Engine {
   std::vector<StreamNode*> sites_;
   /// Non-owning; null when tracing is off (engine-category events only).
   obs::Tracer* tracer_ = nullptr;
+  const char* mode_reason_ = "constructed directly";
   bool invoke_slot_begin_;
   Slot current_slot_ = -1;
   std::uint64_t processed_ = 0;

@@ -15,8 +15,14 @@ void ShardedEngine::bind_observability(obs::MetricsRegistry* registry,
   registry->counter("engine.waves", &waves_);
   registry->counter("engine.lockstep.stalls", &lockstep_stalls_);
   registry->counter("engine.wakeups", &wakeups_);
+  registry->counter("engine.wave.slots", &wave_slots_total_);
+  registry->counter("engine.speculation.rollbacks", &rollbacks_);
+  registry->counter("engine.speculation.replayed_slots", &replayed_items_);
+  registry->counter("engine.speculation.deferred", &deferred_);
+  registry->counter("engine.speculation.snapshot_bytes", &snapshot_bytes_);
   registry->histogram("engine.wave.arrivals", &wave_size_hist_);
   registry->histogram("engine.inbox.depth", &inbox_depth_hist_);
+  registry->histogram("engine.wave.slot_span", &wave_slots_hist_);
   metrics_bound_ = true;
 }
 
@@ -27,11 +33,29 @@ ShardedEngine::ShardedEngine(net::Transport& net,
     : Engine(net, std::move(sites), invoke_slot_begin),
       max_wave_(std::max<std::size_t>(1, config.max_wave)),
       lockstep_(!net.synchronous()),
-      coalesce_wakeups_(config.coalesce_wakeups) {
+      coalesce_wakeups_(config.coalesce_wakeups),
+      rollback_capture_(net.num_sites(), net.num_coordinators()) {
   if (lockstep_ && !(net.delivery_horizon() > 0.0)) {
     throw std::invalid_argument(
         "ShardedEngine: transport must be synchronous or certify a "
         "positive delivery horizon (lockstep mode)");
+  }
+  speculation_window_ = config.speculation_window;
+  speculative_ =
+      lockstep_ && speculation_window_ > 0 && !invoke_slot_begin_;
+  if (speculative_) {
+    for (const auto* site : sites_) {
+      if (!site->speculation_capable()) {
+        throw std::invalid_argument(
+            "ShardedEngine: speculation_window > 0 requires every site "
+            "to be speculation_capable() (make_engine() checks this and "
+            "downgrades to plain lockstep)");
+      }
+    }
+    site_items_.resize(sites_.size());
+    journal_.resize(sites_.size());
+    snap_.resize(sites_.size());
+    snap_valid_.assign(sites_.size(), 0);
   }
   const auto num_workers = static_cast<std::uint32_t>(std::clamp<std::size_t>(
       config.num_threads, 1, sites_.size()));
@@ -41,13 +65,18 @@ ShardedEngine::ShardedEngine(net::Transport& net,
         std::make_unique<Shard>(net.num_sites(), net.num_coordinators()));
   }
   shard_of_site_.resize(sites_.size());
-  proxies_.reserve(sites_.size());
   for (std::size_t i = 0; i < sites_.size(); ++i) {
-    const auto shard = static_cast<std::uint32_t>(i % num_workers);
-    shard_of_site_[i] = shard;
-    proxies_.push_back(std::make_unique<SiteProxy>(this, sites_[i], shard));
-    net_.attach(static_cast<NodeId>(i), proxies_[i].get());
+    shard_of_site_[i] = static_cast<std::uint32_t>(i % num_workers);
+    // Sites stay attached to the transport (the Deployment put them
+    // there); the engine interposes on deliveries via the sink below
+    // instead of swapping proxy nodes into the attachment table. Direct
+    // engine construction without prior attachment is also covered:
+    net_.attach(static_cast<NodeId>(i), sites_[i]);
   }
+  // Install the delivery interposer for the engine's whole lifetime:
+  // between waves it passes everything through to normal dispatch (the
+  // serial path) while keeping speculation snapshots honest.
+  net_.set_delivery_sink(this);
   workers_.reserve(num_workers);
   for (std::uint32_t j = 0; j < num_workers; ++j) {
     workers_.emplace_back([this, j] { worker_loop(j); });
@@ -55,17 +84,13 @@ ShardedEngine::ShardedEngine(net::Transport& net,
 }
 
 ShardedEngine::~ShardedEngine() {
+  net_.set_delivery_sink(nullptr);
   {
     std::lock_guard<std::mutex> lk(wave_mutex_);
     shutdown_ = true;
   }
   wave_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
-  // Hand the attachment table back so the transport outlives the engine
-  // with direct site delivery intact.
-  for (std::size_t i = 0; i < sites_.size(); ++i) {
-    net_.attach(static_cast<NodeId>(i), sites_[i]);
-  }
 }
 
 void ShardedEngine::worker_loop(std::uint32_t shard_index) {
@@ -95,6 +120,21 @@ void ShardedEngine::process_wave(std::uint32_t shard_index) {
   CaptureTransport& capture = shard.capture;
   for (std::size_t l = 0; l < shard.work.size(); ++l) {
     if (aborted_.load(std::memory_order_relaxed)) return;
+    if (speculative_ &&
+        shard.pause_requested.load(std::memory_order_acquire)) {
+      // The replay thread wants to apply a deferred delivery (or roll a
+      // site back) and needs this shard quiescent. Park at the arrival
+      // boundary — site state is only ever touched between arrivals.
+      std::unique_lock<std::mutex> lk(shard.in_mutex);
+      shard.parked = true;
+      shard.in_cv.notify_all();
+      shard.in_cv.wait(lk, [&] {
+        return !shard.pause_requested.load(std::memory_order_acquire) ||
+               aborted_.load(std::memory_order_relaxed);
+      });
+      shard.parked = false;
+      if (aborted_.load(std::memory_order_relaxed)) return;
+    }
     const WorkItem& item = shard.work[l];
     capture.set_now(item.slot);
     capture.captured.clear();
@@ -111,9 +151,16 @@ void ShardedEngine::process_wave(std::uint32_t shard_index) {
     // run the exchange — the serial engine's drain-to-quiescence point —
     // so the site's next decision sees the coordinator's reply. In
     // lockstep mode no reply can land inside the wave (the delivery
-    // horizon guarantees it arrives at a later barrier), so the shard
-    // runs straight through.
+    // horizon guarantees it arrives at a later barrier; speculative
+    // waves defer what does land), so the shard runs straight through.
     if (emitted && !lockstep_) await_replies(shard);
+  }
+  if (speculative_) {
+    // Wake a replay thread waiting in park_shard(): its predicate
+    // accepts done == work.size() (a finished worker never touches
+    // shard state again), but nothing else would notify it.
+    std::lock_guard<std::mutex> g(shard.in_mutex);
+    shard.in_cv.notify_all();
   }
 }
 
@@ -162,28 +209,39 @@ void ShardedEngine::abort_wave() noexcept {
   for (auto& shard : shards_) shard->in_cv.notify_all();
 }
 
-void ShardedEngine::deliver_to_site(std::uint32_t shard_index,
-                                    StreamNode* site, const Message& msg,
-                                    net::Transport& net) {
+bool ShardedEngine::on_delivery(const Message& msg, double at) {
+  (void)at;
+  if (net_.is_coordinator(msg.to)) return false;
+  // Any site delivery mutates the target (now, or deferred below), so
+  // its wave-start snapshot is stale from here on.
+  if (speculative_) snap_valid_[msg.to] = 0;
   if (!wave_running_) {
     // Between waves (slot boundaries, finish, advance_to_slot) the
-    // engine is quiescent and delivery is direct, as under the serial
-    // engine.
-    site->on_message(msg, net);
-    return;
+    // engine is quiescent and delivery proceeds directly to the
+    // attached node, as under the serial engine.
+    return false;
   }
   if (lockstep_) {
-    throw std::logic_error(
-        "ShardedEngine: a site delivery landed inside a lockstep wave; "
-        "the transport's delivery_horizon() certificate is wrong");
+    if (!speculative_) {
+      throw std::logic_error(
+          "ShardedEngine: a site delivery landed inside a lockstep wave; "
+          "the transport's delivery_horizon() certificate is wrong");
+    }
+    // Playout delay: park the delivery; the replay thread applies it
+    // right after the drain returns, at its serial insertion position.
+    pending_.push_back(msg);
+    ++deferred_;
+    return true;
   }
+  // Run-ahead mode: route the coordinator's reply to the owning shard's
+  // inbox; the paused worker applies it to the site.
   if (msg.to != replay_site_) {
     throw std::logic_error(
         "ShardedEngine: coordinator messaged a site other than the one "
         "whose arrival is being replayed; this protocol is not shardable — "
         "deploy it on the serial engine");
   }
-  Shard& shard = *shards_[shard_index];
+  Shard& shard = *shards_[shard_of_site_[msg.to]];
   {
     std::lock_guard<std::mutex> g(shard.in_mutex);
     shard.inbox.push_back(InboundEntry{msg, false});
@@ -195,9 +253,166 @@ void ShardedEngine::deliver_to_site(std::uint32_t shard_index,
     shard.in_cv.notify_one();
     ++wakeups_;
   }
+  return true;
+}
+
+void ShardedEngine::park_shard(Shard& shard) {
+  shard.pause_requested.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lk(shard.in_mutex);
+  shard.in_cv.wait(lk, [&] {
+    return shard.parked ||
+           shard.done.load(std::memory_order_acquire) == shard.work.size() ||
+           aborted_.load(std::memory_order_relaxed);
+  });
+  if (aborted_.load(std::memory_order_relaxed)) {
+    shard.pause_requested.store(false, std::memory_order_release);
+    throw std::runtime_error("ShardedEngine: wave aborted");
+  }
+}
+
+void ShardedEngine::resume_shard(Shard& shard) {
+  shard.pause_requested.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> g(shard.in_mutex);
+  shard.in_cv.notify_all();
+}
+
+void ShardedEngine::process_pending(std::size_t s) {
+  while (!pending_.empty()) {
+    const Message msg = pending_.front();
+    pending_.pop_front();
+    apply_deferred(msg, s);
+  }
+}
+
+void ShardedEngine::apply_deferred(const Message& msg, std::size_t s) {
+  const NodeId site_id = msg.to;
+  Shard& shard = *shards_[shard_of_site_[site_id]];
+  park_shard(shard);
+  const std::size_t done = shard.done.load(std::memory_order_acquire);
+  // Journal first: a later rollback of this site (triggered by a
+  // still-later delivery) must replay this one at the same position —
+  // and if THIS delivery mis-speculated, the merge below replays it
+  // from the journal uniformly.
+  journal_[site_id].push_back(JournalEntry{s, msg});
+  bool mis_speculated = false;
+  for (const SiteItem& item : site_items_[site_id]) {
+    if (item.local >= done) break;
+    if (item.pos >= s) {
+      mis_speculated = true;
+      break;
+    }
+  }
+  if (mis_speculated) {
+    rollback_site(site_id, shard, s, done);
+  } else {
+    // Every executed occurrence of the site precedes position s, so the
+    // serial engine would apply the delivery exactly here: direct apply
+    // (the no-send contract of reply absorption holds as in run-ahead).
+    rollback_capture_.set_now(current_slot_);
+    apply_inbound(msg, rollback_capture_);
+  }
+  resume_shard(shard);
+}
+
+void ShardedEngine::rollback_site(NodeId site_id, Shard& shard,
+                                  std::size_t s, std::size_t done) {
+  ++rollbacks_;
+  if (tracer_ != nullptr) {
+    tracer_->instant("engine", "speculation.rollback",
+                     static_cast<double>(current_slot_), site_id,
+                     {{"pos", static_cast<double>(s)}});
+  }
+  StreamNode* site = sites_[site_id];
+  site->restore_speculation_state(
+      std::span<const std::uint8_t>(snap_[site_id]));
+  // Re-execute the site's executed wave items merged with its journaled
+  // deliveries in serial position order: a delivery at position p lands
+  // before every item at positions >= p (journal entries are appended
+  // with non-decreasing pos, so a single cursor suffices).
+  const auto& items = site_items_[site_id];
+  const auto& journal = journal_[site_id];
+  std::size_t ji = 0;
+  for (const SiteItem& it : items) {
+    if (it.local >= done) break;
+    while (ji < journal.size() && journal[ji].pos <= it.pos) {
+      rollback_capture_.set_now(journal[ji].pos < plan_slot_.size()
+                                    ? plan_slot_[journal[ji].pos]
+                                    : current_slot_);
+      apply_inbound(journal[ji].msg, rollback_capture_);
+      ++ji;
+    }
+    const WorkItem& w = shard.work[it.local];
+    rollback_capture_.set_now(w.slot);
+    rollback_capture_.captured.clear();
+    w.site->on_element(w.element, w.slot, rollback_capture_);
+    ++replayed_items_;
+    const bool now_emitted = !rollback_capture_.captured.empty();
+    const bool was_emitted = shard.emitted[it.local] != 0;
+    if (it.pos < s) {
+      // Already replayed: its messages are on the wire. The delivery
+      // being applied lands at position s > it.pos, so re-execution
+      // from the exact snapshot must reproduce the original decision;
+      // anything else means the snapshot did not capture the site's
+      // full behavioral state.
+      if (now_emitted != was_emitted) {
+        throw std::logic_error(
+            "ShardedEngine: rollback re-execution diverged on an "
+            "already-replayed arrival; the site's speculation snapshot "
+            "does not round-trip its behavioral state");
+      }
+      rollback_capture_.captured.clear();
+      continue;
+    }
+    // Not yet consumed by replay: patch the pending report in place.
+    // Reports index r = emitted count before this item in shard-local
+    // order; local index is monotone in pos, so r >= reports_taken and
+    // the consumed prefix (moved-from husks) is never disturbed.
+    std::size_t r = 0;
+    for (std::size_t k = 0; k < it.local; ++k) {
+      r += shard.emitted[k] != 0 ? 1 : 0;
+    }
+    if (was_emitted && now_emitted) {
+      shard.reports[r] = std::move(rollback_capture_.captured);
+    } else if (was_emitted && !now_emitted) {
+      shard.reports.erase(shard.reports.begin() +
+                          static_cast<std::ptrdiff_t>(r));
+      shard.emitted[it.local] = 0;
+    } else if (!was_emitted && now_emitted) {
+      shard.reports.insert(
+          shard.reports.begin() + static_cast<std::ptrdiff_t>(r),
+          std::move(rollback_capture_.captured));
+      shard.emitted[it.local] = 1;
+    }
+    rollback_capture_.captured.clear();
+  }
+  // Deliveries past the last executed item (applied direct earlier, or
+  // the one being applied now) land after every re-executed item.
+  for (; ji < journal.size(); ++ji) {
+    rollback_capture_.set_now(journal[ji].pos < plan_slot_.size()
+                                  ? plan_slot_[journal[ji].pos]
+                                  : current_slot_);
+    apply_inbound(journal[ji].msg, rollback_capture_);
+  }
+}
+
+void ShardedEngine::take_wave_snapshots() {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (site_items_[i].empty() || snap_valid_[i] != 0) continue;
+    snap_[i].clear();
+    sites_[i]->save_speculation_state(snap_[i]);
+    snap_valid_[i] = 1;
+    snapshot_bytes_ += snap_[i].size();
+  }
+}
+
+void ShardedEngine::invalidate_all_snapshots() {
+  if (speculative_) snap_valid_.assign(sites_.size(), 0);
 }
 
 std::uint64_t ShardedEngine::run(ArrivalSource& source) {
+  // External code (chaos controllers, checkpoint restores, direct site
+  // pokes) may have mutated sites since the last wave; start clean.
+  invalidate_all_snapshots();
   std::optional<Arrival> pending;
   bool end_of_stream = false;
   while (!end_of_stream) {
@@ -211,6 +426,10 @@ std::uint64_t ShardedEngine::run(ArrivalSource& source) {
       shard->reports.clear();
       shard->reports_taken = 0;
       shard->done.store(0, std::memory_order_relaxed);
+    }
+    if (speculative_) {
+      for (auto& v : site_items_) v.clear();
+      for (auto& v : journal_) v.clear();
     }
     Slot wave_last_slot = current_slot_;
     bool have_wave_slot = false;
@@ -240,7 +459,10 @@ std::uint64_t ShardedEngine::run(ArrivalSource& source) {
       } else if (lockstep_) {
         // Delivery-horizon barrier: the wave may span slots only as far
         // as nothing — already in flight or sent inside the wave — can
-        // become due at any drain the replay performs.
+        // become due at any drain the replay performs. Speculation
+        // raises the limit to at least first_slot + window: deliveries
+        // then CAN land mid-wave, and the replay thread defers + applies
+        // them at their serial position (rolling back on a miss).
         if (!have_wave_slot) {
           // First arrival: advance the clock through its slot on the
           // main thread (deliveries are direct here — the serial path),
@@ -249,12 +471,16 @@ std::uint64_t ShardedEngine::run(ArrivalSource& source) {
           wave_limit = std::min(
               net_.next_delivery_time(),
               static_cast<double>(pending->slot) + net_.delivery_horizon());
+          if (speculative_) {
+            wave_limit = std::max(
+                wave_limit, static_cast<double>(pending->slot) +
+                                static_cast<double>(speculation_window_));
+          }
           wave_slot = pending->slot;
           have_wave_slot = true;
         } else if (static_cast<double>(pending->slot) >= wave_limit) {
           // Delivery-horizon stall: the wave closes early because the
-          // next arrival would cross into the window where in-flight
-          // traffic becomes due.
+          // next arrival would cross the wave's admission window.
           ++lockstep_stalls_;
           if (tracer_ != nullptr) {
             tracer_->instant("engine", "lockstep.stall", wave_limit, 0,
@@ -266,6 +492,10 @@ std::uint64_t ShardedEngine::run(ArrivalSource& source) {
       }
       wave_last_slot = pending->slot;
       const auto shard = shard_of_site_[pending->site];
+      if (speculative_) {
+        site_items_[pending->site].push_back(SiteItem{
+            plan_shard_.size(), shards_[shard]->work.size()});
+      }
       plan_shard_.push_back(shard);
       plan_site_.push_back(pending->site);
       plan_slot_.push_back(pending->slot);
@@ -284,6 +514,9 @@ std::uint64_t ShardedEngine::run(ArrivalSource& source) {
       run_wave();
       if (observe_every_ != 0 && processed_ % observe_every_ == 0) {
         observe(/*final_snapshot=*/false);
+        // Observers may mutate site state (supervisor checkpoints,
+        // chaos respawn/resync); every snapshot is suspect after one.
+        invalidate_all_snapshots();
       }
     }
   }
@@ -296,6 +529,7 @@ void ShardedEngine::run_wave() {
   if (invoke_slot_begin_) begin_slots_through(plan_slot_.front());
   ++waves_;
   if (metrics_bound_) wave_size_hist_.observe(plan_shard_.size());
+  if (speculative_) take_wave_snapshots();
   wave_running_ = true;
   {
     std::lock_guard<std::mutex> lk(wave_mutex_);
@@ -315,6 +549,19 @@ void ShardedEngine::run_wave() {
     done_cv_.wait(lk, [&] { return workers_done_ == workers_.size(); });
   }
   wave_running_ = false;
+  const auto span = static_cast<std::uint64_t>(
+      plan_slot_.back() - plan_slot_.front() + 1);
+  wave_slots_total_ += span;
+  if (metrics_bound_) wave_slots_hist_.observe(span);
+  if (speculative_) {
+    // Sites that executed arrivals this wave have moved past their
+    // snapshots (sites that only received deliveries were invalidated
+    // at the sink). Untouched sites keep their snapshots across waves.
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      if (!site_items_[i].empty()) snap_valid_[i] = 0;
+    }
+    pending_.clear();
+  }
   if (tracer_ != nullptr) {
     tracer_->complete("engine", "wave",
                       static_cast<double>(plan_slot_.front()),
@@ -338,6 +585,19 @@ void ShardedEngine::replay() {
   std::vector<std::size_t> cursor(shards_.size(), 0);
   std::vector<std::size_t> done_cache(shards_.size(), 0);
   for (std::size_t s = 0; s < wave_size; ++s) {
+    if (plan_slot_[s] != current_slot_) {
+      // Mirrors the serial engine's per-arrival clock advance (slot
+      // semantics are off here, so this is set_now + drain only). This
+      // runs BEFORE the position's exchange, exactly as serial applies
+      // deliveries due by an arrival's slot before the arrival itself;
+      // deliveries the sink deferred during the drain are applied now
+      // with s as their insertion position (they precede every arrival
+      // at positions >= s).
+      current_slot_ = plan_slot_[s];
+      net_.set_now(current_slot_);
+      net_.drain();
+      if (speculative_) process_pending(s);
+    }
     const std::uint32_t j = plan_shard_[s];
     Shard& shard = *shards_[j];
     const std::size_t l = cursor[j]++;
@@ -350,13 +610,6 @@ void ShardedEngine::replay() {
         std::this_thread::yield();
       }
     }
-    if (plan_slot_[s] != current_slot_) {
-      // Mirrors the serial engine's per-arrival clock advance (slot
-      // semantics are off here, so this is set_now + drain only).
-      current_slot_ = plan_slot_[s];
-      net_.set_now(current_slot_);
-      net_.drain();
-    }
     if (shard.emitted[l]) {
       std::vector<Message> msgs;
       {
@@ -366,6 +619,10 @@ void ShardedEngine::replay() {
       replay_site_ = plan_site_[s];
       for (const Message& msg : msgs) net_.send(msg);
       net_.drain();
+      // Lockstep post-send drains deliver nothing (every send is at
+      // least the horizon away), so this is usually empty; it keeps the
+      // serial drain-after-arrival boundary exact regardless.
+      if (speculative_) process_pending(s + 1);
       if (!lockstep_) {
         // End of this arrival's exchange: wake the paused worker. In
         // lockstep mode the worker never paused (the drain above cannot

@@ -33,12 +33,12 @@
 // the serial engine). A violation is detected at delivery time and
 // raises std::logic_error rather than silently diverging.
 //
-// Two wire modes share the replay machinery:
+// Three wire modes share the replay machinery:
 //  * Run-ahead (synchronous transports): a report's reply lands in the
 //    same drain, so a reporting shard pauses until the replay thread
 //    has run that arrival's exchange, then continues.
 //  * Lockstep (realistic wires with a positive delivery horizon): on a
-//    net::SimNetwork no send at time t can be delivered at or before
+//    net::SimNetwork no send at time t can be delivered strictly before
 //    t + horizon (Transport::delivery_horizon()), so NOTHING lands
 //    mid-wave — the wave barrier is the delivery horizon. Waves are
 //    sized so every drain inside them is empty: one slot per wave when
@@ -54,6 +54,31 @@
 //    wrong and raises std::logic_error. Wires with no positive horizon
 //    (zero latency, normal jitter's zero clamp) fall back to serial in
 //    make_engine().
+//  * Speculative lockstep (lockstep + EngineConfig::speculation_window
+//    > 0): the wave limit is raised to at least first_slot + window, so
+//    waves no longer collapse to the delivery horizon on low-latency
+//    wires — the playout-delay idea from networked-game lockstep
+//    engines. Deliveries CAN now land mid-wave; the engine (installed
+//    as the transport's DeliverySink) defers each one into a playout
+//    queue instead of letting it interrupt the wave, and the replay
+//    thread applies it at its exact serial position: a delivery landing
+//    at replay position s precedes every arrival at positions >= s.
+//    Before applying, the target site's shard is parked (a cheap
+//    mutex/condvar handshake — mid-wave deliveries are rare by
+//    construction), so site state is never touched concurrently. If the
+//    site has already executed an arrival at position >= s, the
+//    speculation was wrong: the site is restored from its wave-start
+//    byte snapshot (StreamNode::save/restore_speculation_state) and its
+//    wave items are re-executed merged with the journaled deliveries in
+//    serial position order. Re-executed arrivals at positions the
+//    replay thread has already shipped must reproduce their messages
+//    exactly (they were unaffected by the delivery — enforced, not
+//    assumed); arrivals at positions >= s have their pending report
+//    patched in place before replay consumes it. Outputs, counters, and
+//    wire traces therefore stay bit-identical to SerialEngine.
+//    Speculation requires every site to be speculation_capable() and a
+//    protocol without per-slot callbacks; make_engine() downgrades to
+//    plain lockstep otherwise and reports why via mode_reason().
 //
 // Slot-boundary work (on_slot_begin expiry sweeps, advance_to_slot) and
 // end-of-stream finish() run on the main thread between waves with
@@ -74,7 +99,7 @@
 
 namespace dds::sim {
 
-class ShardedEngine final : public Engine {
+class ShardedEngine final : public Engine, private net::DeliverySink {
  public:
   ShardedEngine(net::Transport& net, std::vector<StreamNode*> sites,
                 bool invoke_slot_begin, const EngineConfig& config);
@@ -87,10 +112,28 @@ class ShardedEngine final : public Engine {
     return static_cast<std::uint32_t>(workers_.size());
   }
 
-  /// Base registrations plus the wave/stall/wakeup counters and the
-  /// wave-size / inbox-depth histograms (all "engine."-prefixed).
+  /// Base registrations plus the wave/stall/wakeup counters, the
+  /// wave-size / inbox-depth / wave-slot-span histograms, and the
+  /// engine.speculation.* counters (all "engine."-prefixed).
   void bind_observability(obs::MetricsRegistry* registry,
                           obs::Tracer* tracer) override;
+
+  // ---- speculation statistics (for abl17 and the fuzz tests) ---------
+  /// True when this engine speculates past the delivery horizon.
+  bool speculative() const noexcept { return speculative_; }
+  /// Wave barriers crossed so far.
+  std::uint64_t waves() const noexcept { return waves_; }
+  /// Sum over waves of the slot span (last - first + 1); mean wave
+  /// length in slots is wave_slots_total() / waves().
+  std::uint64_t wave_slots_total() const noexcept { return wave_slots_total_; }
+  /// Mis-speculations: deliveries that forced a site rollback.
+  std::uint64_t rollbacks() const noexcept { return rollbacks_; }
+  /// Site arrivals re-executed by rollbacks.
+  std::uint64_t replayed_items() const noexcept { return replayed_items_; }
+  /// Deliveries deferred into the playout queue mid-wave.
+  std::uint64_t deferred_deliveries() const noexcept { return deferred_; }
+  /// Bytes serialized into wave-start speculation snapshots.
+  std::uint64_t snapshot_bytes() const noexcept { return snapshot_bytes_; }
 
  private:
   /// Records a site's outbound messages instead of delivering them; the
@@ -102,26 +145,6 @@ class ShardedEngine final : public Engine {
     void send(const Message& msg) override { captured.push_back(msg); }
     void drain() override {}
     std::vector<Message> captured;
-  };
-
-  /// Stands in for a site on the real transport: during a wave it
-  /// forwards coordinator deliveries to the owning shard's inbox;
-  /// between waves (slot boundaries, finish) it delivers directly.
-  class SiteProxy final : public Node {
-   public:
-    SiteProxy(ShardedEngine* engine, StreamNode* site, std::uint32_t shard)
-        : engine_(engine), site_(site), shard_(shard) {}
-    void on_message(const Message& msg, net::Transport& net) override {
-      engine_->deliver_to_site(shard_, site_, msg, net);
-    }
-    std::size_t state_size() const noexcept override {
-      return site_->state_size();
-    }
-
-   private:
-    ShardedEngine* engine_;
-    StreamNode* site_;
-    std::uint32_t shard_;
   };
 
   struct WorkItem {
@@ -159,7 +182,31 @@ class ShardedEngine final : public Engine {
     std::mutex in_mutex;
     std::condition_variable in_cv;
     std::deque<InboundEntry> inbox;
+    // Speculation park handshake: the replay thread raises
+    // pause_requested before touching any site this shard owns; the
+    // worker parks (parked = true, guarded by in_mutex) at its next
+    // arrival boundary and waits until the flag drops. A worker that
+    // has finished its wave never parks — done == work.size() is an
+    // equally safe state for the replay thread to proceed under.
+    std::atomic<bool> pause_requested{false};
+    bool parked = false;  // guarded by in_mutex
     CaptureTransport capture;
+  };
+
+  /// One (position, shard-local index) occurrence of a site in the
+  /// current wave's plan, for speculation bookkeeping. Both coordinates
+  /// are ascending along a site's vector: work is appended in plan
+  /// order.
+  struct SiteItem {
+    std::size_t pos = 0;    ///< global plan position
+    std::size_t local = 0;  ///< index into the owning shard's work[]
+  };
+
+  /// A mid-wave delivery applied to a site, journaled so a LATER
+  /// rollback of the same site replays it at the right position.
+  struct JournalEntry {
+    std::size_t pos = 0;  ///< serial insertion position (see on_delivery)
+    Message msg;
   };
 
   void worker_loop(std::uint32_t shard_index);
@@ -168,21 +215,45 @@ class ShardedEngine final : public Engine {
   void apply_inbound(const Message& msg, CaptureTransport& capture);
   void run_wave();
   void replay();
-  void deliver_to_site(std::uint32_t shard, StreamNode* site,
-                       const Message& msg, net::Transport& net);
   void record_worker_error();
   void abort_wave() noexcept;
+
+  // ---- speculation ----------------------------------------------------
+  /// net::DeliverySink: coordinator traffic always passes through;
+  /// site deliveries dispatch directly between waves, are deferred into
+  /// the playout queue inside speculative waves, route to shard inboxes
+  /// in run-ahead mode, and are a horizon-certificate violation inside
+  /// plain lockstep waves.
+  bool on_delivery(const Message& msg, double at) override;
+  /// Applies every delivery the sink deferred during the drain that just
+  /// returned, at serial insertion position `s`.
+  void process_pending(std::size_t s);
+  void apply_deferred(const Message& msg, std::size_t s);
+  void park_shard(Shard& shard);
+  void resume_shard(Shard& shard);
+  /// Restores `site_id` from its wave-start snapshot and re-executes its
+  /// executed wave items merged with its journaled deliveries in serial
+  /// position order, patching not-yet-consumed reports in place.
+  void rollback_site(NodeId site_id, Shard& shard, std::size_t s,
+                     std::size_t done);
+  void take_wave_snapshots();
+  void invalidate_all_snapshots();
 
   std::size_t max_wave_;
   /// Realistic-wire mode: workers never pause for replies; waves are
   /// bounded by the transport's delivery horizon instead of slots'
   /// being synchronous (see the file comment).
   bool lockstep_ = false;
+  /// Lockstep with delivery-time speculation: waves run at least
+  /// speculation_window_ slots past their first slot; mid-wave
+  /// deliveries are deferred and applied at their serial position, with
+  /// per-site rollback on mis-speculation (see the file comment).
+  bool speculative_ = false;
+  std::uint32_t speculation_window_ = 0;
   /// One replay->worker notify per exchange instead of per message
   /// (EngineConfig::coalesce_wakeups; run-ahead mode only).
   bool coalesce_wakeups_ = true;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::unique_ptr<SiteProxy>> proxies_;
   std::vector<std::uint32_t> shard_of_site_;
   std::vector<std::thread> workers_;
 
@@ -198,8 +269,22 @@ class ShardedEngine final : public Engine {
   std::vector<std::uint32_t> plan_shard_;
   std::vector<NodeId> plan_site_;
   std::vector<Slot> plan_slot_;
-  bool wave_running_ = false;      // proxies: enqueue vs direct delivery
+  bool wave_running_ = false;      // sink: defer/enqueue vs direct delivery
   NodeId replay_site_ = kNoNode;   // site whose arrival is being replayed
+
+  // Speculation state (main/replay thread only, except where noted).
+  std::vector<std::vector<SiteItem>> site_items_;     // per site, per wave
+  std::vector<std::vector<JournalEntry>> journal_;    // per site, per wave
+  std::vector<std::vector<std::uint8_t>> snap_;       // wave-start images
+  /// snap_[i] is current iff snap_valid_[i]; invalidated whenever site i
+  /// executes arrivals, receives a delivery, or an observer ran (it may
+  /// mutate sites — chaos respawn/resync hooks do).
+  std::vector<std::uint8_t> snap_valid_;
+  std::deque<Message> pending_;  ///< playout-delay queue (one drain's worth)
+  /// Scratch capture for deferred applies and rollback re-execution —
+  /// re-executed arrivals' messages are compared/patched, never re-sent
+  /// from here.
+  CaptureTransport rollback_capture_;
 
   std::atomic<bool> aborted_{false};
   std::mutex error_mutex_;
@@ -212,9 +297,15 @@ class ShardedEngine final : public Engine {
   std::uint64_t waves_ = 0;            ///< wave barriers crossed
   std::uint64_t lockstep_stalls_ = 0;  ///< waves cut by the horizon limit
   std::uint64_t wakeups_ = 0;          ///< replay->worker notifies
+  std::uint64_t wave_slots_total_ = 0; ///< sum of per-wave slot spans
+  std::uint64_t rollbacks_ = 0;        ///< mis-speculated deliveries
+  std::uint64_t replayed_items_ = 0;   ///< arrivals re-executed by rollbacks
+  std::uint64_t deferred_ = 0;         ///< deliveries deferred mid-wave
+  std::uint64_t snapshot_bytes_ = 0;   ///< speculation snapshot volume
   bool metrics_bound_ = false;
   obs::Histogram wave_size_hist_;    ///< arrivals per wave
   obs::Histogram inbox_depth_hist_;  ///< shard inbox depth at enqueue
+  obs::Histogram wave_slots_hist_;   ///< slot span per wave
 };
 
 }  // namespace dds::sim

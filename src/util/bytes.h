@@ -1,0 +1,35 @@
+// Minimal little-endian byte-image helpers for small state snapshots
+// (the speculation save/restore path in sim/node.h). The checkpoint
+// layer (core/checkpoint.h) has its own richer framed format with
+// checksums and versioning; these are the bare primitives for images
+// that never leave the process and live for one engine wave.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dds::util {
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline std::uint64_t get_u64(std::span<const std::uint8_t> in,
+                             std::size_t& pos) {
+  if (pos + 8 > in.size()) {
+    throw std::out_of_range("util::get_u64: image truncated");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t{in[pos + i]} << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+
+}  // namespace dds::util

@@ -694,6 +694,59 @@ TEST(CheckpointHardening, VersionOneImagesStillParse) {
   EXPECT_EQ(core::parse_candidates(v9), std::nullopt);
 }
 
+// ----------------------- chaos x speculation --------------------------
+
+TEST(ChaosSpeculation, KillRespawnBetweenSpeculativeWavesStaysBitIdentical) {
+  // The speculative engine's per-site rollback state (wave-start
+  // snapshots, playout queue, journals) is per-run(): a shard killed and
+  // respawned between feeds must not leak any speculative state into
+  // later waves. The pin: the whole chaotic schedule — kill at slot 60
+  // (reply traffic dead-lettered), respawn + resync at slot 80, then a
+  // full-domain re-exposure pass — is bit-identical between the serial
+  // engine and the speculative sharded engine on the same sub-slot wire.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto run_once = [&](std::uint32_t threads) {
+      core::SystemConfig config;
+      config.num_sites = 8;
+      config.sample_size = 8;
+      config.seed = seed;
+      config.num_shards = 2;
+      config.num_threads = threads;
+      config.speculation_window = 32;
+      config.network.link.latency = 0.25;
+      core::InfiniteSystem system(config);
+      if (threads > 1) {
+        EXPECT_STREQ(system.runner().mode_reason(),
+                     "sharded: speculative lockstep");
+      }
+      util::Xoshiro256StarStar rng(seed * 19 + 7);
+      const std::uint64_t kDomain = 400;
+      for (sim::Slot t = 0; t < 120; ++t) {
+        feed(system, t, random_slot(rng, 8, kDomain));
+        if (t == 60) system.kill_shard(1);
+        if (t == 80) {
+          system.respawn_shard(1);
+          system.resync_shard(1);
+        }
+      }
+      sim::Slot t = 120;
+      for (std::uint64_t e = 1; e <= kDomain; ++t) {
+        std::vector<std::pair<sim::NodeId, stream::Element>> xs;
+        for (int i = 0; i < 8 && e <= kDomain; ++i, ++e) {
+          xs.emplace_back(static_cast<sim::NodeId>(e % 8), e);
+        }
+        feed(system, t, xs);
+      }
+      std::vector<std::uint64_t> fp = system.sample().elements();
+      fp.push_back(system.dead_letters());
+      fp.push_back(system.bus().counters().total);
+      fp.push_back(system.bus().counters().bytes);
+      return fp;
+    };
+    EXPECT_EQ(run_once(1), run_once(4)) << "seed " << seed;
+  }
+}
+
 TEST(CheckpointHardening, CandidateImagesRoundTrip) {
   const std::vector<Candidate> items{
       {1, 100, 10}, {2, 50, 12}, {3, 75, 9}};

@@ -12,9 +12,19 @@ Both directories hold the artifacts tools/bench_json.sh emits:
     (default real_time); a benchmark is a regression when
         current > baseline * (1 + threshold).
   * Table-bench JSON mirrors (arrays of row objects) — compared
-    informationally (printed with --verbose) but never gated: their
-    columns mix counts, rates, and identifiers, and the message-cost
-    invariants they record are asserted by the benches themselves.
+    informationally (printed with --verbose) by default: their columns
+    mix counts, rates, and identifiers, and the message-cost invariants
+    they record are asserted by the benches themselves.
+
+HARD ratio gates (--gate-table FILE:COLUMN:MIN, repeatable): some table
+columns are hardware-independent ratios (abl14's batched-over-single
+"xB/x1", abl17's speculative-over-lockstep "wave x lockstep") and CAN be
+gated hard even on a noisy box. For each spec the maximum value of
+COLUMN across FILE's rows must be >= MIN, and — when a baseline copy of
+FILE exists — must not fall below the baseline maximum by more than
+--threshold. With --gates-only the timing comparison is skipped
+entirely and the exit status reflects the gates alone; tools/ci.sh runs
+the timing compare SOFT and the gate invocation HARD.
 
 Exit status: 0 when no timing regression exceeds the threshold (missing
 baseline files or benchmarks are reported but not fatal — the trajectory
@@ -103,6 +113,69 @@ def describe_rows(name, current, baseline, verbose):
     print(f"  table mirror: {n_base} -> {n_cur} rows (not gated)")
 
 
+def parse_gate_spec(spec):
+    """FILE:COLUMN:MIN -> (file, column, minimum); None on bad syntax."""
+    parts = spec.rsplit(":", 1)
+    if len(parts) != 2:
+        return None
+    head, min_text = parts
+    parts = head.split(":", 1)
+    if len(parts) != 2:
+        return None
+    fname, column = parts
+    try:
+        return fname, column, float(min_text)
+    except ValueError:
+        return None
+
+
+def column_max(rows, column):
+    """Maximum numeric value of `column` over a table mirror's rows."""
+    best = None
+    for row in rows if isinstance(rows, list) else []:
+        value = row.get(column) if isinstance(row, dict) else None
+        if isinstance(value, (int, float)):
+            best = value if best is None else max(best, float(value))
+    return best
+
+
+def run_table_gates(args):
+    """Evaluates --gate-table specs; returns the failure descriptions."""
+    failures = []
+    for spec in args.gate_table:
+        parsed = parse_gate_spec(spec)
+        if parsed is None:
+            failures.append(f"bad --gate-table spec: {spec!r} "
+                            "(want FILE:COLUMN:MIN)")
+            continue
+        fname, column, minimum = parsed
+        doc = load_json(os.path.join(args.current, fname))
+        if doc is None:
+            failures.append(f"{fname}: gated artifact missing or unreadable")
+            continue
+        best = column_max(doc, column)
+        if best is None:
+            failures.append(
+                f"{fname}: gated column {column!r} missing or non-numeric")
+            continue
+        if best < minimum:
+            failures.append(f"{fname}: max {column!r} = {best:g} "
+                            f"below the floor {minimum:g}")
+        else:
+            print(f"gate ok: {fname}: max {column!r} = {best:g} "
+                  f">= {minimum:g}")
+        base_path = os.path.join(args.baseline, fname)
+        if os.path.exists(base_path):
+            base_doc = load_json(base_path)
+            base_best = column_max(base_doc, column) if base_doc else None
+            if (base_best is not None and base_best > 0
+                    and best < base_best * (1.0 - args.threshold)):
+                failures.append(
+                    f"{fname}: max {column!r} regressed {base_best:g} -> "
+                    f"{best:g} (past {100.0 * args.threshold:.0f}%)")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="diff bench_results directories, exit 1 on regression")
@@ -116,7 +189,35 @@ def main():
                              "(default real_time)")
     parser.add_argument("--verbose", action="store_true",
                         help="print every comparison, not just changes")
+    parser.add_argument("--gate-table", action="append", default=[],
+                        metavar="FILE:COLUMN:MIN",
+                        help="HARD gate: max of COLUMN in table mirror "
+                             "FILE must be >= MIN (and must not regress "
+                             "past --threshold vs the baseline copy); "
+                             "repeatable")
+    parser.add_argument("--gates-only", action="store_true",
+                        help="evaluate --gate-table specs only; skip the "
+                             "timing comparison (baseline dir may be "
+                             "missing)")
     args = parser.parse_args()
+
+    if args.gates_only:
+        if not args.gate_table:
+            print("bench_compare: --gates-only without --gate-table",
+                  file=sys.stderr)
+            return 2
+        if not os.path.isdir(args.current):
+            print(f"bench_compare: not a directory: {args.current}",
+                  file=sys.stderr)
+            return 2
+        failures = run_table_gates(args)
+        if failures:
+            print(f"\nbench_compare: {len(failures)} gate failure(s):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print("\nbench_compare: all table gates satisfied")
+        return 0
 
     for d in (args.current, args.baseline):
         if not os.path.isdir(d):
@@ -150,7 +251,9 @@ def main():
         else:
             describe_rows(fname, current, baseline, args.verbose)
 
-    if compared == 0:
+    if args.gate_table:
+        regressions += run_table_gates(args)
+    if compared == 0 and not args.gate_table:
         print("bench_compare: no Google-Benchmark artifacts shared with "
               "the baseline; nothing gated")
         return 0

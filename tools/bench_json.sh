@@ -99,3 +99,11 @@ run_table_bench abl14_batch_ingest --runs 1 --slots 4000
 # on any disagreement) and records the sub-linear memory and ingest
 # ratios vs tenant count.
 run_table_bench abl15_multitenant --runs 1 --slots 2000
+
+# Speculative-lockstep trajectory: abl17's "wave x lockstep" column is
+# the hardware-independent mean-wave-length ratio over the
+# delivery-horizon baseline, with the rollback rate and snapshot
+# bytes/slot as the price. The binary exits nonzero when the sub-slot
+# wire's ratio drops below 8x (its --gate-ratio), and ci.sh additionally
+# hard-gates the column via bench_compare.py --gate-table.
+run_table_bench abl17_speculation --runs 1 --n 30000

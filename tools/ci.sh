@@ -121,4 +121,15 @@ else
   echo "ci: no bench_baseline/ snapshot; skipping perf compare"
 fi
 
+# Ratio gates (HARD): hardware-independent table columns — abl14's
+# batched-over-single throughput ratio and abl17's speculative wave
+# length over the lockstep baseline — must clear their floors even on a
+# noisy box. Unlike the timing tripwire above, a failure here blocks:
+# these ratios measure algorithmic effects, not wall clock. The baseline
+# dir is optional (per-file regression check applies when it exists).
+python3 "$repo/tools/bench_compare.py" "$build/bench_results" \
+  "$build/bench_baseline" --threshold 0.25 --gates-only \
+  --gate-table "abl14_batch_ingest.json:xB/x1:1.2" \
+  --gate-table "abl17_speculation.json:wave x lockstep:8"
+
 echo "ci: OK"
